@@ -1,0 +1,31 @@
+//! # pathcons-automata
+//!
+//! Finite automata over interned edge labels, plus the prefix-rewriting
+//! saturation (`post*` / `pre*`) that makes word-constraint implication
+//! decidable in PTIME — the algorithmic backbone of the decidable cells in
+//! Table 1 of Buneman, Fan & Weinstein (PODS 1999).
+//!
+//! - [`Nfa`] — nondeterministic automata with ε-transitions;
+//! - [`Dfa`] — partial deterministic automata, used for the `Paths(σ)`
+//!   language of a schema (the type graph);
+//! - [`determinize`] — subset construction;
+//! - [`PrefixRewriteSystem`] — prefix rewriting, `post*`/`pre*` saturation,
+//!   and a naive bounded-BFS reference used as a test oracle and as the
+//!   ablation baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod nfa;
+mod rewrite;
+
+pub use dfa::{determinize, Dfa};
+pub use nfa::{Nfa, StateId};
+pub use rewrite::{PrefixRewriteSystem, RewriteRule};
+
+mod minimize;
+pub use minimize::{canonical_key, dfa_equivalent, minimize};
+
+mod regex;
+pub use regex::{Regex, RegexDisplay, RegexParseError};

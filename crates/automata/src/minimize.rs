@@ -1,0 +1,356 @@
+//! DFA minimization (Moore's algorithm), language equivalence, and
+//! canonical keys.
+//!
+//! Minimized automata are canonical: language-equal DFAs minimize to the
+//! same shape (reachable, *live* — dead states are dropped in favour of
+//! the implicit rejecting sink — and merged), so [`canonical_key`]
+//! decides language equivalence by structural comparison.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use pathcons_graph::Label;
+use std::collections::{HashMap, VecDeque};
+
+/// Minimizes `dfa` over `alphabet`: the result accepts the same language,
+/// has no unreachable states, and identifies all language-equivalent
+/// states. Missing transitions are treated as a rejecting sink; the sink
+/// is never materialized in the output (the result stays partial).
+pub fn minimize(dfa: &Dfa, alphabet: &[Label]) -> Dfa {
+    // Reachable states only.
+    let mut reachable = Vec::new();
+    let mut seen = vec![false; dfa.state_count()];
+    let mut queue = VecDeque::new();
+    seen[dfa.start().index()] = true;
+    queue.push_back(dfa.start());
+    while let Some(s) = queue.pop_front() {
+        reachable.push(s);
+        for (_, t) in dfa.transitions(s) {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+
+    // Drop *dead* states (empty language): they are equivalent to the
+    // implicit rejecting sink, and keeping them would give two
+    // language-equal DFAs different canonical keys when only one has an
+    // explicit dead state. Live = can reach an accepting state.
+    let mut live = vec![false; dfa.state_count()];
+    {
+        // Reverse reachability from accepting states over the reachable
+        // subgraph, by fixpoint (state counts are small here).
+        for &s in &reachable {
+            if dfa.is_accepting(s) {
+                live[s.index()] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for &s in &reachable {
+                if !live[s.index()]
+                    && dfa.transitions(s).any(|(_, t)| live[t.index()])
+                {
+                    live[s.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    let reachable: Vec<StateId> = reachable
+        .into_iter()
+        .filter(|s| live[s.index()])
+        .collect();
+    if reachable.is_empty() {
+        // Empty language: the canonical automaton is a lone rejecting
+        // start state.
+        return Dfa::new();
+    }
+
+    // Moore refinement over reachable states + an implicit dead state.
+    // Class 0 is reserved for "dead" (rejecting sink, self-loops only).
+    const DEAD: usize = 0;
+    let mut class: HashMap<StateId, usize> = HashMap::new();
+    for &s in &reachable {
+        class.insert(s, if dfa.is_accepting(s) { 2 } else { 1 });
+    }
+    loop {
+        // Signature: (current class, class of each alphabet successor).
+        let mut signatures: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next_class: HashMap<StateId, usize> = HashMap::new();
+        let mut counter = 1usize; // 0 stays dead
+        for &s in &reachable {
+            let sig: Vec<usize> = alphabet
+                .iter()
+                .map(|&l| {
+                    dfa.step(s, l)
+                        .filter(|t| live[t.index()])
+                        .map(|t| class[&t])
+                        .unwrap_or(DEAD)
+                })
+                .collect();
+            let key = (class[&s], sig);
+            let id = *signatures.entry(key).or_insert_with(|| {
+                counter += 1;
+                counter
+            });
+            next_class.insert(s, id);
+        }
+        // Class ids are renumbered every round, so compare partitions by
+        // cardinality: Moore refinement only ever splits classes.
+        let old_count = {
+            let mut v: Vec<usize> = class.values().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        let new_count = signatures.len();
+        class = next_class;
+        if new_count == old_count {
+            break;
+        }
+    }
+
+    // Build the quotient with canonical BFS numbering from the start.
+    let mut out = Dfa::new();
+    let mut node_of_class: HashMap<usize, StateId> = HashMap::new();
+    let start_class = class[&dfa.start()];
+    node_of_class.insert(start_class, out.start());
+    out.set_accepting(out.start(), dfa.is_accepting(dfa.start()));
+    let mut order = VecDeque::new();
+    order.push_back(dfa.start());
+    let mut done: HashMap<usize, bool> = HashMap::new();
+    done.insert(start_class, true);
+    while let Some(s) = order.pop_front() {
+        let from = node_of_class[&class[&s]];
+        for &l in alphabet {
+            if let Some(t) = dfa.step(s, l).filter(|t| live[t.index()]) {
+                let tc = class[&t];
+                let target = match node_of_class.get(&tc) {
+                    Some(&n) => n,
+                    None => {
+                        let n = out.add_state();
+                        out.set_accepting(n, dfa.is_accepting(t));
+                        node_of_class.insert(tc, n);
+                        n
+                    }
+                };
+                out.set_transition(from, l, target);
+                if done.insert(tc, true).is_none() {
+                    order.push_back(t);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A canonical key for the language of `dfa` over `alphabet`: two DFAs
+/// have equal keys iff they accept the same language.
+pub fn canonical_key(dfa: &Dfa, alphabet: &[Label]) -> Vec<u64> {
+    let min = minimize(dfa, alphabet);
+    // minimize() numbers states in BFS order from the start with a fixed
+    // alphabet order, so the transition table itself is canonical.
+    let mut key = Vec::with_capacity(min.state_count() * (alphabet.len() + 1));
+    for i in 0..min.state_count() {
+        let s = StateId::from_index(i);
+        key.push(if min.is_accepting(s) { 1 } else { 0 });
+        for &l in alphabet {
+            key.push(match min.step(s, l) {
+                Some(t) => t.index() as u64 + 2,
+                None => u64::MAX,
+            });
+        }
+    }
+    key
+}
+
+/// Language equivalence of two (partial) DFAs over `alphabet`.
+pub fn dfa_equivalent(a: &Dfa, b: &Dfa, alphabet: &[Label]) -> bool {
+    canonical_key(a, alphabet) == canonical_key(b, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::determinize;
+    use crate::nfa::Nfa;
+    use pathcons_graph::LabelInterner;
+
+    fn ab() -> (Label, Label) {
+        let i = LabelInterner::with_labels(["a", "b"]);
+        let mut it = i.labels();
+        (it.next().unwrap(), it.next().unwrap())
+    }
+
+    /// DFA with redundant states accepting a(b a)*.
+    fn redundant(a: Label, b: Label) -> Dfa {
+        let mut d = Dfa::new();
+        let s1 = d.add_state();
+        let s2 = d.add_state();
+        let s3 = d.add_state(); // duplicate of s1
+        d.set_transition(d.start(), a, s1);
+        d.set_accepting(s1, true);
+        d.set_transition(s1, b, s2);
+        d.set_transition(s2, a, s3);
+        d.set_accepting(s3, true);
+        d.set_transition(s3, b, s2);
+        d
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        let (a, b) = ab();
+        let d = redundant(a, b);
+        let m = minimize(&d, &[a, b]);
+        // Minimal DFA for a(ba)*: q0 -a-> q1(acc) -b-> q0 — the original
+        // start and middle states are language-equivalent.
+        assert_eq!(m.state_count(), 2);
+        for w in [vec![a], vec![a, b, a], vec![a, b, a, b, a]] {
+            assert!(m.accepts(&w));
+        }
+        for w in [vec![], vec![b], vec![a, b], vec![a, a]] {
+            assert!(!m.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn minimize_drops_unreachable_states() {
+        let (a, b) = ab();
+        let mut d = Dfa::new();
+        let s1 = d.add_state();
+        let _orphan = d.add_state();
+        d.set_transition(d.start(), a, s1);
+        d.set_accepting(s1, true);
+        let m = minimize(&d, &[a, b]);
+        assert_eq!(m.state_count(), 2);
+    }
+
+    #[test]
+    fn equivalence_detects_equal_languages() {
+        let (a, b) = ab();
+        let d1 = redundant(a, b);
+        // A hand-minimized automaton for a(ba)*.
+        let mut d2 = Dfa::new();
+        let acc = d2.add_state();
+        let mid = d2.add_state();
+        d2.set_transition(d2.start(), a, acc);
+        d2.set_accepting(acc, true);
+        d2.set_transition(acc, b, mid);
+        d2.set_transition(mid, a, acc);
+        assert!(dfa_equivalent(&d1, &d2, &[a, b]));
+    }
+
+    #[test]
+    fn equivalence_detects_different_languages() {
+        let (a, b) = ab();
+        let d1 = redundant(a, b);
+        let mut d2 = Dfa::new();
+        let acc = d2.add_state();
+        d2.set_transition(d2.start(), a, acc);
+        d2.set_accepting(acc, true);
+        assert!(!dfa_equivalent(&d1, &d2, &[a, b]));
+    }
+
+    #[test]
+    fn keys_stable_across_state_orderings() {
+        let (a, b) = ab();
+        // Same language built in two different state orders.
+        let mut d1 = Dfa::new();
+        let x = d1.add_state();
+        let y = d1.add_state();
+        d1.set_transition(d1.start(), a, x);
+        d1.set_transition(d1.start(), b, y);
+        d1.set_accepting(y, true);
+
+        let mut d2 = Dfa::new();
+        let y2 = d2.add_state();
+        let x2 = d2.add_state();
+        d2.set_transition(d2.start(), b, y2);
+        d2.set_transition(d2.start(), a, x2);
+        d2.set_accepting(y2, true);
+
+        assert_eq!(canonical_key(&d1, &[a, b]), canonical_key(&d2, &[a, b]));
+    }
+
+    #[test]
+    fn works_with_determinized_nfas() {
+        let (a, b) = ab();
+        // (a|b)*a via NFA, determinized, minimized: 2 states.
+        let mut nfa = Nfa::new();
+        let s1 = nfa.add_state();
+        nfa.add_transition(nfa.start(), a, nfa.start());
+        nfa.add_transition(nfa.start(), b, nfa.start());
+        nfa.add_transition(nfa.start(), a, s1);
+        nfa.set_accepting(s1, true);
+        let dfa = determinize(&nfa, &[a, b]);
+        let m = minimize(&dfa, &[a, b]);
+        assert_eq!(m.state_count(), 2);
+        assert!(m.accepts(&[b, b, a]));
+        assert!(!m.accepts(&[a, b]));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_one_state() {
+        let (a, b) = ab();
+        let d = Dfa::new(); // start, non-accepting, no transitions
+        let m = minimize(&d, &[a, b]);
+        assert_eq!(m.state_count(), 1);
+        assert!(!m.accepts(&[]));
+    }
+}
+
+#[cfg(test)]
+mod dead_state_tests {
+    use super::*;
+
+    fn ab() -> (Label, Label) {
+        let i = pathcons_graph::LabelInterner::with_labels(["a", "b"]);
+        let mut it = i.labels();
+        (it.next().unwrap(), it.next().unwrap())
+    }
+
+    /// Two DFAs for the language {a}: one partial, one with an explicit
+    /// dead state. They must get equal canonical keys.
+    #[test]
+    fn explicit_dead_state_does_not_change_the_key() {
+        let (a, b) = ab();
+        let mut partial = Dfa::new();
+        let acc = partial.add_state();
+        partial.set_transition(partial.start(), a, acc);
+        partial.set_accepting(acc, true);
+
+        let mut with_dead = Dfa::new();
+        let acc2 = with_dead.add_state();
+        let dead = with_dead.add_state();
+        with_dead.set_transition(with_dead.start(), a, acc2);
+        with_dead.set_transition(with_dead.start(), b, dead);
+        with_dead.set_transition(acc2, a, dead);
+        with_dead.set_transition(acc2, b, dead);
+        with_dead.set_transition(dead, a, dead);
+        with_dead.set_transition(dead, b, dead);
+        with_dead.set_accepting(acc2, true);
+
+        assert!(dfa_equivalent(&partial, &with_dead, &[a, b]));
+        assert_eq!(minimize(&with_dead, &[a, b]).state_count(), 2);
+    }
+
+    /// A start state that cannot reach acceptance is the empty language.
+    #[test]
+    fn dead_start_minimizes_to_empty() {
+        let (a, _) = ab();
+        let mut d = Dfa::new();
+        let loop_state = d.add_state();
+        d.set_transition(d.start(), a, loop_state);
+        d.set_transition(loop_state, a, loop_state);
+        let m = minimize(&d, &[a]);
+        assert_eq!(m.state_count(), 1);
+        assert!(!m.accepts(&[]));
+        assert!(!m.accepts(&[a]));
+        // And it equals the canonical empty-language automaton.
+        assert!(dfa_equivalent(&d, &Dfa::new(), &[a]));
+    }
+}

@@ -1,0 +1,446 @@
+//! Regular expressions over edge labels, compiled to NFAs.
+//!
+//! Abiteboul & Vianu's constraint language [4] — the one the paper
+//! contrasts `P_c` with — builds paths from *regular expressions* rather
+//! than plain label sequences. The paper proper excludes them ("we do not
+//! consider here constraints defined in terms of regular expressions"),
+//! but a practical constraint checker wants them, so this module provides
+//! the expression type, a Thompson-style compiler to [`Nfa`], and the
+//! textual syntax used by `pathcons-constraints`' regular constraints:
+//!
+//! ```text
+//! regex  := term ("|" term)*
+//! term   := factor*                      — concatenation (ε when empty)
+//! factor := atom ("*" | "+" | "?")*
+//! atom   := label | "(" regex ")" | "_"  — "_" is any label of the alphabet
+//! ```
+//!
+//! Labels in concatenations are separated by `.` as in plain paths:
+//! `book.(ref)*.author` matches `book`, then any number of `ref`s, then
+//! `author`.
+
+use crate::nfa::Nfa;
+use pathcons_graph::{Label, LabelInterner};
+use std::fmt;
+
+/// A regular expression over edge labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty word ε.
+    Epsilon,
+    /// A single label.
+    Label(Label),
+    /// Any single label of the ambient alphabet (`_`).
+    AnyLabel,
+    /// Concatenation.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Concatenation helper that flattens nested concats.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Concat(inner) => flat.extend(inner),
+                Regex::Epsilon => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Regex::Epsilon,
+            1 => flat.pop().expect("len 1"),
+            _ => Regex::Concat(flat),
+        }
+    }
+
+    /// `self+` = `self · self*`.
+    pub fn plus(self) -> Regex {
+        Regex::concat(vec![self.clone(), Regex::Star(Box::new(self))])
+    }
+
+    /// `self?` = `self | ε`.
+    pub fn optional(self) -> Regex {
+        Regex::Alt(vec![self, Regex::Epsilon])
+    }
+
+    /// Compiles to an NFA over the given alphabet (`AnyLabel` expands to
+    /// an alternation over `alphabet`).
+    pub fn to_nfa(&self, alphabet: &[Label]) -> Nfa {
+        let mut nfa = Nfa::new();
+        let start = nfa.start();
+        let end = build(self, &mut nfa, start, alphabet);
+        nfa.set_accepting(end, true);
+        nfa
+    }
+
+    /// Whether the expression matches `word` over `alphabet`.
+    pub fn matches(&self, word: &[Label], alphabet: &[Label]) -> bool {
+        self.to_nfa(alphabet).accepts(word)
+    }
+
+    /// Parses the textual syntax (see module docs), interning labels.
+    pub fn parse(text: &str, labels: &mut LabelInterner) -> Result<Regex, RegexParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            labels,
+        };
+        let regex = parser.alternation()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(RegexParseError {
+                offset: parser.pos,
+                message: "trailing input".into(),
+            });
+        }
+        Ok(regex)
+    }
+
+    /// Renders the expression back to the textual syntax.
+    pub fn display<'a>(&'a self, labels: &'a LabelInterner) -> RegexDisplay<'a> {
+        RegexDisplay { regex: self, labels }
+    }
+}
+
+/// Builds `regex` into `nfa` starting at `from`; returns the final state.
+fn build(regex: &Regex, nfa: &mut Nfa, from: crate::nfa::StateId, alphabet: &[Label]) -> crate::nfa::StateId {
+    match regex {
+        Regex::Epsilon => from,
+        Regex::Label(l) => {
+            let next = nfa.add_state();
+            nfa.add_transition(from, *l, next);
+            next
+        }
+        Regex::AnyLabel => {
+            let next = nfa.add_state();
+            for &l in alphabet {
+                nfa.add_transition(from, l, next);
+            }
+            next
+        }
+        Regex::Concat(parts) => {
+            let mut current = from;
+            for p in parts {
+                current = build(p, nfa, current, alphabet);
+            }
+            current
+        }
+        Regex::Alt(parts) => {
+            let join = nfa.add_state();
+            for p in parts {
+                let end = build(p, nfa, from, alphabet);
+                nfa.add_epsilon(end, join);
+            }
+            join
+        }
+        Regex::Star(inner) => {
+            // from -ε-> hub; hub -inner-> back to hub; result is hub.
+            let hub = nfa.add_state();
+            nfa.add_epsilon(from, hub);
+            let end = build(inner, nfa, hub, alphabet);
+            nfa.add_epsilon(end, hub);
+            hub
+        }
+    }
+}
+
+/// Display adapter for [`Regex`].
+pub struct RegexDisplay<'a> {
+    regex: &'a Regex,
+    labels: &'a LabelInterner,
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(r: &Regex, labels: &LabelInterner, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match r {
+                Regex::Epsilon => write!(f, "()"),
+                Regex::Label(l) => write!(f, "{}", labels.name(*l)),
+                Regex::AnyLabel => write!(f, "_"),
+                Regex::Concat(parts) => {
+                    let mut first = true;
+                    for p in parts {
+                        if !first {
+                            write!(f, ".")?;
+                        }
+                        first = false;
+                        match p {
+                            Regex::Alt(_) => {
+                                write!(f, "(")?;
+                                go(p, labels, f)?;
+                                write!(f, ")")?;
+                            }
+                            _ => go(p, labels, f)?,
+                        }
+                    }
+                    Ok(())
+                }
+                Regex::Alt(parts) => {
+                    let mut first = true;
+                    for p in parts {
+                        if !first {
+                            write!(f, "|")?;
+                        }
+                        first = false;
+                        go(p, labels, f)?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(inner) => {
+                    write!(f, "(")?;
+                    go(inner, labels, f)?;
+                    write!(f, ")*")
+                }
+            }
+        }
+        go(self.regex, self.labels, f)
+    }
+}
+
+/// Error from [`Regex::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    labels: &'a mut LabelInterner,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .map(|b| b.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn alternation(&mut self) -> Result<Regex, RegexParseError> {
+        let mut parts = vec![self.concatenation()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            parts.push(self.concatenation()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("len 1"))
+        } else {
+            Ok(Regex::Alt(parts))
+        }
+    }
+
+    fn concatenation(&mut self) -> Result<Regex, RegexParseError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                Some(b'.') => {
+                    self.pos += 1; // separator
+                    continue;
+                }
+                Some(_) => parts.push(self.factor()?),
+            }
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn factor(&mut self) -> Result<Regex, RegexParseError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    atom = atom.plus();
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    atom = atom.optional();
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, RegexParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                // `()` is ε.
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    return Ok(Regex::Epsilon);
+                }
+                let inner = self.alternation()?;
+                if self.peek() != Some(b')') {
+                    return Err(RegexParseError {
+                        offset: self.pos,
+                        message: "expected `)`".into(),
+                    });
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                Ok(Regex::AnyLabel)
+            }
+            Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'@' | b'$' | b'-') => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .map(|&b| b.is_ascii_alphanumeric() || matches!(b, b'@' | b'$' | b'-'))
+                    .unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                    RegexParseError {
+                        offset: start,
+                        message: "invalid UTF-8 in label".into(),
+                    }
+                })?;
+                Ok(Regex::Label(self.labels.intern(name)))
+            }
+            other => Err(RegexParseError {
+                offset: self.pos,
+                message: format!("unexpected {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LabelInterner, Vec<Label>) {
+        let interner = LabelInterner::with_labels(["book", "ref", "author", "person"]);
+        let alphabet = interner.labels().collect();
+        (interner, alphabet)
+    }
+
+    #[test]
+    fn parse_and_match_star() {
+        let (mut labels, alphabet) = setup();
+        let r = Regex::parse("book.(ref)*.author", &mut labels).unwrap();
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(r.matches(&[l("book"), l("author")], &alphabet));
+        assert!(r.matches(&[l("book"), l("ref"), l("ref"), l("author")], &alphabet));
+        assert!(!r.matches(&[l("book"), l("ref")], &alphabet));
+        assert!(!r.matches(&[l("ref"), l("author")], &alphabet));
+    }
+
+    #[test]
+    fn alternation_and_optional() {
+        let (mut labels, alphabet) = setup();
+        let r = Regex::parse("(book|person).ref?", &mut labels).unwrap();
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(r.matches(&[l("book")], &alphabet));
+        assert!(r.matches(&[l("person"), l("ref")], &alphabet));
+        assert!(!r.matches(&[l("ref")], &alphabet));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let (mut labels, alphabet) = setup();
+        let r = Regex::parse("ref+", &mut labels).unwrap();
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(!r.matches(&[], &alphabet));
+        assert!(r.matches(&[l("ref")], &alphabet));
+        assert!(r.matches(&[l("ref"), l("ref")], &alphabet));
+    }
+
+    #[test]
+    fn any_label_wildcard() {
+        let (mut labels, alphabet) = setup();
+        let r = Regex::parse("_*.author", &mut labels).unwrap();
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(r.matches(&[l("author")], &alphabet));
+        assert!(r.matches(&[l("book"), l("ref"), l("author")], &alphabet));
+        assert!(!r.matches(&[l("book")], &alphabet));
+    }
+
+    #[test]
+    fn epsilon_forms() {
+        let (mut labels, alphabet) = setup();
+        let r = Regex::parse("()", &mut labels).unwrap();
+        assert_eq!(r, Regex::Epsilon);
+        assert!(r.matches(&[], &alphabet));
+        let l = labels.get("book").unwrap();
+        assert!(!r.matches(&[l], &alphabet));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut labels = LabelInterner::new();
+        assert!(Regex::parse("(a", &mut labels).is_err());
+        assert!(Regex::parse("a)", &mut labels).is_err());
+        assert!(Regex::parse("*", &mut labels).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let (mut labels, alphabet) = setup();
+        for text in ["book.(ref)*.author", "(book|person)", "ref+", "_.book?"] {
+            let r = Regex::parse(text, &mut labels).unwrap();
+            let rendered = r.display(&labels).to_string();
+            let reparsed = Regex::parse(&rendered, &mut labels).unwrap();
+            // Equivalent as languages (structures may differ after sugar).
+            for len in 0..=3 {
+                for word in all_words(&alphabet, len) {
+                    assert_eq!(
+                        r.matches(&word, &alphabet),
+                        reparsed.matches(&word, &alphabet),
+                        "mismatch for {text} on {word:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn all_words(alphabet: &[Label], len: usize) -> Vec<Vec<Label>> {
+        if len == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for w in all_words(alphabet, len - 1) {
+            for &l in alphabet {
+                let mut w2 = w.clone();
+                w2.push(l);
+                out.push(w2);
+            }
+        }
+        out
+    }
+}

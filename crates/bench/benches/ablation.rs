@@ -1,0 +1,139 @@
+//! Ablations for the design choices called out in `DESIGN.md`:
+//!
+//! 1. `post*` saturation vs naive bounded BFS for word constraints — why
+//!    the automaton is the production decision procedure;
+//! 2. the dedicated word engine vs the generic chase on word-constraint
+//!    instances — why fragment dispatch matters;
+//! 3. the `M` congruence engine vs the chase on `M`-expressible
+//!    instances — why the typed decision procedure beats the generic
+//!    semi-decider even when the chase happens to terminate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcons_bench::{gen_m_instance, gen_word_instance};
+use pathcons_core::{chase_implication, m_implies, Budget, WordEngine};
+
+fn ablation_poststar_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/word_engine");
+    for &n in &[8usize, 16, 32] {
+        let instances: Vec<_> = (0..4).map(|s| gen_word_instance(n, 3, 5, s)).collect();
+        group.bench_with_input(BenchmarkId::new("post_star", n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let engine = WordEngine::new(&inst.sigma).unwrap();
+                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_bfs", n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        pathcons_core::word_implication_naive(&inst.sigma, &inst.phi, 10, 20_000)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_worklist_vs_rounds(c: &mut Criterion) {
+    // The saturation itself: incremental worklist vs full-rescan rounds.
+    use pathcons_automata::PrefixRewriteSystem;
+    let mut group = c.benchmark_group("ablation/saturation");
+    for &n in &[16usize, 32, 64, 128] {
+        let instances: Vec<_> = (0..4).map(|s| gen_word_instance(n, 4, 6, 900 + s)).collect();
+        let systems: Vec<(PrefixRewriteSystem, Vec<_>)> = instances
+            .iter()
+            .map(|inst| {
+                let mut sys = PrefixRewriteSystem::new();
+                for c in &inst.sigma {
+                    sys.add_rule(c.lhs().to_vec(), c.rhs().to_vec());
+                }
+                (sys, inst.phi.lhs().to_vec())
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("worklist", n), &systems, |b, systems| {
+            b.iter(|| {
+                for (sys, start) in systems {
+                    std::hint::black_box(sys.post_star(start));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rounds", n), &systems, |b, systems| {
+            b.iter(|| {
+                for (sys, start) in systems {
+                    std::hint::black_box(sys.post_star_rounds(start));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_word_engine_vs_chase(c: &mut Criterion) {
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("ablation/dispatch");
+    for &n in &[4usize, 8, 16] {
+        let instances: Vec<_> = (0..4).map(|s| gen_word_instance(n, 3, 4, 700 + s)).collect();
+        group.bench_with_input(BenchmarkId::new("word_engine", n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let engine = WordEngine::new(&inst.sigma).unwrap();
+                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chase", n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &budget));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_m_engine_vs_chase(c: &mut Criterion) {
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("ablation/m_engine");
+    for &n in &[8usize, 16, 32] {
+        let instances: Vec<_> = (0..4).map(|s| gen_m_instance(4, n, 4, 800 + s)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("congruence_closure", n),
+            &instances,
+            |b, insts| {
+                b.iter(|| {
+                    for inst in insts {
+                        std::hint::black_box(
+                            m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
+                                .unwrap(),
+                        );
+                    }
+                })
+            },
+        );
+        // The chase answers the *untyped* question on the same input —
+        // a different (weaker) theory, but the relevant baseline for
+        // someone without the typed engine.
+        group.bench_with_input(BenchmarkId::new("untyped_chase", n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &budget));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_poststar_vs_naive,
+    ablation_worklist_vs_rounds,
+    ablation_word_engine_vs_chase,
+    ablation_m_engine_vs_chase
+);
+criterion_main!(benches);

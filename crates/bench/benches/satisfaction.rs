@@ -1,0 +1,44 @@
+//! Figure 1 at scale: constraint *checking* cost on realistic
+//! bibliography documents — the workload the paper's introduction
+//! motivates (integrity constraints on XML data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathcons_bench::gen_bibliography;
+use pathcons_constraints::all_hold;
+
+fn bench_satisfaction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/satisfaction");
+    for &books in &[10usize, 100, 1_000, 10_000] {
+        let bib = gen_bibliography(books, books / 2 + 1, 42);
+        group.throughput(Throughput::Elements(bib.graph.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(books), &bib, |b, bib| {
+            b.iter(|| std::hint::black_box(all_hold(&bib.graph, &bib.constraints)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_vs_optimized_checker(c: &mut Criterion) {
+    // The naive FO transliteration is the spec; the production checker
+    // short-circuits. Quantify the gap on a mid-size document.
+    let bib = gen_bibliography(200, 80, 7);
+    let mut group = c.benchmark_group("figure1/checker");
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            for c in &bib.constraints {
+                std::hint::black_box(pathcons_constraints::holds(&bib.graph, c));
+            }
+        })
+    });
+    group.bench_function("naive_fo", |b| {
+        b.iter(|| {
+            for c in &bib.constraints {
+                std::hint::black_box(pathcons_constraints::holds_naive(&bib.graph, c));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_satisfaction_scaling, bench_naive_vs_optimized_checker);
+criterion_main!(benches);

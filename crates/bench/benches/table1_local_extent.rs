@@ -1,0 +1,53 @@
+//! Table 1, row "semistructured" / column "local extent constraints":
+//! decidable in PTIME (Theorem 5.1). Sweeps the number of local (Σ_K) and
+//! foreign (Σ_r) constraints — Σ_r is discarded by the reduction, so it
+//! must be nearly free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathcons_bench::gen_local_extent_instance;
+use pathcons_core::local_extent_implies;
+
+fn bench_bounded_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/local_extent/bounded");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let instances: Vec<_> = (0..8)
+            .map(|s| gen_local_extent_instance(n, 8, 4, 6, s))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        local_extent_implies(&inst.sigma, &inst.phi).unwrap().outcome,
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_foreign_count(c: &mut Criterion) {
+    // Lemma 5.3: Σ_r does not interact — growing it should cost only the
+    // linear classification pass.
+    let mut group = c.benchmark_group("table1/local_extent/foreign");
+    for &n in &[8usize, 32, 128, 512] {
+        let instances: Vec<_> = (0..8)
+            .map(|s| gen_local_extent_instance(16, n, 4, 6, 300 + s))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        local_extent_implies(&inst.sigma, &inst.phi).unwrap().outcome,
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_count, bench_foreign_count);
+criterion_main!(benches);

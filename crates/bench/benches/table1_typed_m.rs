@@ -1,0 +1,98 @@
+//! Table 1, row "object-oriented model M": all three implication problems
+//! are decidable in cubic time (Theorem 4.2) via congruence closure, with
+//! `I_r` proofs (Theorem 4.9). Sweeps constraint count, path length and
+//! schema size, and measures proof emission + checking separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathcons_bench::gen_m_instance;
+use pathcons_core::{m_implies, Evidence, Outcome};
+
+fn bench_constraint_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/typed_m/constraints");
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let instances: Vec<_> = (0..8).map(|s| gen_m_instance(6, n, 5, s)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/typed_m/path_length");
+    for &len in &[3usize, 4, 5, 6, 7] {
+        let instances: Vec<_> = (0..8).map(|s| gen_m_instance(6, 32, len, 400 + s)).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schema_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/typed_m/classes");
+    for &k in &[2usize, 4, 8, 16, 32] {
+        let instances: Vec<_> = (0..8).map(|s| gen_m_instance(k, 32, 5, 500 + s)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    std::hint::black_box(
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_proof_checking(c: &mut Criterion) {
+    // Theorem 4.9's "finitely axiomatizable" has a cost: producing and
+    // re-checking I_r derivations. Measure the checker on real proofs.
+    let mut proofs = Vec::new();
+    for s in 0..64 {
+        let inst = gen_m_instance(6, 64, 5, 600 + s);
+        if let Outcome::Implied(Evidence::IrProof(proof)) =
+            m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap()
+        {
+            proofs.push((inst.sigma, *proof));
+        }
+    }
+    assert!(!proofs.is_empty(), "need implied instances to bench proofs");
+    let mut group = c.benchmark_group("table1/typed_m/proof_check");
+    group.throughput(Throughput::Elements(proofs.len() as u64));
+    group.bench_function("check_all", |b| {
+        b.iter(|| {
+            for (sigma, proof) in &proofs {
+                proof.check(sigma).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_constraint_count,
+    bench_path_length,
+    bench_schema_size,
+    bench_proof_checking
+);
+criterion_main!(benches);

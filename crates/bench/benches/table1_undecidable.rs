@@ -1,0 +1,127 @@
+//! Table 1, the undecidable cells: `P_w(K)` over semistructured data
+//! (Theorem 4.3) and local extent constraints over `M⁺` (Theorem 5.2).
+//! What can be measured is the cost of the executable reductions and of
+//! the semi-deciders on the encoded corpus: encoding time, Figure 2 /
+//! Figure 4 construction time, chase proving time, and finite-witness
+//! search time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcons_bench::monoid_corpus;
+use pathcons_core::reductions::typed::TypedEncoding;
+use pathcons_core::reductions::untyped::UntypedEncoding;
+use pathcons_core::{chase_implication, Budget};
+use pathcons_monoid::{find_separating_witness, FiniteMonoid, Homomorphism, Presentation};
+
+fn bench_encoding(c: &mut Criterion) {
+    let corpus = monoid_corpus();
+    let mut group = c.benchmark_group("table1/undecidable/encode");
+    group.bench_function("untyped_4_1_2", |b| {
+        b.iter(|| {
+            for case in &corpus {
+                std::hint::black_box(UntypedEncoding::new(&case.presentation));
+            }
+        })
+    });
+    group.bench_function("typed_5_2", |b| {
+        let renamed: Vec<Presentation> = corpus
+            .iter()
+            .map(|case| {
+                let mut p = Presentation::free(
+                    (0..case.presentation.generator_count())
+                        .map(|i| format!("g{i}"))
+                        .collect::<Vec<_>>(),
+                );
+                for eq in case.presentation.equations() {
+                    p.add_equation(eq.lhs.clone(), eq.rhs.clone());
+                }
+                p
+            })
+            .collect();
+        b.iter(|| {
+            for p in &renamed {
+                std::hint::black_box(TypedEncoding::new(p));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_chase_on_encoded(c: &mut Criterion) {
+    // The positive semi-decider on implied encoded queries.
+    let corpus = monoid_corpus();
+    let mut work = Vec::new();
+    for case in &corpus {
+        let enc = UntypedEncoding::new(&case.presentation);
+        for tc in &case.cases {
+            if tc.equal {
+                work.push((enc.sigma.clone(), enc.queries(&tc.alpha, &tc.beta)));
+            }
+        }
+    }
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("table1/undecidable/chase");
+    group.bench_function("implied_corpus", |b| {
+        b.iter(|| {
+            for (sigma, (phi_ab, phi_ba)) in &work {
+                std::hint::black_box(chase_implication(sigma, phi_ab, &budget));
+                std::hint::black_box(chase_implication(sigma, phi_ba, &budget));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure_constructions(c: &mut Criterion) {
+    // Figure 2 / Figure 4 scale with the monoid order: build from Z_k.
+    let mut p = Presentation::free(["g1", "g2"]);
+    p.add_equation(vec![0, 1], vec![1, 0]);
+    let untyped = UntypedEncoding::new(&p);
+    let typed = TypedEncoding::new(&p);
+
+    let mut group = c.benchmark_group("table1/undecidable/figures");
+    for &k in &[4usize, 16, 64, 256] {
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(k),
+            images: vec![1, (k as u32) - 1],
+        };
+        group.bench_with_input(BenchmarkId::new("figure2", k), &hom, |b, hom| {
+            b.iter(|| std::hint::black_box(untyped.figure2_structure(hom)))
+        });
+        group.bench_with_input(BenchmarkId::new("figure4", k), &hom, |b, hom| {
+            b.iter(|| std::hint::black_box(typed.figure4_structure(hom)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_search(c: &mut Criterion) {
+    // The negative semi-decider: transformation-monoid search.
+    let corpus = monoid_corpus();
+    let mut group = c.benchmark_group("table1/undecidable/witness_search");
+    group.bench_function("corpus_refutables", |b| {
+        b.iter(|| {
+            for case in &corpus {
+                for tc in &case.cases {
+                    if !tc.finitely_equal {
+                        std::hint::black_box(find_separating_witness(
+                            &case.presentation,
+                            &tc.alpha,
+                            &tc.beta,
+                            3,
+                        ));
+                    }
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encoding,
+    bench_chase_on_encoded,
+    bench_figure_constructions,
+    bench_witness_search
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 1, column `P_w(…)` / row "semistructured": word-constraint
+//! implication is decidable in PTIME ([4], the baseline all other cells
+//! are contrasted with). Sweeps the constraint count and the path length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathcons_bench::gen_word_instance;
+use pathcons_core::WordEngine;
+
+fn bench_constraint_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/word/constraints");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let instances: Vec<_> = (0..8).map(|s| gen_word_instance(n, 4, 6, s)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let engine = WordEngine::new(&inst.sigma).unwrap();
+                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/word/path_length");
+    for &len in &[2usize, 4, 8, 16, 32] {
+        let instances: Vec<_> = (0..8)
+            .map(|s| gen_word_instance(16, 4, len, 100 + s))
+            .collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let engine = WordEngine::new(&inst.sigma).unwrap();
+                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alphabet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/word/alphabet");
+    for &k in &[2usize, 4, 8, 16] {
+        let instances: Vec<_> = (0..8)
+            .map(|s| gen_word_instance(16, k, 6, 200 + s))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &instances, |b, insts| {
+            b.iter(|| {
+                for inst in insts {
+                    let engine = WordEngine::new(&inst.sigma).unwrap();
+                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_constraint_count,
+    bench_path_length,
+    bench_alphabet
+);
+criterion_main!(benches);

@@ -1,0 +1,563 @@
+//! Workload generators and measurement helpers shared by the Criterion
+//! benches and the `repro` binary that regenerates the paper's Table 1
+//! and Figures 1–4 (see `DESIGN.md` and `EXPERIMENTS.md` at the workspace
+//! root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pathcons_constraints::{Path, PathConstraint};
+use pathcons_graph::{Label, LabelInterner};
+use pathcons_monoid::Presentation;
+use pathcons_types::{Schema, SchemaBuilder, TypeExpr, TypeGraph, TypeNodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A generated word-constraint implication instance.
+#[derive(Clone, Debug)]
+pub struct WordInstance {
+    /// The labels used.
+    pub labels: LabelInterner,
+    /// Σ: word constraints.
+    pub sigma: Vec<PathConstraint>,
+    /// φ: a word constraint query.
+    pub phi: PathConstraint,
+}
+
+/// Generates a random word-constraint instance: `constraints` rules over
+/// `alphabet` labels with paths of length up to `max_len`, and a query
+/// built by chaining a few rules (so a healthy fraction of queries are
+/// implied).
+pub fn gen_word_instance(
+    constraints: usize,
+    alphabet: usize,
+    max_len: usize,
+    seed: u64,
+) -> WordInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels =
+        LabelInterner::with_labels((0..alphabet).map(|i| format!("l{i}")).collect::<Vec<_>>());
+    let alpha: Vec<Label> = labels.labels().collect();
+    let word = |rng: &mut StdRng, min: usize| -> Path {
+        let len = rng.gen_range(min..=max_len.max(min));
+        Path::from_labels((0..len).map(|_| alpha[rng.gen_range(0..alpha.len())]))
+    };
+    let sigma: Vec<PathConstraint> = (0..constraints)
+        .map(|_| PathConstraint::word(word(&mut rng, 1), word(&mut rng, 0)))
+        .collect();
+    // Query: start from a random Σ lhs extended by a suffix; the rhs is a
+    // random word — sometimes implied, sometimes not.
+    let phi = if sigma.is_empty() || rng.gen_bool(0.5) {
+        PathConstraint::word(word(&mut rng, 1), word(&mut rng, 0))
+    } else {
+        let base = &sigma[rng.gen_range(0..sigma.len())];
+        let suffix = word(&mut rng, 0);
+        PathConstraint::word(base.lhs().concat(&suffix), base.rhs().concat(&suffix))
+    };
+    WordInstance { labels, sigma, phi }
+}
+
+/// A generated local-extent implication instance (Definition 2.4 shape).
+#[derive(Clone, Debug)]
+pub struct LocalExtentInstance {
+    /// The labels used.
+    pub labels: LabelInterner,
+    /// Σ with prefix bounded by `(π, K)`.
+    pub sigma: Vec<PathConstraint>,
+    /// A query bounded by `(π, K)`.
+    pub phi: PathConstraint,
+}
+
+/// Generates a local-extent instance: `bounded` constraints on the local
+/// database plus `others` constraints on sibling databases.
+pub fn gen_local_extent_instance(
+    bounded: usize,
+    others: usize,
+    alphabet: usize,
+    max_len: usize,
+    seed: u64,
+) -> LocalExtentInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut names: Vec<String> = (0..alphabet).map(|i| format!("l{i}")).collect();
+    names.push("K".to_owned());
+    names.push("W".to_owned());
+    names.push("pi".to_owned());
+    let labels = LabelInterner::with_labels(&names);
+    let alpha: Vec<Label> = labels.labels().take(alphabet).collect();
+    let k = labels.get("K").unwrap();
+    let w = labels.get("W").unwrap();
+    let pi = Path::single(labels.get("pi").unwrap());
+    let pi_k = pi.push(k);
+
+    let word = |rng: &mut StdRng, min: usize| -> Path {
+        let len = rng.gen_range(min..=max_len.max(min));
+        Path::from_labels((0..len).map(|_| alpha[rng.gen_range(0..alpha.len())]))
+    };
+
+    let mut sigma = Vec::new();
+    for _ in 0..bounded {
+        sigma.push(PathConstraint::forward(
+            pi_k.clone(),
+            word(&mut rng, 1),
+            word(&mut rng, 0),
+        ));
+    }
+    for i in 0..others {
+        // Constraints on a sibling database W (prefix π·W·…).
+        let prefix = pi.push(w);
+        if i % 2 == 0 {
+            sigma.push(PathConstraint::forward(
+                prefix,
+                word(&mut rng, 1),
+                word(&mut rng, 0),
+            ));
+        } else {
+            sigma.push(PathConstraint::backward(
+                prefix,
+                word(&mut rng, 1),
+                word(&mut rng, 0),
+            ));
+        }
+    }
+    let phi = PathConstraint::forward(pi_k, word(&mut rng, 1), word(&mut rng, 0));
+    LocalExtentInstance { labels, sigma, phi }
+}
+
+/// A generated `M`-schema implication instance.
+#[derive(Clone, Debug)]
+pub struct MInstance {
+    /// The labels used.
+    pub labels: LabelInterner,
+    /// The schema (model `M`).
+    pub schema: Schema,
+    /// Its type graph.
+    pub type_graph: TypeGraph,
+    /// Σ: `P_c` constraints over `Paths(σ)`.
+    pub sigma: Vec<PathConstraint>,
+    /// The query.
+    pub phi: PathConstraint,
+}
+
+/// Builds a recursive `M` schema with `classes` classes: class `C_i` has
+/// fields `f: C_{i+1 mod n}`, `g: C_{(i*7+3) mod n}` and `v: string`, and
+/// `DBtype = [c0: C_0, …]` with `entries` entry fields.
+pub fn gen_m_schema(classes: usize, labels: &mut LabelInterner) -> Schema {
+    assert!(classes >= 1);
+    let mut builder = SchemaBuilder::new();
+    let string = builder.atom("string");
+    let ids: Vec<_> = (0..classes)
+        .map(|i| builder.declare_class(&format!("C{i}")))
+        .collect();
+    let f = labels.intern("f");
+    let g = labels.intern("g");
+    let v = labels.intern("v");
+    for (i, &class) in ids.iter().enumerate() {
+        builder.define_class(
+            class,
+            TypeExpr::Record(vec![
+                (f, TypeExpr::Class(ids[(i + 1) % classes])),
+                (g, TypeExpr::Class(ids[(i * 7 + 3) % classes])),
+                (v, TypeExpr::Atom(string)),
+            ]),
+        );
+    }
+    let entry = labels.intern("c0");
+    builder
+        .finish(TypeExpr::Record(vec![(entry, TypeExpr::Class(ids[0]))]))
+        .expect("generated schema is well-formed")
+}
+
+/// Generates an `M` instance: `constraints` equations between same-type
+/// paths of length up to `max_len` plus a same-type query.
+pub fn gen_m_instance(classes: usize, constraints: usize, max_len: usize, seed: u64) -> MInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = LabelInterner::new();
+    let schema = gen_m_schema(classes, &mut labels);
+    let type_graph = TypeGraph::build(&schema, &mut labels);
+
+    // Enumerate paths up to max_len, bucketed by type.
+    let dfa = type_graph.to_dfa();
+    let words = dfa.readable_up_to(max_len);
+    let mut buckets: std::collections::HashMap<TypeNodeId, Vec<Path>> =
+        std::collections::HashMap::new();
+    for w in words {
+        let t = type_graph.type_of_path(&w).expect("readable");
+        buckets.entry(t).or_default().push(Path::from_labels(w));
+    }
+    let rich: Vec<&Vec<Path>> = buckets.values().filter(|v| v.len() >= 2).collect();
+    assert!(!rich.is_empty(), "schema must admit same-type path pairs");
+
+    let pair = |rng: &mut StdRng| -> (Path, Path) {
+        let bucket = rich[rng.gen_range(0..rich.len())];
+        let x = bucket[rng.gen_range(0..bucket.len())].clone();
+        let y = bucket[rng.gen_range(0..bucket.len())].clone();
+        (x, y)
+    };
+
+    let sigma: Vec<PathConstraint> = (0..constraints)
+        .map(|_| {
+            let (x, y) = pair(&mut rng);
+            PathConstraint::word(x, y)
+        })
+        .collect();
+    let (x, y) = pair(&mut rng);
+    let phi = PathConstraint::word(x, y);
+    MInstance {
+        labels,
+        schema,
+        type_graph,
+        sigma,
+        phi,
+    }
+}
+
+/// One monoid word-problem test pair with hand-verified ground truth for
+/// *both* problems (they can differ: in the bicyclic monoid `qp ≢ ε`, yet
+/// every finite quotient makes `p` invertible and hence `qp = ε`, so
+/// `Δ ⊨_f (qp, ε)` while `Δ ⊭ (qp, ε)`).
+#[derive(Clone, Debug)]
+pub struct MonoidTestCase {
+    /// Left word.
+    pub alpha: Vec<u32>,
+    /// Right word.
+    pub beta: Vec<u32>,
+    /// Ground truth for the unrestricted problem `Δ ⊨ (α, β)`.
+    pub equal: bool,
+    /// Ground truth for the finite problem `Δ ⊨_f (α, β)`.
+    pub finitely_equal: bool,
+}
+
+impl MonoidTestCase {
+    fn uniform(alpha: Vec<u32>, beta: Vec<u32>, equal: bool) -> MonoidTestCase {
+        MonoidTestCase {
+            alpha,
+            beta,
+            equal,
+            finitely_equal: equal,
+        }
+    }
+}
+
+/// A monoid word-problem case with its known answers, used to check
+/// reduction faithfulness.
+#[derive(Clone, Debug)]
+pub struct MonoidCase {
+    /// Readable description.
+    pub name: &'static str,
+    /// The presentation.
+    pub presentation: Presentation,
+    /// Test pairs with known ground truth.
+    pub cases: Vec<MonoidTestCase>,
+}
+
+/// A corpus of presentations with decidable-in-practice word problems and
+/// hand-verified answers — the instances on which Lemmas 4.5 / 5.4 are
+/// machine-checked.
+pub fn monoid_corpus() -> Vec<MonoidCase> {
+    let mut corpus = Vec::new();
+    let c = MonoidTestCase::uniform;
+
+    let free = Presentation::free(["x", "y"]);
+    corpus.push(MonoidCase {
+        name: "free⟨x,y⟩",
+        presentation: free,
+        cases: vec![
+            c(vec![0, 1], vec![0, 1], true),
+            c(vec![0, 1], vec![1, 0], false),
+            c(vec![0], vec![0, 0], false),
+        ],
+    });
+
+    let mut comm = Presentation::free(["x", "y"]);
+    comm.add_equation(vec![0, 1], vec![1, 0]);
+    corpus.push(MonoidCase {
+        name: "⟨x,y | xy=yx⟩",
+        presentation: comm,
+        cases: vec![
+            c(vec![0, 1], vec![1, 0], true),
+            c(vec![0, 1, 0], vec![0, 0, 1], true),
+            c(vec![0, 1], vec![0, 0, 1], false),
+        ],
+    });
+
+    let mut z3 = Presentation::free(["x"]);
+    z3.add_equation(vec![0, 0, 0], vec![]);
+    corpus.push(MonoidCase {
+        name: "Z3 = ⟨x | x³=ε⟩",
+        presentation: z3,
+        cases: vec![
+            c(vec![0, 0, 0, 0], vec![0], true),
+            c(vec![0, 0], vec![0], false),
+            c(vec![0; 6], vec![], true),
+        ],
+    });
+
+    let mut idem = Presentation::free(["x", "y"]);
+    idem.add_equation(vec![0, 0], vec![0]);
+    idem.add_equation(vec![1, 1], vec![1]);
+    corpus.push(MonoidCase {
+        name: "⟨x,y | x²=x, y²=y⟩",
+        presentation: idem,
+        cases: vec![
+            c(vec![0, 0, 1], vec![0, 1], true),
+            c(vec![0, 1, 1, 0], vec![0, 1, 0], true),
+            c(vec![0, 1], vec![1, 0], false),
+        ],
+    });
+
+    let mut bicyclic = Presentation::free(["p", "q"]);
+    bicyclic.add_equation(vec![0, 1], vec![]);
+    corpus.push(MonoidCase {
+        name: "bicyclic ⟨p,q | pq=ε⟩",
+        presentation: bicyclic,
+        cases: vec![
+            c(vec![0, 0, 1, 1], vec![], true),
+            // qp ≢ ε, but qp = ε in every *finite* quotient: the case
+            // that separates implication from finite implication.
+            MonoidTestCase {
+                alpha: vec![1, 0],
+                beta: vec![],
+                equal: false,
+                finitely_equal: true,
+            },
+            c(vec![0, 1, 0], vec![0], true),
+        ],
+    });
+
+    corpus
+}
+
+/// A scaled-up Figure 1: a random bibliography graph whose construction
+/// preserves the Section 1 constraints (extent, inverse, ref-closure) by
+/// design — the realistic satisfaction/checking workload.
+#[derive(Clone, Debug)]
+pub struct Bibliography {
+    /// The labels used (book, person, author, wrote, ref, title, name).
+    pub labels: LabelInterner,
+    /// The document graph.
+    pub graph: pathcons_graph::Graph,
+    /// The Section 1 constraints, all of which hold by construction.
+    pub constraints: Vec<PathConstraint>,
+}
+
+/// Generates a bibliography with `books` books and `persons` persons;
+/// every book gets 1–3 authors with matching inverse `wrote` edges, and
+/// ~30% of books reference another book.
+pub fn gen_bibliography(books: usize, persons: usize, seed: u64) -> Bibliography {
+    assert!(books >= 1 && persons >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = LabelInterner::new();
+    let book_l = labels.intern("book");
+    let person_l = labels.intern("person");
+    let author_l = labels.intern("author");
+    let wrote_l = labels.intern("wrote");
+    let ref_l = labels.intern("ref");
+    let title_l = labels.intern("title");
+    let name_l = labels.intern("name");
+
+    let mut graph = pathcons_graph::Graph::new();
+    let root = graph.root();
+    let book_nodes: Vec<_> = (0..books)
+        .map(|_| {
+            let b = graph.add_node();
+            graph.add_edge(root, book_l, b);
+            let t = graph.add_node();
+            graph.add_edge(b, title_l, t);
+            b
+        })
+        .collect();
+    let person_nodes: Vec<_> = (0..persons)
+        .map(|_| {
+            let p = graph.add_node();
+            graph.add_edge(root, person_l, p);
+            let n = graph.add_node();
+            graph.add_edge(p, name_l, n);
+            p
+        })
+        .collect();
+    for &b in &book_nodes {
+        let n_authors = rng.gen_range(1..=3.min(persons));
+        for _ in 0..n_authors {
+            let p = person_nodes[rng.gen_range(0..persons)];
+            graph.add_edge(b, author_l, p);
+            graph.add_edge(p, wrote_l, b); // inverse by construction
+        }
+        if books > 1 && rng.gen_bool(0.3) {
+            let other = book_nodes[rng.gen_range(0..books)];
+            graph.add_edge(b, ref_l, other);
+        }
+    }
+
+    let constraints = pathcons_constraints::parse_constraints(
+        "book.author -> person\n\
+         person.wrote -> book\n\
+         book.ref -> book\n\
+         book: author <- wrote\n\
+         person: wrote <- author",
+        &mut labels,
+    )
+    .expect("fixed constraint text");
+    Bibliography {
+        labels,
+        graph,
+        constraints,
+    }
+}
+
+/// Milliseconds elapsed running `f` once.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median wall time in milliseconds over `reps` runs.
+pub fn median_time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| time_ms(&mut f).1).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// polynomial degree of a scaling series.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-9).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_core::WordEngine;
+    use pathcons_types::Model;
+
+    #[test]
+    fn word_instances_are_well_formed() {
+        for seed in 0..10 {
+            let inst = gen_word_instance(8, 3, 4, seed);
+            assert!(inst.sigma.iter().all(|c| c.is_word()));
+            assert!(inst.phi.is_word());
+            // They feed the engine without errors.
+            let engine = WordEngine::new(&inst.sigma).unwrap();
+            let _ = engine.implies(&inst.phi).unwrap();
+        }
+    }
+
+    #[test]
+    fn chained_queries_are_often_implied() {
+        let mut implied = 0;
+        for seed in 0..40 {
+            let inst = gen_word_instance(8, 3, 4, seed);
+            let engine = WordEngine::new(&inst.sigma).unwrap();
+            if engine.implies(&inst.phi).unwrap() {
+                implied += 1;
+            }
+        }
+        assert!(implied >= 10, "only {implied}/40 implied — generator drifted");
+    }
+
+    #[test]
+    fn local_extent_instances_are_valid_families() {
+        for seed in 0..10 {
+            let inst = gen_local_extent_instance(5, 5, 3, 4, seed);
+            let answer =
+                pathcons_core::local_extent_implies(&inst.sigma, &inst.phi).unwrap();
+            assert!(!answer.outcome.is_unknown());
+        }
+    }
+
+    #[test]
+    fn m_instances_are_valid() {
+        for seed in 0..5 {
+            let inst = gen_m_instance(4, 6, 4, seed);
+            assert_eq!(inst.schema.model(), Model::M);
+            let outcome = pathcons_core::m_implies(
+                &inst.schema,
+                &inst.type_graph,
+                &inst.sigma,
+                &inst.phi,
+            )
+            .unwrap();
+            assert!(!outcome.is_unknown());
+        }
+    }
+
+    #[test]
+    fn corpus_answers_match_knuth_bendix() {
+        use pathcons_monoid::{
+            decide_finite_word_problem, decide_word_problem, WordProblemAnswer,
+            WordProblemBudget,
+        };
+        let budget = WordProblemBudget::default();
+        for case in monoid_corpus() {
+            for tc in &case.cases {
+                match decide_word_problem(&case.presentation, &tc.alpha, &tc.beta, &budget) {
+                    WordProblemAnswer::Equal(_) => {
+                        assert!(tc.equal, "{}: expected not-equal", case.name)
+                    }
+                    WordProblemAnswer::NotEqual(_) => {
+                        assert!(!tc.equal, "{}: expected equal", case.name)
+                    }
+                    WordProblemAnswer::Unknown => {
+                        panic!("{}: oracle inconclusive on corpus case", case.name)
+                    }
+                }
+                // The finite-problem oracle must never contradict the
+                // ground truth (it may be inconclusive, e.g. bicyclic
+                // qp ≟ ε where no finite witness exists and equality is
+                // not congruence-provable).
+                match decide_finite_word_problem(
+                    &case.presentation,
+                    &tc.alpha,
+                    &tc.beta,
+                    &budget,
+                ) {
+                    WordProblemAnswer::Equal(_) => {
+                        assert!(tc.finitely_equal, "{}: unsound finite-equal", case.name)
+                    }
+                    WordProblemAnswer::NotEqual(_) => {
+                        assert!(!tc.finitely_equal, "{}: unsound finite-not-equal", case.name)
+                    }
+                    WordProblemAnswer::Unknown => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slope_of_cubic_series_is_three() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i as f64).powi(3))).collect();
+        let slope = log_log_slope(&pts);
+        assert!((slope - 3.0).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod bibliography_tests {
+    use super::*;
+    use pathcons_constraints::all_hold;
+
+    #[test]
+    fn generated_bibliographies_satisfy_their_constraints() {
+        for seed in 0..10 {
+            let bib = gen_bibliography(20, 8, seed);
+            assert!(all_hold(&bib.graph, &bib.constraints), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bibliography_scales_linearly_in_inputs() {
+        let small = gen_bibliography(10, 5, 1);
+        let large = gen_bibliography(100, 50, 1);
+        assert!(large.graph.node_count() > small.graph.node_count() * 5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Tiny `--key value` / `--flag` argument parser (no external crates).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: `--key value` pairs and bare `--flag`s.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; a `--key` followed by another `--…` or
+    /// by nothing is a flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected `--option`, found `{token}`"))?;
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    if args.values.insert(key.to_owned(), value.clone()).is_some() {
+                        return Err(format!("duplicate option `--{key}`"));
+                    }
+                    i += 2;
+                }
+                _ => {
+                    args.flags.push(key.to_owned());
+                    i += 1;
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required `--key value`.
+    pub fn required(&self, key: &str) -> Result<String, crate::CliError> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| crate::CliError::Usage(format!("missing required option `--{key}`")))
+    }
+
+    /// An optional `--key value`.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects unknown options.
+    pub fn finish(&self, known: &[&str]) -> Result<(), crate::CliError> {
+        for key in self.values.keys().chain(self.flags.iter()) {
+            if !known.contains(&key.as_str()) {
+                return Err(crate::CliError::Usage(format!("unknown option `--{key}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let args = Args::parse(&argv(&["--graph", "g.txt", "--finite", "--query", "a -> b"]))
+            .unwrap();
+        assert_eq!(args.optional("graph").as_deref(), Some("g.txt"));
+        assert_eq!(args.optional("query").as_deref(), Some("a -> b"));
+        assert!(args.flag("finite"));
+        assert!(!args.flag("graph"));
+    }
+
+    #[test]
+    fn rejects_positional_tokens() {
+        assert!(Args::parse(&argv(&["check"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Args::parse(&argv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let args = Args::parse(&argv(&["--finite"])).unwrap();
+        assert!(args.flag("finite"));
+    }
+
+    #[test]
+    fn finish_rejects_unknown() {
+        let args = Args::parse(&argv(&["--graph", "g", "--bogus", "x"])).unwrap();
+        assert!(args.finish(&["graph"]).is_err());
+        assert!(args.finish(&["graph", "bogus"]).is_ok());
+    }
+}

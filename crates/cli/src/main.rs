@@ -1,0 +1,471 @@
+//! `pathcons` — command-line path-constraint reasoning.
+//!
+//! ```text
+//! pathcons check    --graph G --constraints C        check G ⊨ Σ, list violations
+//! pathcons validate --doc D.xml --schema S           type-check an XML document
+//! pathcons implies  --constraints C --query Q        decide/semi-decide Σ ⊨ φ
+//!                   [--schema S --context m|mplus]
+//! pathcons dot      --graph G [--schema S]           render a graph as GraphViz DOT
+//! pathcons optimize --schema S --constraints C       rewrite a path query to the
+//!                   --query PATH                      shortest congruent path (model M)
+//! ```
+//!
+//! Graphs are read from the line format of `pathcons-graph` or, when the
+//! file ends in `.xml`, from XML via `pathcons-xml`. Constraint files use
+//! the compact text syntax (`book: author <- wrote`), or the XML syntax
+//! for `.xml` files. Schemas use the DDL of `pathcons-types`, or
+//! XML-Data syntax for `.xml` files.
+
+use pathcons_constraints::{holds, violations, parse_constraints, PathConstraint, RegularConstraint};
+use pathcons_core::{
+    DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver,
+};
+use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
+use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            write_stdout(&output);
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            write_stderr(&format!("{msg}\n\n{USAGE}\n"));
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(msg)) => {
+            write_stderr(&format!("error: {msg}\n"));
+            ExitCode::FAILURE
+        }
+        Err(CliError::CheckFailed(msg)) => {
+            write_stdout(&msg);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes ignoring broken pipes (`pathcons … | head` must not panic).
+fn write_stdout(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn write_stderr(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stderr().write_all(text.as_bytes());
+}
+
+const USAGE: &str = "\
+usage:
+  pathcons check    --graph FILE --constraints FILE
+  pathcons validate --doc FILE --schema FILE
+  pathcons implies  --constraints FILE --query CONSTRAINT
+                    [--schema FILE --context m|mplus] [--finite]
+  pathcons optimize --schema FILE --constraints FILE --query PATH
+  pathcons dot      --graph FILE";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; usage is printed.
+    Usage(String),
+    /// An operation failed (I/O, parse, solver error).
+    Failed(String),
+    /// The check ran and the answer is negative (exit code 1).
+    CheckFailed(String),
+}
+
+impl CliError {
+    fn failed(e: impl std::fmt::Display) -> CliError {
+        CliError::Failed(e.to_string())
+    }
+}
+
+/// Entry point, separated from `main` for testing.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    let args = Args::parse(rest).map_err(CliError::Usage)?;
+    match command.as_str() {
+        "check" => cmd_check(&args),
+        "validate" => cmd_validate(&args),
+        "implies" => cmd_implies(&args),
+        "dot" => cmd_dot(&args),
+        "optimize" => cmd_optimize(&args),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))
+}
+
+fn load_graph_file(path: &str, labels: &mut LabelInterner) -> Result<Graph, CliError> {
+    let content = read_file(path)?;
+    if path.ends_with(".xml") {
+        let doc = pathcons_xml::load_document(&content, labels).map_err(CliError::failed)?;
+        Ok(doc.graph)
+    } else {
+        parse_graph(&content, labels).map_err(CliError::failed)
+    }
+}
+
+fn load_constraints_file(
+    path: &str,
+    labels: &mut LabelInterner,
+) -> Result<Vec<PathConstraint>, CliError> {
+    let content = read_file(path)?;
+    if path.ends_with(".xml") {
+        pathcons_xml::load_constraints(&content, labels).map_err(CliError::failed)
+    } else {
+        parse_constraints(&content, labels).map_err(CliError::failed)
+    }
+}
+
+fn load_schema_file(path: &str, labels: &mut LabelInterner) -> Result<Schema, CliError> {
+    let content = read_file(path)?;
+    if path.ends_with(".xml") {
+        pathcons_xml::load_schema(&content, labels).map_err(CliError::failed)
+    } else {
+        parse_schema(&content, labels).map_err(CliError::failed)
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<String, CliError> {
+    let graph_path = args.required("graph")?;
+    let constraints_path = args.required("constraints")?;
+    args.finish(&["graph", "constraints"])?;
+
+    let mut labels = LabelInterner::new();
+    let graph = load_graph_file(&graph_path, &mut labels)?;
+
+    // Text constraint files may mix P_c constraints with regular
+    // inclusion constraints (`p <= q`); XML files carry P_c only.
+    let content = read_file(&constraints_path)?;
+    let mut path_constraints: Vec<PathConstraint> = Vec::new();
+    let mut regular: Vec<RegularConstraint> = Vec::new();
+    if constraints_path.ends_with(".xml") {
+        path_constraints =
+            pathcons_xml::load_constraints(&content, &mut labels).map_err(CliError::failed)?;
+    } else {
+        for (idx, raw) in content.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.contains("<=") {
+                regular.push(RegularConstraint::parse(line, &mut labels).map_err(|e| {
+                    CliError::Failed(format!("line {}: {e}", idx + 1))
+                })?);
+            } else {
+                path_constraints.push(PathConstraint::parse(line, &mut labels).map_err(
+                    |e| CliError::Failed(format!("line {}: {e}", idx + 1)),
+                )?);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for c in &path_constraints {
+        if holds(&graph, c) {
+            let _ = writeln!(out, "ok    {}", c.display(&labels));
+        } else {
+            failures += 1;
+            let vs = violations(&graph, c);
+            let _ = writeln!(
+                out,
+                "FAIL  {}   ({} violating pair{})",
+                c.display(&labels),
+                vs.len(),
+                if vs.len() == 1 { "" } else { "s" }
+            );
+            for (x, y) in vs.iter().take(5) {
+                let _ = writeln!(out, "      at x = {x:?}, y = {y:?}");
+            }
+        }
+    }
+    for c in &regular {
+        if c.holds(&graph) {
+            let _ = writeln!(out, "ok    {}", c.display(&labels));
+        } else {
+            failures += 1;
+            let vs = c.violations(&graph);
+            let _ = writeln!(
+                out,
+                "FAIL  {}   ({} violating vertex{})",
+                c.display(&labels),
+                vs.len(),
+                if vs.len() == 1 { "" } else { "es" }
+            );
+        }
+    }
+    let total = path_constraints.len() + regular.len();
+    let _ = writeln!(
+        out,
+        "{} constraint{} checked, {} failed",
+        total,
+        if total == 1 { "" } else { "s" },
+        failures
+    );
+    if failures == 0 {
+        Ok(out)
+    } else {
+        Err(CliError::CheckFailed(out))
+    }
+}
+
+fn cmd_validate(args: &Args) -> Result<String, CliError> {
+    let doc_path = args.required("doc")?;
+    let schema_path = args.required("schema")?;
+    args.finish(&["doc", "schema"])?;
+
+    let mut labels = LabelInterner::new();
+    let schema = load_schema_file(&schema_path, &mut labels)?;
+    let type_graph = TypeGraph::build(&schema, &mut labels);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schema: {} classes, model {:?}, DBtype = {}",
+        schema.class_count(),
+        schema.model(),
+        schema.render_type(schema.db_type(), &labels)
+    );
+
+    // XML documents get the schema-directed loader (it materializes the
+    // set vertices the schema demands); graph files are validated as-is
+    // via type inference.
+    if doc_path.ends_with(".xml") {
+        let content = read_file(&doc_path)?;
+        return match pathcons_xml::load_typed_document(&content, &type_graph, &mut labels) {
+            Ok(doc) => {
+                let _ = writeln!(
+                    out,
+                    "document conforms to Phi(sigma): {} vertices ({} identified elements)",
+                    doc.typed.graph.node_count(),
+                    doc.ids.len()
+                );
+                Ok(out)
+            }
+            Err(e) => {
+                let _ = writeln!(out, "schema-directed load failed: {e}");
+                Err(CliError::CheckFailed(out))
+            }
+        };
+    }
+
+    let graph = load_graph_file(&doc_path, &mut labels)?;
+    match infer_typing(&graph, &type_graph) {
+        Err(e) => {
+            let _ = writeln!(out, "type inference failed: {e}");
+            Err(CliError::CheckFailed(out))
+        }
+        Ok(typed) => {
+            let violations = typed.violations(&type_graph);
+            if violations.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "document conforms to Φ(σ): {} vertices typed",
+                    graph.node_count()
+                );
+                Ok(out)
+            } else {
+                for v in &violations {
+                    let _ = writeln!(out, "Φ(σ) violation: {}", v.describe(&labels));
+                }
+                let _ = writeln!(out, "{} violation(s)", violations.len());
+                Err(CliError::CheckFailed(out))
+            }
+        }
+    }
+}
+
+fn cmd_implies(args: &Args) -> Result<String, CliError> {
+    let constraints_path = args.required("constraints")?;
+    let query_text = args.required("query")?;
+    let schema_path = args.optional("schema");
+    let context_name = args.optional("context");
+    let finite = args.flag("finite");
+    args.finish(&["constraints", "query", "schema", "context", "finite"])?;
+
+    let mut labels = LabelInterner::new();
+    // The schema must intern labels first so `Paths(σ)` checks see them.
+    let schema = match &schema_path {
+        Some(p) => Some(load_schema_file(p, &mut labels)?),
+        None => None,
+    };
+    let sigma = load_constraints_file(&constraints_path, &mut labels)?;
+    let phi = PathConstraint::parse(&query_text, &mut labels).map_err(CliError::failed)?;
+
+    let context = match (schema, context_name.as_deref()) {
+        (None, None) | (None, Some("untyped")) => DataContext::Semistructured,
+        (None, Some(other)) => {
+            return Err(CliError::Usage(format!(
+                "--context {other} requires --schema"
+            )))
+        }
+        (Some(schema), ctx) => {
+            let mut l2 = labels.clone();
+            let tg = TypeGraph::build(&schema, &mut l2);
+            labels = l2;
+            let bundle = SchemaContext::new(schema, tg);
+            match ctx {
+                Some("m") => DataContext::M(bundle),
+                Some("mplus") | None => match bundle_model(&bundle) {
+                    Model::M => DataContext::M(bundle),
+                    Model::MPlus => DataContext::MPlus(bundle),
+                },
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown context `{other}`")))
+                }
+            }
+        }
+    };
+
+    let solver = Solver::new(context);
+    let answer = if finite {
+        solver.finitely_implies(&sigma, &phi)
+    } else {
+        solver.implies(&sigma, &phi)
+    }
+    .map_err(CliError::failed)?;
+
+    let mut out = String::new();
+    let problem = if finite { "Σ ⊨_f φ" } else { "Σ ⊨ φ" };
+    let _ = writeln!(out, "query: {}", phi.display(&labels));
+    let _ = writeln!(out, "method: {:?}", answer.method);
+    match &answer.outcome {
+        Outcome::Implied(evidence) => {
+            let _ = writeln!(out, "{problem}: YES");
+            // Re-check proof objects before reporting them as evidence.
+            if let Evidence::IrProof(proof) = evidence {
+                proof
+                    .check(&sigma)
+                    .map_err(|e| CliError::Failed(format!("proof check failed: {e}")))?;
+            }
+            let _ = writeln!(out, "evidence: {}", describe_evidence(evidence));
+            if let Evidence::IrProof(proof) = evidence {
+                let _ = writeln!(out, "derivation:");
+                for line in proof.render(&labels).lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            Ok(out)
+        }
+        Outcome::NotImplied(refutation) => {
+            let _ = writeln!(out, "{problem}: NO");
+            match refutation.basis {
+                RefutationBasis::DecisionProcedure => {
+                    let _ = writeln!(out, "refuted by: complete decision procedure");
+                }
+                RefutationBasis::CounterModelChecked => {
+                    let _ = writeln!(out, "refuted by: verified countermodel");
+                }
+            }
+            if let Some(cm) = &refutation.countermodel {
+                let _ = writeln!(
+                    out,
+                    "countermodel ({} vertices):",
+                    cm.graph.node_count()
+                );
+                let _ = write!(out, "{}", to_dot(&cm.graph, &labels, &DotOptions::default()));
+            }
+            Err(CliError::CheckFailed(out))
+        }
+        Outcome::Unknown(reason) => {
+            let _ = writeln!(out, "{problem}: UNKNOWN ({reason})");
+            let _ = writeln!(
+                out,
+                "(the queried fragment/context is undecidable; the semi-deciders ran out of budget)"
+            );
+            Err(CliError::CheckFailed(out))
+        }
+    }
+}
+
+fn bundle_model(bundle: &SchemaContext) -> Model {
+    bundle.schema.model()
+}
+
+fn describe_evidence(evidence: &Evidence) -> String {
+    match evidence {
+        Evidence::WordDerivation => {
+            "PTIME word-constraint procedure (β ∈ post*(α))".to_owned()
+        }
+        Evidence::LocalExtentReduction(inner) => format!(
+            "Theorem 5.1 reduction to word constraints; inner: {}",
+            describe_evidence(inner)
+        ),
+        Evidence::IrProof(proof) => format!(
+            "I_r derivation with {} rule applications (checked)",
+            proof.size()
+        ),
+        Evidence::VacuousOverSchema => {
+            "vacuous over U(σ): hypothesis path outside Paths(σ)".to_owned()
+        }
+        Evidence::InconsistentTheory { index } => {
+            format!("Σ is unsatisfiable over U(σ) (constraint #{index})")
+        }
+        Evidence::ChaseForced { steps } => {
+            format!("chase forced the conclusion after {steps} steps")
+        }
+        Evidence::UntypedImplication(inner) => format!(
+            "implication over all structures, transferred to U(σ); inner: {}",
+            describe_evidence(inner)
+        ),
+    }
+}
+
+fn cmd_dot(args: &Args) -> Result<String, CliError> {
+    let graph_path = args.required("graph")?;
+    args.finish(&["graph"])?;
+    let mut labels = LabelInterner::new();
+    let graph = load_graph_file(&graph_path, &mut labels)?;
+    Ok(to_dot(&graph, &labels, &DotOptions::default()))
+}
+
+fn cmd_optimize(args: &Args) -> Result<String, CliError> {
+    let schema_path = args.required("schema")?;
+    let constraints_path = args.required("constraints")?;
+    let query_text = args.required("query")?;
+    let fuel: usize = args
+        .optional("fuel")
+        .map(|f| f.parse().map_err(|_| CliError::Usage("--fuel must be a number".into())))
+        .transpose()?
+        .unwrap_or(10_000);
+    args.finish(&["schema", "constraints", "query", "fuel"])?;
+
+    let mut labels = LabelInterner::new();
+    let schema = load_schema_file(&schema_path, &mut labels)?;
+    let type_graph = TypeGraph::build(&schema, &mut labels);
+    let sigma = load_constraints_file(&constraints_path, &mut labels)?;
+    let query = pathcons_constraints::Path::parse(&query_text, &mut labels)
+        .map_err(CliError::failed)?;
+
+    let result = pathcons_core::optimize_path(&schema, &type_graph, &sigma, &query, fuel)
+        .map_err(CliError::failed)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "query:     {}", query.display(&labels));
+    let _ = writeln!(out, "optimized: {}", result.path.display(&labels));
+    let _ = writeln!(
+        out,
+        "explored {} congruent paths; rewrite certified by checked I_r proofs",
+        result.class_size_explored
+    );
+    if result.path.len() < query.len() {
+        let _ = writeln!(out, "derivation (query -> optimized):");
+        for line in result.forward_proof.render(&labels).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    Ok(out)
+}

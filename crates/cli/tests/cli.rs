@@ -1,0 +1,218 @@
+//! End-to-end tests driving the compiled `pathcons` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pathcons")
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().unwrap()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathcons-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const GRAPH: &str = "r -book-> b1\nr -person-> p1\nb1 -author-> p1\np1 -wrote-> b1\n";
+const CONSTRAINTS: &str = "book.author -> person\nperson.wrote -> book\nbook: author <- wrote\n";
+const SCHEMA: &str = "atoms string;\n\
+    class Person = [name: string, wrote: Book];\n\
+    class Book = [title: string, author: Person];\n\
+    db = [person: Person, book: Book];\n";
+
+#[test]
+fn check_passes_on_conforming_graph() {
+    let dir = tempdir("check");
+    let g = write(&dir, "g.txt", GRAPH);
+    let c = write(&dir, "c.txt", CONSTRAINTS);
+    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 constraints checked, 0 failed"));
+}
+
+#[test]
+fn check_fails_with_exit_1_and_violations() {
+    let dir = tempdir("check-fail");
+    let g = write(&dir, "g.txt", "r -book-> b1\nb1 -author-> p1\n");
+    let c = write(&dir, "c.txt", "book.author -> person\n");
+    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"));
+}
+
+#[test]
+fn implies_word_fragment() {
+    let dir = tempdir("implies");
+    let c = write(&dir, "c.txt", "a -> b\nb -> c\n");
+    let out = run(&["implies", "--constraints", c.to_str().unwrap(), "--query", "a -> c"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("YES"));
+    assert!(stdout.contains("WordAutomaton"));
+}
+
+#[test]
+fn implies_refutation_prints_countermodel() {
+    let dir = tempdir("implies-no");
+    let c = write(&dir, "c.txt", "a -> b\n");
+    let out = run(&["implies", "--constraints", c.to_str().unwrap(), "--query", "b -> a"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NO"));
+    assert!(stdout.contains("digraph"));
+}
+
+#[test]
+fn implies_typed_context_with_proof() {
+    let dir = tempdir("implies-m");
+    let c = write(&dir, "c.txt", "book: author <- wrote\n");
+    let s = write(&dir, "s.ddl", SCHEMA);
+    let out = run(&[
+        "implies",
+        "--constraints",
+        c.to_str().unwrap(),
+        "--query",
+        "book -> book.author.wrote",
+        "--schema",
+        s.to_str().unwrap(),
+        "--context",
+        "m",
+        "--finite",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("I_r derivation"));
+    assert!(stdout.contains("Σ ⊨_f φ: YES"));
+}
+
+#[test]
+fn validate_conforming_and_violating() {
+    let dir = tempdir("validate");
+    let s = write(&dir, "s.ddl", SCHEMA);
+    let good = write(
+        &dir,
+        "good.txt",
+        "r -book-> b1\nr -person-> p1\nb1 -author-> p1\nb1 -title-> t1\np1 -wrote-> b1\np1 -name-> n1\n",
+    );
+    let out = run(&["validate", "--doc", good.to_str().unwrap(), "--schema", s.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    let bad = write(&dir, "bad.txt", GRAPH); // missing title/name fields
+    let out = run(&["validate", "--doc", bad.to_str().unwrap(), "--schema", s.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("missing field `title`"));
+}
+
+#[test]
+fn validate_xml_document_against_xml_schema() {
+    let dir = tempdir("validate-xml");
+    // A minimal document conforming to a small XML-Data schema.
+    let schema = write(
+        &dir,
+        "s.xml",
+        r##"<schema>
+          <elementType id="t"><string/></elementType>
+          <elementType id="item"><element type="#t"/></elementType>
+        </schema>"##,
+    );
+    let doc = write(&dir, "d.xml", "<bib><item><t>hello</t></item></bib>");
+    let out = run(&["validate", "--doc", doc.to_str().unwrap(), "--schema", schema.to_str().unwrap()]);
+    // The schema-directed loader materializes the set vertex DBtype
+    // demands, so the document conforms.
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conforms"), "{stdout}");
+
+    // A document with an unknown top-level element fails cleanly.
+    let bad = write(&dir, "bad.xml", "<bib><mystery/></bib>");
+    let out = run(&["validate", "--doc", bad.to_str().unwrap(), "--schema", schema.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("schema-directed load failed"));
+}
+
+#[test]
+fn dot_renders() {
+    let dir = tempdir("dot");
+    let g = write(&dir, "g.txt", GRAPH);
+    let out = run(&["dot", "--graph", g.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("author"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["implies", "--query", "a -> b"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["check", "--graph", "g", "--constraints", "c", "--bogus", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = run(&["dot", "--graph", "/nonexistent/g.txt"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn check_mixed_regular_constraints() {
+    let dir = tempdir("check-regular");
+    let g = write(
+        &dir,
+        "g.txt",
+        "r -book-> b1\nb1 -ref-> b2\nb2 -author-> p\nr -person-> p\nb1 -author-> p\np -wrote-> b1\n",
+    );
+    let c = write(
+        &dir,
+        "c.txt",
+        "book.author -> person\nbook.(ref)*.author <= person\n",
+    );
+    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 constraints checked, 0 failed"), "{stdout}");
+
+    // A failing regular constraint.
+    let c2 = write(&dir, "c2.txt", "book.(ref)+ <= book\n");
+    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c2.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("violating vertex"));
+}
+
+#[test]
+fn optimize_rewrites_queries() {
+    let dir = tempdir("optimize");
+    let s = write(&dir, "s.ddl", SCHEMA);
+    let c = write(&dir, "c.txt", "book: author <- wrote\n");
+    let out = run(&[
+        "optimize",
+        "--schema",
+        s.to_str().unwrap(),
+        "--constraints",
+        c.to_str().unwrap(),
+        "--query",
+        "book.author.wrote.author.name",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimized: book.author.name"));
+    assert!(stdout.contains("hypothesis #0"));
+}

@@ -1,0 +1,229 @@
+//! Bounded constraint families (Definitions 2.3 and 2.4).
+//!
+//! A *local database* `DB_K` hangs off the main database via the path
+//! `π·K` (e.g. `MIT-bib` is reached from `Penn-bib` by the edge `MIT`).
+//! Extent constraints on `DB_K` are `P_c` constraints *bounded by `π` and
+//! `K`*. The implication problem for local extent constraints considers a
+//! set Σ that mixes such bounded constraints with constraints on *other*
+//! local databases; Theorem 5.1 shows the latter do not interact (over
+//! untyped data), Theorem 5.2 that under `M⁺` they do.
+
+use crate::constraint::PathConstraint;
+use crate::path::Path;
+use pathcons_graph::Label;
+use std::fmt;
+
+/// A finite subset of `P_c` *with prefix bounded by `π` and `K`*
+/// (Definition 2.3), partitioned as in the paper into `Σ_K` (constraints
+/// bounded by `π` and `K` — the local extent constraints on `DB_K`) and
+/// `Σ_r` (constraints on other local databases).
+#[derive(Clone, Debug)]
+pub struct BoundedFamily {
+    /// The path `π` from the root to the hub of local databases.
+    pub pi: Path,
+    /// The edge `K` leading to the local database under scrutiny.
+    pub k: Label,
+    /// `Σ_K`: constraints bounded by `π` and `K`.
+    pub bounded: Vec<PathConstraint>,
+    /// `Σ_r = Σ \ Σ_K`: constraints on other local databases.
+    pub others: Vec<PathConstraint>,
+}
+
+/// Why a constraint set fails Definition 2.3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundedFamilyError {
+    /// Index of the offending constraint in the input slice.
+    pub index: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for BoundedFamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint #{}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for BoundedFamilyError {}
+
+impl BoundedFamily {
+    /// Classifies `sigma` as a subset of `P_c` with prefix bounded by `pi`
+    /// and `k`, checking every clause of Definition 2.3.
+    pub fn classify(
+        sigma: &[PathConstraint],
+        pi: &Path,
+        k: Label,
+    ) -> Result<BoundedFamily, BoundedFamilyError> {
+        let mut bounded = Vec::new();
+        let mut others = Vec::new();
+        for (index, c) in sigma.iter().enumerate() {
+            if c.is_bounded_by(pi, k) {
+                bounded.push(c.clone());
+                continue;
+            }
+            // Otherwise pf(φ) must be π·π′ with K not a prefix of π′.
+            let Some(pi_prime) = c.prefix().strip_prefix(pi) else {
+                return Err(BoundedFamilyError {
+                    index,
+                    message: "prefix does not extend π".into(),
+                });
+            };
+            if pi_prime.first() == Some(k) {
+                return Err(BoundedFamilyError {
+                    index,
+                    message: "prefix is π·K·… but the constraint is not bounded by π and K".into(),
+                });
+            }
+            if pi_prime.is_empty() {
+                // Special case of Definition 2.3: with π′ = ε the
+                // constraint must be ∀x (π(r,x) → ∀y (α(x,y) → K(x,y))).
+                // We additionally require K not to be a prefix of α —
+                // Definition 2.3 leaves α unconstrained here, but the
+                // Figure 3 structure of Lemma 5.3's proof (a fresh root
+                // with a K self-loop) only models such constraints when
+                // their hypothesis cannot re-enter the local database;
+                // every use in the paper has α = ε.
+                let ok = c.is_forward()
+                    && c.rhs().labels() == [k]
+                    && c.lhs().first() != Some(k);
+                if !ok {
+                    return Err(BoundedFamilyError {
+                        index,
+                        message:
+                            "with pf(φ) = π the constraint must be forward with conclusion K and hypothesis not starting with K"
+                                .into(),
+                    });
+                }
+            }
+            others.push(c.clone());
+        }
+        Ok(BoundedFamily {
+            pi: pi.clone(),
+            k,
+            bounded,
+            others,
+        })
+    }
+
+    /// Recovers `(π, K)` from a query constraint that is itself bounded:
+    /// its prefix must be `π·K`, so `K` is the last label of the prefix.
+    /// Returns `None` for constraints that cannot be bounded by any pair
+    /// (empty prefix, empty `α`, backward form, or `K ≤_p α`).
+    pub fn detect(phi: &PathConstraint) -> Option<(Path, Label)> {
+        let (pi, k) = phi.prefix().split_last()?;
+        if phi.is_bounded_by(&pi, k) {
+            Some((pi, k))
+        } else {
+            None
+        }
+    }
+
+    /// All constraints of the family, `Σ_K ∪ Σ_r`.
+    pub fn all(&self) -> Vec<PathConstraint> {
+        let mut out = self.bounded.clone();
+        out.extend(self.others.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse_constraints;
+    use pathcons_graph::LabelInterner;
+
+    /// The Σ₀ of Section 2.2: two local extent constraints on MIT-bib and
+    /// two local (inverse) constraints on Warner-bib.
+    fn sigma0(labels: &mut LabelInterner) -> Vec<PathConstraint> {
+        parse_constraints(
+            "MIT: book.author -> person\n\
+             MIT: person.wrote -> book\n\
+             Warner.book: author <- wrote\n\
+             Warner.person: wrote <- author\n",
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sigma0_classifies() {
+        let mut labels = LabelInterner::new();
+        let sigma = sigma0(&mut labels);
+        let mit = labels.get("MIT").unwrap();
+        let family = BoundedFamily::classify(&sigma, &Path::empty(), mit).unwrap();
+        assert_eq!(family.bounded.len(), 2);
+        assert_eq!(family.others.len(), 2);
+    }
+
+    #[test]
+    fn detect_recovers_pi_and_k() {
+        let mut labels = LabelInterner::new();
+        let phi = PathConstraint::parse("MIT: book.ref -> book", &mut labels).unwrap();
+        let (pi, k) = BoundedFamily::detect(&phi).unwrap();
+        assert!(pi.is_empty());
+        assert_eq!(labels.name(k), "MIT");
+
+        let deep = PathConstraint::parse("lib.MIT: book.ref -> book", &mut labels).unwrap();
+        let (pi2, k2) = BoundedFamily::detect(&deep).unwrap();
+        assert_eq!(pi2.display(&labels).to_string(), "lib");
+        assert_eq!(k2, k);
+    }
+
+    #[test]
+    fn detect_rejects_unbounded_queries() {
+        let mut labels = LabelInterner::new();
+        // Word constraint: empty prefix.
+        let w = PathConstraint::parse("a -> b", &mut labels).unwrap();
+        assert_eq!(BoundedFamily::detect(&w), None);
+        // Backward.
+        let b = PathConstraint::parse("MIT: a <- b", &mut labels).unwrap();
+        assert_eq!(BoundedFamily::detect(&b), None);
+        // α starts with K.
+        let kp = PathConstraint::parse("MIT: MIT.a -> b", &mut labels).unwrap();
+        assert_eq!(BoundedFamily::detect(&kp), None);
+    }
+
+    #[test]
+    fn classify_rejects_k_prefixed_others() {
+        let mut labels = LabelInterner::new();
+        // pf = MIT.sub, which is π·K·… with π = ε, K = MIT, but the
+        // constraint is not bounded by (ε, MIT) — Definition 2.3 excludes it.
+        let sigma =
+            parse_constraints("MIT.sub: a -> b", &mut labels).unwrap();
+        let mit = labels.get("MIT").unwrap();
+        let err = BoundedFamily::classify(&sigma, &Path::empty(), mit).unwrap_err();
+        assert_eq!(err.index, 0);
+    }
+
+    #[test]
+    fn classify_empty_pi_prime_special_case() {
+        let mut labels = LabelInterner::new();
+        // With pf(φ) = π the constraint must conclude in K.
+        let good = parse_constraints("(): a -> MIT", &mut labels).unwrap();
+        let mit = labels.get("MIT").unwrap();
+        let fam = BoundedFamily::classify(&good, &Path::empty(), mit).unwrap();
+        assert_eq!(fam.others.len(), 1);
+
+        let bad = parse_constraints("(): a -> b", &mut labels).unwrap();
+        assert!(BoundedFamily::classify(&bad, &Path::empty(), mit).is_err());
+    }
+
+    #[test]
+    fn classify_rejects_foreign_prefix() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("other: a -> b", &mut labels).unwrap();
+        let mit = labels.intern("MIT");
+        let lib = Path::parse("lib", &mut labels).unwrap();
+        // π = lib, but pf(φ) = other does not extend lib.
+        assert!(BoundedFamily::classify(&sigma, &lib, mit).is_err());
+    }
+
+    #[test]
+    fn all_concatenates_partitions() {
+        let mut labels = LabelInterner::new();
+        let sigma = sigma0(&mut labels);
+        let mit = labels.get("MIT").unwrap();
+        let family = BoundedFamily::classify(&sigma, &Path::empty(), mit).unwrap();
+        assert_eq!(family.all().len(), 4);
+    }
+}

@@ -1,0 +1,442 @@
+//! The path constraint language `P_c` (Definition 2.1 of the paper) and
+//! its distinguished fragments.
+
+use crate::path::Path;
+use pathcons_graph::{Label, LabelInterner};
+use std::fmt;
+
+/// Whether the conclusion path runs forward (`β(x, y)`) or backward
+/// (`β(y, x)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// `∀x (π(r,x) → ∀y (α(x,y) → β(x,y)))`
+    Forward,
+    /// `∀x (π(r,x) → ∀y (α(x,y) → β(y,x)))`
+    Backward,
+}
+
+/// A constraint of `P_c` (Definition 2.1).
+///
+/// A *forward* constraint asserts that any vertex `y` reached from a
+/// `π`-vertex `x` by `α` is also reached from `x` by `β`; a *backward*
+/// constraint asserts that `x` is reached from `y` by `β`.
+///
+/// ```
+/// use pathcons_constraints::{Path, PathConstraint};
+/// use pathcons_graph::LabelInterner;
+///
+/// let mut labels = LabelInterner::new();
+/// // The paper's inverse constraint:
+/// //   ∀x (book(r,x) → ∀y (author(x,y) → wrote(y,x)))
+/// let c = PathConstraint::parse("book: author <- wrote", &mut labels).unwrap();
+/// assert!(c.is_backward());
+/// assert_eq!(c.prefix().display(&labels).to_string(), "book");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PathConstraint {
+    prefix: Path,
+    lhs: Path,
+    rhs: Path,
+    kind: Kind,
+}
+
+impl PathConstraint {
+    /// Builds a forward constraint `∀x (π(r,x) → ∀y (α(x,y) → β(x,y)))`.
+    pub fn forward(prefix: Path, lhs: Path, rhs: Path) -> PathConstraint {
+        PathConstraint {
+            prefix,
+            lhs,
+            rhs,
+            kind: Kind::Forward,
+        }
+    }
+
+    /// Builds a backward constraint `∀x (π(r,x) → ∀y (α(x,y) → β(y,x)))`.
+    pub fn backward(prefix: Path, lhs: Path, rhs: Path) -> PathConstraint {
+        PathConstraint {
+            prefix,
+            lhs,
+            rhs,
+            kind: Kind::Backward,
+        }
+    }
+
+    /// Builds a word constraint `∀x (α(r,x) → β(r,x))` (Definition 2.2) —
+    /// a forward constraint whose prefix is the empty path.
+    pub fn word(lhs: Path, rhs: Path) -> PathConstraint {
+        PathConstraint::forward(Path::empty(), lhs, rhs)
+    }
+
+    /// The prefix `π = pf(φ)` (Definition 2.1).
+    pub fn prefix(&self) -> &Path {
+        &self.prefix
+    }
+
+    /// The hypothesis path `α`.
+    pub fn lhs(&self) -> &Path {
+        &self.lhs
+    }
+
+    /// The conclusion path `β`.
+    pub fn rhs(&self) -> &Path {
+        &self.rhs
+    }
+
+    /// Forward or backward.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// Whether the constraint is forward.
+    pub fn is_forward(&self) -> bool {
+        self.kind == Kind::Forward
+    }
+
+    /// Whether the constraint is backward.
+    pub fn is_backward(&self) -> bool {
+        self.kind == Kind::Backward
+    }
+
+    /// Whether this is a *word constraint* (Definition 2.2): forward with
+    /// empty prefix. The class of word constraints is called `P_w`.
+    pub fn is_word(&self) -> bool {
+        self.is_forward() && self.prefix.is_empty()
+    }
+
+    /// Whether this constraint belongs to `P_w(K)` (Section 4.1): either a
+    /// word constraint, or of the form
+    /// `∀x (K(r,x) → ∀y (α(x,y) → β(x,y)))` for the given label `K`.
+    pub fn in_pw_k(&self, k: Label) -> bool {
+        self.is_word()
+            || (self.is_forward() && self.prefix.labels() == [k])
+    }
+
+    /// Whether this constraint belongs to `P_w(π)` (Section 6): either a
+    /// word constraint, or forward with prefix exactly `π`.
+    pub fn in_pw_path(&self, pi: &Path) -> bool {
+        self.is_word() || (self.is_forward() && &self.prefix == pi)
+    }
+
+    /// Whether this constraint is *bounded by `π` and `K`* (Definition
+    /// 2.3): forward, prefix `π·K`, `α ≠ ε`, and `K` not a prefix of `α`.
+    pub fn is_bounded_by(&self, pi: &Path, k: Label) -> bool {
+        self.is_forward()
+            && self.prefix == pi.push(k)
+            && !self.lhs.is_empty()
+            && self.lhs.first() != Some(k)
+    }
+
+    /// Applies the prefix-extension function `f` of Section 5.1: returns
+    /// the constraint with `ρ` prepended to the prefix,
+    /// `f(ρ, φ) = ∀x (ρ·π(r,x) → …)`.
+    pub fn extend_prefix(&self, rho: &Path) -> PathConstraint {
+        PathConstraint {
+            prefix: rho.concat(&self.prefix),
+            lhs: self.lhs.clone(),
+            rhs: self.rhs.clone(),
+            kind: self.kind,
+        }
+    }
+
+    /// Inverts `f`: strips `ρ` from the front of the prefix (the functions
+    /// `g₁`, `g₂` of Theorem 5.1). `None` if `ρ` is not a prefix of `pf(φ)`.
+    pub fn strip_prefix(&self, rho: &Path) -> Option<PathConstraint> {
+        Some(PathConstraint {
+            prefix: self.prefix.strip_prefix(rho)?,
+            lhs: self.lhs.clone(),
+            rhs: self.rhs.clone(),
+            kind: self.kind,
+        })
+    }
+
+    /// Parses the compact text syntax:
+    ///
+    /// ```text
+    /// constraint := [ path ":" ] path arrow path
+    /// arrow      := "->"   (forward)  |  "<-"  (backward)
+    /// path       := "()" | label ("." label)*
+    /// ```
+    ///
+    /// Without the `path ":"` part the prefix is the empty path, so
+    /// `a.b -> c` is the word constraint `∀x (a.b(r,x) → c(r,x))`.
+    pub fn parse(text: &str, labels: &mut LabelInterner) -> Result<PathConstraint, ConstraintParseError> {
+        let err = |message: String| ConstraintParseError { message };
+        let (prefix_text, body) = match text.split_once(':') {
+            Some((p, b)) => (Some(p), b),
+            None => (None, text),
+        };
+        let (kind, lhs_text, rhs_text) = if let Some((l, r)) = body.split_once("->") {
+            (Kind::Forward, l, r)
+        } else if let Some((l, r)) = body.split_once("<-") {
+            (Kind::Backward, l, r)
+        } else {
+            return Err(err(format!("expected `->` or `<-` in `{text}`")));
+        };
+        let prefix = match prefix_text {
+            Some(p) => Path::parse(p, labels).map_err(|e| err(e.message))?,
+            None => Path::empty(),
+        };
+        let lhs = Path::parse(lhs_text, labels).map_err(|e| err(e.message))?;
+        let rhs = Path::parse(rhs_text, labels).map_err(|e| err(e.message))?;
+        Ok(PathConstraint {
+            prefix,
+            lhs,
+            rhs,
+            kind,
+        })
+    }
+
+    /// Renders the constraint in the compact text syntax (the inverse of
+    /// [`PathConstraint::parse`]).
+    pub fn display<'a>(&'a self, labels: &'a LabelInterner) -> ConstraintDisplay<'a> {
+        ConstraintDisplay {
+            constraint: self,
+            labels,
+            first_order: false,
+        }
+    }
+
+    /// Renders the constraint as a first-order sentence, e.g.
+    /// `forall x (book(r,x) -> forall y (author(x,y) -> wrote(y,x)))`.
+    pub fn display_first_order<'a>(&'a self, labels: &'a LabelInterner) -> ConstraintDisplay<'a> {
+        ConstraintDisplay {
+            constraint: self,
+            labels,
+            first_order: true,
+        }
+    }
+}
+
+impl fmt::Debug for PathConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.kind {
+            Kind::Forward => "->",
+            Kind::Backward => "<-",
+        };
+        write!(f, "{:?}: {:?} {} {:?}", self.prefix, self.lhs, arrow, self.rhs)
+    }
+}
+
+/// Display adapter for constraints.
+pub struct ConstraintDisplay<'a> {
+    constraint: &'a PathConstraint,
+    labels: &'a LabelInterner,
+    first_order: bool,
+}
+
+impl fmt::Display for ConstraintDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.constraint;
+        if self.first_order {
+            let pi = c.prefix.display(self.labels);
+            let alpha = c.lhs.display(self.labels);
+            let beta = c.rhs.display(self.labels);
+            let conclusion = match c.kind {
+                Kind::Forward => format!("{beta}(x,y)"),
+                Kind::Backward => format!("{beta}(y,x)"),
+            };
+            if c.is_word() {
+                // Word constraints conventionally drop the trivial prefix.
+                write!(f, "forall x ({alpha}(r,x) -> {beta}(r,x))")
+            } else {
+                write!(
+                    f,
+                    "forall x ({pi}(r,x) -> forall y ({alpha}(x,y) -> {conclusion}))"
+                )
+            }
+        } else {
+            let arrow = match c.kind {
+                Kind::Forward => "->",
+                Kind::Backward => "<-",
+            };
+            if c.prefix.is_empty() && c.is_forward() {
+                write!(
+                    f,
+                    "{} {} {}",
+                    c.lhs.display(self.labels),
+                    arrow,
+                    c.rhs.display(self.labels)
+                )
+            } else {
+                write!(
+                    f,
+                    "{}: {} {} {}",
+                    c.prefix.display(self.labels),
+                    c.lhs.display(self.labels),
+                    arrow,
+                    c.rhs.display(self.labels)
+                )
+            }
+        }
+    }
+}
+
+/// Error from [`PathConstraint::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstraintParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConstraintParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ConstraintParseError {}
+
+/// Parses a whole constraint set, one constraint per line (`#` comments
+/// and blank lines ignored).
+pub fn parse_constraints(
+    text: &str,
+    labels: &mut LabelInterner,
+) -> Result<Vec<PathConstraint>, ConstraintParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(PathConstraint::parse(line, labels).map_err(|e| ConstraintParseError {
+            message: format!("line {}: {}", idx + 1, e.message),
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_word_constraint() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("book.author -> person", &mut labels).unwrap();
+        assert!(c.is_word());
+        assert!(c.is_forward());
+        assert!(c.prefix().is_empty());
+        assert_eq!(c.lhs().len(), 2);
+        assert_eq!(c.rhs().len(), 1);
+    }
+
+    #[test]
+    fn parse_inverse_constraint() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("book: author <- wrote", &mut labels).unwrap();
+        assert!(c.is_backward());
+        assert!(!c.is_word());
+        assert_eq!(c.prefix().display(&labels).to_string(), "book");
+    }
+
+    #[test]
+    fn parse_local_database_constraint() {
+        let mut labels = LabelInterner::new();
+        // MIT-bib inverse constraint from Section 1.
+        let c = PathConstraint::parse("MIT.book: author <- wrote", &mut labels).unwrap();
+        assert!(c.is_backward());
+        assert_eq!(c.prefix().len(), 2);
+    }
+
+    #[test]
+    fn parse_empty_paths() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("(): a -> ()", &mut labels).unwrap();
+        assert!(c.prefix().is_empty());
+        assert!(c.rhs().is_empty());
+        assert!(c.is_word());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut labels = LabelInterner::new();
+        for text in [
+            "book.author -> person",
+            "book: author <- wrote",
+            "MIT: book.ref -> book",
+            "(): () -> K",
+        ] {
+            let c = PathConstraint::parse(text, &mut labels).unwrap();
+            let rendered = c.display(&labels).to_string();
+            let reparsed = PathConstraint::parse(&rendered, &mut labels).unwrap();
+            assert_eq!(c, reparsed, "roundtrip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn first_order_rendering() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("book: author <- wrote", &mut labels).unwrap();
+        assert_eq!(
+            c.display_first_order(&labels).to_string(),
+            "forall x (book(r,x) -> forall y (author(x,y) -> wrote(y,x)))"
+        );
+        let w = PathConstraint::parse("book.author -> person", &mut labels).unwrap();
+        assert_eq!(
+            w.display_first_order(&labels).to_string(),
+            "forall x (book.author(r,x) -> person(r,x))"
+        );
+    }
+
+    #[test]
+    fn pw_k_membership() {
+        let mut labels = LabelInterner::new();
+        let k = labels.intern("K");
+        let word = PathConstraint::parse("a -> b", &mut labels).unwrap();
+        let prefixed = PathConstraint::parse("K: a -> b", &mut labels).unwrap();
+        let too_deep = PathConstraint::parse("K.K: a -> b", &mut labels).unwrap();
+        let backward = PathConstraint::parse("K: a <- b", &mut labels).unwrap();
+        assert!(word.in_pw_k(k));
+        assert!(prefixed.in_pw_k(k));
+        assert!(!too_deep.in_pw_k(k));
+        assert!(!backward.in_pw_k(k));
+    }
+
+    #[test]
+    fn bounded_by_definition_2_3() {
+        let mut labels = LabelInterner::new();
+        let mit = labels.intern("MIT");
+        let pi = Path::empty();
+        // Bounded: ∀x(MIT(r,x) → ∀y(book.author(x,y) → person(x,y)))
+        let good = PathConstraint::parse("MIT: book.author -> person", &mut labels).unwrap();
+        assert!(good.is_bounded_by(&pi, mit));
+        // α = ε is excluded.
+        let empty_lhs = PathConstraint::parse("MIT: () -> person", &mut labels).unwrap();
+        assert!(!empty_lhs.is_bounded_by(&pi, mit));
+        // K a prefix of α is excluded.
+        let k_prefixed = PathConstraint::parse("MIT: MIT.book -> person", &mut labels).unwrap();
+        assert!(!k_prefixed.is_bounded_by(&pi, mit));
+        // Backward constraints are not bounded.
+        let backward = PathConstraint::parse("MIT: book <- person", &mut labels).unwrap();
+        assert!(!backward.is_bounded_by(&pi, mit));
+    }
+
+    #[test]
+    fn extend_and_strip_prefix_are_inverse() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("book: author <- wrote", &mut labels).unwrap();
+        let rho = Path::parse("MIT", &mut labels).unwrap();
+        let extended = c.extend_prefix(&rho);
+        assert_eq!(extended.prefix().display(&labels).to_string(), "MIT.book");
+        assert_eq!(extended.strip_prefix(&rho), Some(c.clone()));
+        let other = Path::parse("Warner", &mut labels).unwrap();
+        assert_eq!(extended.strip_prefix(&other), None);
+    }
+
+    #[test]
+    fn parse_constraint_set() {
+        let mut labels = LabelInterner::new();
+        let text = "# extent constraints\nbook.author -> person\nperson.wrote -> book\n\nbook: author <- wrote\n";
+        let set = parse_constraints(text, &mut labels).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set[0].is_word());
+        assert!(set[2].is_backward());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let mut labels = LabelInterner::new();
+        let err = parse_constraints("a -> b\nbogus\n", &mut labels).unwrap_err();
+        assert!(err.message.starts_with("line 2:"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Regular path constraints — the Abiteboul & Vianu language [4].
+//!
+//! The paper contrasts `P_c` with [4]'s constraints, whose paths are
+//! *regular expressions*: a constraint `p ⊆ q` asserts
+//! `∀x (p(r,x) → q(r,x))` with `p, q` regular. The two languages are
+//! incomparable: [4] has richer paths but lives inside `L²_∞ω` and cannot
+//! express inverse or local-database constraints, while `P_c` can
+//! (Section 1). The paper proves nothing about regular constraints and
+//! neither does this crate — implication for them is [4]'s separate
+//! decidability result — but a practical *checker* wants them, so this
+//! module provides the constraint type and satisfaction over graphs.
+//!
+//! ```
+//! use pathcons_constraints::RegularConstraint;
+//! use pathcons_graph::{parse_graph, LabelInterner};
+//!
+//! let mut labels = LabelInterner::new();
+//! let g = parse_graph(
+//!     "r -book-> b1\nb1 -ref-> b2\nb2 -author-> p\nr -person-> p",
+//!     &mut labels,
+//! ).unwrap();
+//!
+//! // Authors reached through any chain of refs are persons:
+//! let c = RegularConstraint::parse("book.(ref)*.author <= person", &mut labels).unwrap();
+//! assert!(c.holds(&g));
+//! ```
+
+use pathcons_automata::{Nfa, Regex, RegexParseError, StateId};
+use pathcons_graph::{Graph, Label, LabelInterner, NodeId, NodeSet};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A regular inclusion constraint `∀x (p(r,x) → q(r,x))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegularConstraint {
+    lhs: Regex,
+    rhs: Regex,
+}
+
+impl RegularConstraint {
+    /// Builds `p ⊆ q`.
+    pub fn new(lhs: Regex, rhs: Regex) -> RegularConstraint {
+        RegularConstraint { lhs, rhs }
+    }
+
+    /// The hypothesis expression `p`.
+    pub fn lhs(&self) -> &Regex {
+        &self.lhs
+    }
+
+    /// The conclusion expression `q`.
+    pub fn rhs(&self) -> &Regex {
+        &self.rhs
+    }
+
+    /// Parses `p <= q` (both sides regular expressions).
+    pub fn parse(
+        text: &str,
+        labels: &mut LabelInterner,
+    ) -> Result<RegularConstraint, RegexParseError> {
+        let (l, r) = text.split_once("<=").ok_or_else(|| RegexParseError {
+            offset: 0,
+            message: "expected `p <= q`".into(),
+        })?;
+        Ok(RegularConstraint {
+            lhs: Regex::parse(l, labels)?,
+            rhs: Regex::parse(r, labels)?,
+        })
+    }
+
+    /// Whether `graph ⊨ p ⊆ q`.
+    pub fn holds(&self, graph: &Graph) -> bool {
+        let alphabet = graph.used_labels();
+        let reached_p = eval_regex(graph, graph.root(), &self.lhs, &alphabet);
+        if reached_p.is_empty() {
+            return true;
+        }
+        let reached_q = eval_regex(graph, graph.root(), &self.rhs, &alphabet);
+        reached_p.is_subset(&reached_q)
+    }
+
+    /// The violating vertices: reached by `p` but not by `q`.
+    pub fn violations(&self, graph: &Graph) -> Vec<NodeId> {
+        let alphabet = graph.used_labels();
+        let reached_p = eval_regex(graph, graph.root(), &self.lhs, &alphabet);
+        let reached_q = eval_regex(graph, graph.root(), &self.rhs, &alphabet);
+        reached_p
+            .iter()
+            .filter(|&n| !reached_q.contains(n))
+            .collect()
+    }
+
+    /// Renders `p <= q`.
+    pub fn display<'a>(&'a self, labels: &'a LabelInterner) -> RegularConstraintDisplay<'a> {
+        RegularConstraintDisplay {
+            constraint: self,
+            labels,
+        }
+    }
+}
+
+/// Display adapter for [`RegularConstraint`].
+pub struct RegularConstraintDisplay<'a> {
+    constraint: &'a RegularConstraint,
+    labels: &'a LabelInterner,
+}
+
+impl fmt::Display for RegularConstraintDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} <= {}",
+            self.constraint.lhs.display(self.labels),
+            self.constraint.rhs.display(self.labels)
+        )
+    }
+}
+
+/// Evaluates a regular expression over a graph: the set
+/// `{ y | ∃w ∈ L(regex) . w(from, y) }`, computed by BFS over the product
+/// of the graph with the expression's NFA.
+pub fn eval_regex(graph: &Graph, from: NodeId, regex: &Regex, alphabet: &[Label]) -> NodeSet {
+    let nfa: Nfa = regex.to_nfa(alphabet);
+    let states = nfa.state_count();
+    let index = |n: NodeId, s: StateId| n.index() * states + s.index();
+
+    let mut seen = vec![false; graph.node_count() * states];
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    let mut result = NodeSet::new();
+
+    // Seed with the ε-closure of the NFA start.
+    let closure = nfa.epsilon_closure(&[nfa.start()]);
+    for (si, &active) in closure.iter().enumerate() {
+        if active {
+            let s = StateId::from_index(si);
+            seen[index(from, s)] = true;
+            queue.push_back((from, s));
+        }
+    }
+
+    while let Some((node, state)) = queue.pop_front() {
+        if nfa.is_accepting(state) {
+            result.insert(node);
+        }
+        for (label, target) in graph.out_edges(node) {
+            for next_state in nfa.successors(state, label) {
+                // Follow the labeled move plus the ε-closure.
+                let closure = nfa.epsilon_closure(&[next_state]);
+                for (si, &active) in closure.iter().enumerate() {
+                    if active {
+                        let s = StateId::from_index(si);
+                        if !seen[index(target, s)] {
+                            seen[index(target, s)] = true;
+                            queue.push_back((target, s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_graph::parse_graph;
+
+    fn bib() -> (Graph, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph(
+            "r -book-> b1\nb1 -ref-> b2\nb2 -ref-> b3\nb3 -author-> p\n\
+             b1 -author-> p\nr -person-> p\np -wrote-> b1",
+            &mut labels,
+        )
+        .unwrap();
+        (g, labels)
+    }
+
+    #[test]
+    fn ref_star_author_subset_person() {
+        let (g, mut labels) = bib();
+        let c = RegularConstraint::parse("book.(ref)*.author <= person", &mut labels).unwrap();
+        assert!(c.holds(&g));
+        assert!(c.violations(&g).is_empty());
+    }
+
+    #[test]
+    fn ref_chain_detects_violation() {
+        let (g, mut labels) = bib();
+        // Not every ref-reachable node is book-reachable from the root:
+        // b2, b3 are only reached through refs.
+        let c = RegularConstraint::parse("book.(ref)+ <= book", &mut labels).unwrap();
+        assert!(!c.holds(&g));
+        assert_eq!(c.violations(&g).len(), 2);
+        // But with ref* on the right it holds.
+        let c2 =
+            RegularConstraint::parse("book.(ref)+ <= book.(ref)*", &mut labels).unwrap();
+        assert!(c2.holds(&g));
+    }
+
+    #[test]
+    fn wildcard_reaches_everything() {
+        let (g, mut labels) = bib();
+        // Everything reachable is reachable: trivially true.
+        let c = RegularConstraint::parse("_* <= _*", &mut labels).unwrap();
+        assert!(c.holds(&g));
+        // Everything is reachable through book|person first steps.
+        let c2 = RegularConstraint::parse("_._* <= (book|person)._*", &mut labels).unwrap();
+        assert!(c2.holds(&g));
+    }
+
+    #[test]
+    fn eval_regex_matches_word_eval_on_plain_paths() {
+        let (g, labels) = bib();
+        let alphabet = g.used_labels();
+        let book = labels.get("book").unwrap();
+        let author = labels.get("author").unwrap();
+        let regex = Regex::concat(vec![Regex::Label(book), Regex::Label(author)]);
+        let via_regex = eval_regex(&g, g.root(), &regex, &alphabet);
+        let via_word = pathcons_graph::eval_from_root(&g, &[book, author]);
+        assert_eq!(via_regex, via_word);
+    }
+
+    #[test]
+    fn empty_lhs_language_is_vacuous() {
+        let (g, mut labels) = bib();
+        let c = RegularConstraint::parse("journal <= person", &mut labels).unwrap();
+        assert!(c.holds(&g));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut labels = LabelInterner::new();
+        let c = RegularConstraint::parse("book.(ref)*.author <= person", &mut labels).unwrap();
+        let rendered = c.display(&labels).to_string();
+        let reparsed = RegularConstraint::parse(&rendered, &mut labels).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -a-> x\nx -a-> r", &mut labels).unwrap();
+        let c = RegularConstraint::parse("(a)* <= (a)*", &mut labels).unwrap();
+        assert!(c.holds(&g));
+        let c2 = RegularConstraint::parse("a.a.a <= a", &mut labels).unwrap();
+        // a³ from r reaches x; a reaches x: holds.
+        assert!(c2.holds(&g));
+    }
+}

@@ -1,0 +1,548 @@
+//! The finite axiomatization `I_r` of `P_c` implication in the model `M`
+//! (Section 4.2, Theorem 4.9), as checkable proof objects.
+//!
+//! `I_r` consists of eight rules. The first three — *reflexivity*,
+//! *transitivity* and *right-congruence* — are Abiteboul & Vianu's
+//! complete system for word constraints over untyped data. The remaining
+//! five are sound only over `U(σ)` for `M` schemas, where every path
+//! reaches a unique vertex (Lemma 4.6):
+//!
+//! - *commutativity*: from `α → β` infer `β → α`;
+//! - *forward-to-word* / *word-to-forward*: a forward constraint
+//!   `(π, α, β)` is interchangeable with the word constraint
+//!   `π·α → π·β` (Lemma 4.7);
+//! - *backward-to-word* / *word-to-backward*: a backward constraint
+//!   `(π, α, β)` is interchangeable with `π → π·α·β` (Lemma 4.8).
+//!
+//! A [`Proof`] is a tree of rule applications; [`Proof::check`] verifies
+//! every step against the rule schemata and the hypothesis set Σ, so an
+//! `Implied` answer from the `M` engine is independently auditable.
+
+use pathcons_constraints::{Path, PathConstraint};
+use std::fmt;
+
+/// A node in an `I_r` derivation. Each variant carries exactly the
+/// premises and parameters its rule schema needs; the conclusion is
+/// stored alongside in [`Proof`] and re-derived during checking.
+#[derive(Clone, Debug)]
+pub enum ProofStep {
+    /// `φ ∈ Σ`.
+    Hypothesis {
+        /// Index into Σ.
+        index: usize,
+    },
+    /// `⊢ ∀x (α(r,x) → α(r,x))`.
+    Reflexivity,
+    /// From `α → β` and `β → γ` infer `α → γ`.
+    Transitivity {
+        /// Proof of `α → β`.
+        left: Box<Proof>,
+        /// Proof of `β → γ`.
+        right: Box<Proof>,
+    },
+    /// From `α → β` infer `α·γ → β·γ`.
+    RightCongruence {
+        /// Proof of `α → β`.
+        premise: Box<Proof>,
+        /// The appended path `γ`.
+        gamma: Path,
+    },
+    /// From `α → β` infer `β → α` (sound in `M` only).
+    Commutativity {
+        /// Proof of `α → β`.
+        premise: Box<Proof>,
+    },
+    /// From the forward constraint `(π, α, β)` infer `π·α → π·β`.
+    ForwardToWord {
+        /// Proof of the forward constraint.
+        premise: Box<Proof>,
+    },
+    /// From `π·α → π·β` infer the forward constraint `(π, α, β)`.
+    WordToForward {
+        /// Proof of the word constraint.
+        premise: Box<Proof>,
+    },
+    /// From the backward constraint `(π, α, β)` infer `π → π·α·β`.
+    BackwardToWord {
+        /// Proof of the backward constraint.
+        premise: Box<Proof>,
+    },
+    /// From `π → π·α·β` infer the backward constraint `(π, α, β)`.
+    WordToBackward {
+        /// Proof of the word constraint.
+        premise: Box<Proof>,
+    },
+}
+
+/// An `I_r` derivation of a `P_c` constraint.
+#[derive(Clone, Debug)]
+pub struct Proof {
+    /// The derived constraint.
+    pub conclusion: PathConstraint,
+    /// The final rule application.
+    pub step: ProofStep,
+}
+
+/// A proof-checking failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofError {
+    /// Human-readable description of the failed step.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl Proof {
+    /// Verifies the derivation against the hypothesis set Σ.
+    pub fn check(&self, sigma: &[PathConstraint]) -> Result<(), ProofError> {
+        let fail = |message: String| Err(ProofError { message });
+        match &self.step {
+            ProofStep::Hypothesis { index } => match sigma.get(*index) {
+                Some(h) if *h == self.conclusion => Ok(()),
+                Some(_) => fail(format!(
+                    "hypothesis #{index} does not match the conclusion"
+                )),
+                None => fail(format!("hypothesis index {index} out of range")),
+            },
+            ProofStep::Reflexivity => {
+                let c = &self.conclusion;
+                if c.is_word() && c.lhs() == c.rhs() {
+                    Ok(())
+                } else {
+                    fail("reflexivity must conclude α → α".into())
+                }
+            }
+            ProofStep::Transitivity { left, right } => {
+                left.check(sigma)?;
+                right.check(sigma)?;
+                let (l, r, c) = (&left.conclusion, &right.conclusion, &self.conclusion);
+                let all_words = l.is_word() && r.is_word() && c.is_word();
+                if all_words && l.rhs() == r.lhs() && c.lhs() == l.lhs() && c.rhs() == r.rhs() {
+                    Ok(())
+                } else {
+                    fail("transitivity premises do not chain".into())
+                }
+            }
+            ProofStep::RightCongruence { premise, gamma } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if p.is_word()
+                    && c.is_word()
+                    && *c.lhs() == p.lhs().concat(gamma)
+                    && *c.rhs() == p.rhs().concat(gamma)
+                {
+                    Ok(())
+                } else {
+                    fail("right-congruence conclusion must append γ to both sides".into())
+                }
+            }
+            ProofStep::Commutativity { premise } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if p.is_word() && c.is_word() && c.lhs() == p.rhs() && c.rhs() == p.lhs() {
+                    Ok(())
+                } else {
+                    fail("commutativity must swap the sides of a word constraint".into())
+                }
+            }
+            ProofStep::ForwardToWord { premise } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if p.is_forward()
+                    && c.is_word()
+                    && *c.lhs() == p.prefix().concat(p.lhs())
+                    && *c.rhs() == p.prefix().concat(p.rhs())
+                {
+                    Ok(())
+                } else {
+                    fail("forward-to-word must conclude π·α → π·β".into())
+                }
+            }
+            ProofStep::WordToForward { premise } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if c.is_forward()
+                    && p.is_word()
+                    && *p.lhs() == c.prefix().concat(c.lhs())
+                    && *p.rhs() == c.prefix().concat(c.rhs())
+                {
+                    Ok(())
+                } else {
+                    fail("word-to-forward premise must be π·α → π·β".into())
+                }
+            }
+            ProofStep::BackwardToWord { premise } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if p.is_backward()
+                    && c.is_word()
+                    && c.lhs() == p.prefix()
+                    && *c.rhs() == p.prefix().concat(p.lhs()).concat(p.rhs())
+                {
+                    Ok(())
+                } else {
+                    fail("backward-to-word must conclude π → π·α·β".into())
+                }
+            }
+            ProofStep::WordToBackward { premise } => {
+                premise.check(sigma)?;
+                let (p, c) = (&premise.conclusion, &self.conclusion);
+                if c.is_backward()
+                    && p.is_word()
+                    && p.lhs() == c.prefix()
+                    && *p.rhs() == c.prefix().concat(c.lhs()).concat(c.rhs())
+                {
+                    Ok(())
+                } else {
+                    fail("word-to-backward premise must be π → π·α·β".into())
+                }
+            }
+        }
+    }
+
+    /// Renders the derivation as an indented tree, one rule application
+    /// per line, resolving label names through `labels`:
+    ///
+    /// ```text
+    /// word-to-forward ⊢ book: author <- wrote
+    ///   backward-to-word ⊢ book -> book.author.wrote
+    ///     hypothesis #0 ⊢ book -> book.author.wrote
+    /// ```
+    pub fn render(&self, labels: &pathcons_graph::LabelInterner) -> String {
+        let mut out = String::new();
+        self.render_into(labels, 0, &mut out);
+        out
+    }
+
+    fn render_into(
+        &self,
+        labels: &pathcons_graph::LabelInterner,
+        depth: usize,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        let indent = "  ".repeat(depth);
+        let rule = match &self.step {
+            ProofStep::Hypothesis { index } => format!("hypothesis #{index}"),
+            ProofStep::Reflexivity => "reflexivity".to_owned(),
+            ProofStep::Transitivity { .. } => "transitivity".to_owned(),
+            ProofStep::RightCongruence { gamma, .. } => {
+                format!("right-congruence ·{}", gamma.display(labels))
+            }
+            ProofStep::Commutativity { .. } => "commutativity".to_owned(),
+            ProofStep::ForwardToWord { .. } => "forward-to-word".to_owned(),
+            ProofStep::WordToForward { .. } => "word-to-forward".to_owned(),
+            ProofStep::BackwardToWord { .. } => "backward-to-word".to_owned(),
+            ProofStep::WordToBackward { .. } => "word-to-backward".to_owned(),
+        };
+        let _ = writeln!(out, "{indent}{rule} ⊢ {}", self.conclusion.display(labels));
+        match &self.step {
+            ProofStep::Hypothesis { .. } | ProofStep::Reflexivity => {}
+            ProofStep::Transitivity { left, right } => {
+                left.render_into(labels, depth + 1, out);
+                right.render_into(labels, depth + 1, out);
+            }
+            ProofStep::RightCongruence { premise, .. }
+            | ProofStep::Commutativity { premise }
+            | ProofStep::ForwardToWord { premise }
+            | ProofStep::WordToForward { premise }
+            | ProofStep::BackwardToWord { premise }
+            | ProofStep::WordToBackward { premise } => {
+                premise.render_into(labels, depth + 1, out);
+            }
+        }
+    }
+
+    /// Number of rule applications in the derivation.
+    pub fn size(&self) -> usize {
+        1 + match &self.step {
+            ProofStep::Hypothesis { .. } | ProofStep::Reflexivity => 0,
+            ProofStep::Transitivity { left, right } => left.size() + right.size(),
+            ProofStep::RightCongruence { premise, .. }
+            | ProofStep::Commutativity { premise }
+            | ProofStep::ForwardToWord { premise }
+            | ProofStep::WordToForward { premise }
+            | ProofStep::BackwardToWord { premise }
+            | ProofStep::WordToBackward { premise } => premise.size(),
+        }
+    }
+
+    /// Convenience constructors used by the `M` engine.
+    pub fn hypothesis(index: usize, conclusion: PathConstraint) -> Proof {
+        Proof {
+            conclusion,
+            step: ProofStep::Hypothesis { index },
+        }
+    }
+
+    /// `⊢ α → α`.
+    pub fn reflexivity(alpha: Path) -> Proof {
+        Proof {
+            conclusion: PathConstraint::word(alpha.clone(), alpha),
+            step: ProofStep::Reflexivity,
+        }
+    }
+
+    /// Chains two word-constraint proofs.
+    pub fn transitivity(left: Proof, right: Proof) -> Proof {
+        let conclusion = PathConstraint::word(
+            left.conclusion.lhs().clone(),
+            right.conclusion.rhs().clone(),
+        );
+        Proof {
+            conclusion,
+            step: ProofStep::Transitivity {
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+        }
+    }
+
+    /// Appends `γ` to both sides of a word-constraint proof.
+    pub fn right_congruence(premise: Proof, gamma: Path) -> Proof {
+        let conclusion = PathConstraint::word(
+            premise.conclusion.lhs().concat(&gamma),
+            premise.conclusion.rhs().concat(&gamma),
+        );
+        Proof {
+            conclusion,
+            step: ProofStep::RightCongruence {
+                premise: Box::new(premise),
+                gamma,
+            },
+        }
+    }
+
+    /// Swaps the sides of a word-constraint proof.
+    pub fn commutativity(premise: Proof) -> Proof {
+        let conclusion = PathConstraint::word(
+            premise.conclusion.rhs().clone(),
+            premise.conclusion.lhs().clone(),
+        );
+        Proof {
+            conclusion,
+            step: ProofStep::Commutativity {
+                premise: Box::new(premise),
+            },
+        }
+    }
+
+    /// Converts a forward-constraint proof into its word form.
+    pub fn forward_to_word(premise: Proof) -> Proof {
+        let c = &premise.conclusion;
+        let conclusion = PathConstraint::word(
+            c.prefix().concat(c.lhs()),
+            c.prefix().concat(c.rhs()),
+        );
+        Proof {
+            conclusion,
+            step: ProofStep::ForwardToWord {
+                premise: Box::new(premise),
+            },
+        }
+    }
+
+    /// Converts a word-constraint proof of `π·α → π·β` into the forward
+    /// constraint `(π, α, β)`.
+    pub fn word_to_forward(premise: Proof, pi: Path) -> Proof {
+        let alpha = premise
+            .conclusion
+            .lhs()
+            .strip_prefix(&pi)
+            .expect("lhs must extend π");
+        let beta = premise
+            .conclusion
+            .rhs()
+            .strip_prefix(&pi)
+            .expect("rhs must extend π");
+        Proof {
+            conclusion: PathConstraint::forward(pi, alpha, beta),
+            step: ProofStep::WordToForward {
+                premise: Box::new(premise),
+            },
+        }
+    }
+
+    /// Converts a backward-constraint proof into its word form.
+    pub fn backward_to_word(premise: Proof) -> Proof {
+        let c = &premise.conclusion;
+        let conclusion = PathConstraint::word(
+            c.prefix().clone(),
+            c.prefix().concat(c.lhs()).concat(c.rhs()),
+        );
+        Proof {
+            conclusion,
+            step: ProofStep::BackwardToWord {
+                premise: Box::new(premise),
+            },
+        }
+    }
+
+    /// Converts a word-constraint proof of `π → π·α·β` into the backward
+    /// constraint `(π, α, β)`, where `alpha` fixes the split of the
+    /// suffix.
+    pub fn word_to_backward(premise: Proof, pi: Path, alpha: Path) -> Proof {
+        let suffix = premise
+            .conclusion
+            .rhs()
+            .strip_prefix(&pi)
+            .expect("rhs must extend π");
+        let beta = suffix.strip_prefix(&alpha).expect("suffix must extend α");
+        Proof {
+            conclusion: PathConstraint::backward(pi, alpha, beta),
+            step: ProofStep::WordToBackward {
+                premise: Box::new(premise),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_graph::LabelInterner;
+
+    fn p(text: &str, labels: &mut LabelInterner) -> Path {
+        Path::parse(text, labels).unwrap()
+    }
+
+    fn c(text: &str, labels: &mut LabelInterner) -> PathConstraint {
+        PathConstraint::parse(text, labels).unwrap()
+    }
+
+    #[test]
+    fn reflexivity_checks() {
+        let mut labels = LabelInterner::new();
+        let proof = Proof::reflexivity(p("a.b", &mut labels));
+        assert!(proof.check(&[]).is_ok());
+        assert_eq!(proof.size(), 1);
+    }
+
+    #[test]
+    fn hypothesis_checks_against_sigma() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("a -> b", &mut labels)];
+        let good = Proof::hypothesis(0, sigma[0].clone());
+        assert!(good.check(&sigma).is_ok());
+        let bad_index = Proof::hypothesis(1, sigma[0].clone());
+        assert!(bad_index.check(&sigma).is_err());
+        let mismatched = Proof::hypothesis(0, c("a -> c", &mut labels));
+        assert!(mismatched.check(&sigma).is_err());
+    }
+
+    #[test]
+    fn transitivity_and_congruence_chain() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("a -> b", &mut labels), c("b.g -> d", &mut labels)];
+        // a·g → b·g (right-congruence on #0), then → d (trans with #1).
+        let step1 = Proof::right_congruence(
+            Proof::hypothesis(0, sigma[0].clone()),
+            p("g", &mut labels),
+        );
+        let proof = Proof::transitivity(step1, Proof::hypothesis(1, sigma[1].clone()));
+        assert_eq!(proof.conclusion, c("a.g -> d", &mut labels));
+        assert!(proof.check(&sigma).is_ok());
+        assert_eq!(proof.size(), 4);
+    }
+
+    #[test]
+    fn commutativity_swaps() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("a -> b", &mut labels)];
+        let proof = Proof::commutativity(Proof::hypothesis(0, sigma[0].clone()));
+        assert_eq!(proof.conclusion, c("b -> a", &mut labels));
+        assert!(proof.check(&sigma).is_ok());
+    }
+
+    #[test]
+    fn forward_word_interchange() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("pi: a -> b", &mut labels)];
+        let word = Proof::forward_to_word(Proof::hypothesis(0, sigma[0].clone()));
+        assert_eq!(word.conclusion, c("pi.a -> pi.b", &mut labels));
+        assert!(word.check(&sigma).is_ok());
+        let back = Proof::word_to_forward(word, p("pi", &mut labels));
+        assert_eq!(back.conclusion, sigma[0]);
+        assert!(back.check(&sigma).is_ok());
+    }
+
+    #[test]
+    fn backward_word_interchange() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("book: author <- wrote", &mut labels)];
+        let word = Proof::backward_to_word(Proof::hypothesis(0, sigma[0].clone()));
+        assert_eq!(word.conclusion, c("book -> book.author.wrote", &mut labels));
+        assert!(word.check(&sigma).is_ok());
+        let back = Proof::word_to_backward(
+            word,
+            p("book", &mut labels),
+            p("author", &mut labels),
+        );
+        assert_eq!(back.conclusion, sigma[0]);
+        assert!(back.check(&sigma).is_ok());
+    }
+
+    #[test]
+    fn malformed_transitivity_rejected() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("a -> b", &mut labels), c("c -> d", &mut labels)];
+        // b ≠ c: premises do not chain.
+        let bogus = Proof {
+            conclusion: c("a -> d", &mut labels),
+            step: ProofStep::Transitivity {
+                left: Box::new(Proof::hypothesis(0, sigma[0].clone())),
+                right: Box::new(Proof::hypothesis(1, sigma[1].clone())),
+            },
+        };
+        assert!(bogus.check(&sigma).is_err());
+    }
+
+    #[test]
+    fn forged_conclusion_rejected() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![c("a -> b", &mut labels)];
+        let forged = Proof {
+            conclusion: c("a -> c", &mut labels),
+            step: ProofStep::RightCongruence {
+                premise: Box::new(Proof::hypothesis(0, sigma[0].clone())),
+                gamma: p("g", &mut labels),
+            },
+        };
+        assert!(forged.check(&sigma).is_err());
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use pathcons_graph::LabelInterner;
+
+    #[test]
+    fn render_shows_the_tree() {
+        let mut labels = LabelInterner::new();
+        let sigma = vec![
+            PathConstraint::parse("a -> b", &mut labels).unwrap(),
+            PathConstraint::parse("b.g -> d", &mut labels).unwrap(),
+        ];
+        let proof = Proof::transitivity(
+            Proof::right_congruence(
+                Proof::hypothesis(0, sigma[0].clone()),
+                Path::parse("g", &mut labels).unwrap(),
+            ),
+            Proof::hypothesis(1, sigma[1].clone()),
+        );
+        proof.check(&sigma).unwrap();
+        let rendered = proof.render(&labels);
+        assert!(rendered.starts_with("transitivity ⊢ a.g -> d"));
+        assert!(rendered.contains("  right-congruence ·g ⊢ a.g -> b.g"));
+        assert!(rendered.contains("    hypothesis #0 ⊢ a -> b"));
+        assert!(rendered.contains("  hypothesis #1 ⊢ b.g -> d"));
+        assert_eq!(rendered.lines().count(), proof.size());
+    }
+}

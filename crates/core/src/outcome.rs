@@ -1,0 +1,220 @@
+//! Answers, evidence and budgets.
+//!
+//! Several of the implication problems this crate implements are
+//! *undecidable* (Theorems 4.1, 4.3, 5.2, 6.1, 6.2 of the paper), so the
+//! engines answer in three values, and every definite answer carries
+//! *evidence* that the caller can re-check independently: a proof object
+//! for `Implied`, a concrete countermodel for `NotImplied`.
+
+use crate::ir::Proof;
+use pathcons_graph::Graph;
+use pathcons_types::TypeNodeId;
+use std::fmt;
+
+/// Resource budget for the semi-decision procedures.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Maximum chase rounds before giving up.
+    pub chase_rounds: usize,
+    /// Maximum chase graph size (nodes) before giving up.
+    pub chase_max_nodes: usize,
+    /// Number of random candidate structures for countermodel search.
+    pub search_samples: usize,
+    /// Maximum nodes per random candidate.
+    pub search_max_nodes: usize,
+    /// RNG seed for reproducible searches.
+    pub seed: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            chase_rounds: 64,
+            chase_max_nodes: 4_096,
+            search_samples: 200,
+            search_max_nodes: 8,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl Budget {
+    /// A small budget for unit tests.
+    pub fn small() -> Budget {
+        Budget {
+            chase_rounds: 16,
+            chase_max_nodes: 256,
+            search_samples: 50,
+            search_max_nodes: 5,
+            seed: 7,
+        }
+    }
+}
+
+/// The result of an implication query.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// `Σ ⊨ φ` (in the queried context), with evidence.
+    Implied(Evidence),
+    /// `Σ ⊭ φ`, with a refutation.
+    NotImplied(Refutation),
+    /// The budget ran out (only possible for the undecidable contexts).
+    Unknown(UnknownReason),
+}
+
+impl Outcome {
+    /// Whether the outcome is `Implied`.
+    pub fn is_implied(&self) -> bool {
+        matches!(self, Outcome::Implied(_))
+    }
+
+    /// Whether the outcome is `NotImplied`.
+    pub fn is_not_implied(&self) -> bool {
+        matches!(self, Outcome::NotImplied(_))
+    }
+
+    /// Whether the outcome is `Unknown`.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Outcome::Unknown(_))
+    }
+
+    /// The countermodel, if one was materialized.
+    pub fn countermodel(&self) -> Option<&CounterModel> {
+        match self {
+            Outcome::NotImplied(r) => r.countermodel.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// Why a `NotImplied` answer holds.
+#[derive(Clone, Debug)]
+pub struct Refutation {
+    /// On what authority the refutation rests.
+    pub basis: RefutationBasis,
+    /// A concrete countermodel `G ⊨ Σ ∧ ¬φ`, when one was materialized
+    /// (always present for [`RefutationBasis::CounterModelChecked`]).
+    pub countermodel: Option<CounterModel>,
+}
+
+impl Refutation {
+    /// A refutation resting on a verified countermodel.
+    pub fn with_countermodel(cm: CounterModel) -> Refutation {
+        Refutation {
+            basis: RefutationBasis::CounterModelChecked,
+            countermodel: Some(cm),
+        }
+    }
+
+    /// A refutation resting on a complete decision procedure.
+    pub fn by_decision_procedure() -> Refutation {
+        Refutation {
+            basis: RefutationBasis::DecisionProcedure,
+            countermodel: None,
+        }
+    }
+}
+
+/// The authority behind a `NotImplied` answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefutationBasis {
+    /// A complete decision procedure for the queried fragment answered
+    /// "no" (word constraints via `post*`; local extent constraints via
+    /// Theorem 5.1; `P_c` under `M` via Theorem 4.2). A countermodel may
+    /// or may not have been materialized alongside.
+    DecisionProcedure,
+    /// A concrete countermodel was found and re-verified with the
+    /// satisfaction checker (and, for typed contexts, the `Φ(σ)` checker).
+    CounterModelChecked,
+}
+
+/// Why an `Implied` answer holds.
+#[derive(Clone, Debug)]
+pub enum Evidence {
+    /// Decided by the PTIME word-constraint procedure (`post*`
+    /// saturation): `β ∈ post*(α)` under the rules read from Σ.
+    WordDerivation,
+    /// Decided by the Theorem 5.1 reduction: the stripped `P_w` instance
+    /// was implied.
+    LocalExtentReduction(Box<Evidence>),
+    /// An `I_r` proof (Theorem 4.9) — independently checkable.
+    IrProof(Box<Proof>),
+    /// The query constraint is vacuously true over `U(σ)`: one of its
+    /// hypothesis paths lies outside `Paths(σ)`.
+    VacuousOverSchema,
+    /// Σ is unsatisfiable over `U(σ)` (a constraint forces an equation
+    /// between paths of different types or a path outside `Paths(σ)`), so
+    /// everything is implied. The index points at the offending
+    /// constraint.
+    InconsistentTheory {
+        /// Index of the unsatisfiable constraint in Σ.
+        index: usize,
+    },
+    /// The chase forced the conclusion after this many applied steps.
+    ChaseForced {
+        /// Number of chase steps applied before the conclusion held.
+        steps: usize,
+    },
+    /// Implication over all (untyped) structures, transferred to the
+    /// typed context (`U(σ)` is a subclass of all structures).
+    UntypedImplication(Box<Evidence>),
+}
+
+/// A countermodel: a finite structure satisfying Σ but not φ. For typed
+/// contexts the node typing is included, and the structure additionally
+/// satisfies `Φ(σ)`.
+#[derive(Clone, Debug)]
+pub struct CounterModel {
+    /// The structure.
+    pub graph: Graph,
+    /// Node typing (typed contexts only).
+    pub types: Option<Vec<TypeNodeId>>,
+    /// Which engine produced it.
+    pub provenance: CounterModelProvenance,
+}
+
+/// Which engine produced a countermodel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterModelProvenance {
+    /// The chase terminated without forcing the conclusion; its result is
+    /// a (finite) model of `Σ ∧ ¬φ`.
+    ChaseFixpoint,
+    /// Random / exhaustive search found it.
+    Search,
+    /// Built from the congruence-closure classes of the `M` engine
+    /// (the completeness construction of Theorem 4.9).
+    MCompleteness,
+    /// Lifted through the Theorem 5.1 reduction from a `P_w` countermodel.
+    LocalExtentLift,
+    /// A verified truncation of the canonical model of a word-constraint
+    /// theory (see `word_evidence::canonical_countermodel`).
+    CanonicalTruncation,
+}
+
+/// Why the engines gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The chase neither terminated nor forced the goal within budget.
+    ChaseBudgetExhausted,
+    /// No countermodel found within the search budget.
+    SearchBudgetExhausted,
+    /// Both semi-deciders exhausted their budgets.
+    AllBudgetsExhausted,
+    /// The untyped engines answered `NotImplied`, but their countermodel
+    /// need not satisfy `Φ(σ)`, so it transfers nothing to the typed
+    /// context.
+    UntypedCounterModelNotTyped,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::ChaseBudgetExhausted => write!(f, "chase budget exhausted"),
+            UnknownReason::SearchBudgetExhausted => write!(f, "search budget exhausted"),
+            UnknownReason::AllBudgetsExhausted => write!(f, "all budgets exhausted"),
+            UnknownReason::UntypedCounterModelNotTyped => {
+                write!(f, "untyped countermodel does not satisfy the type constraint")
+            }
+        }
+    }
+}

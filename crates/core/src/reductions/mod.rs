@@ -1,0 +1,16 @@
+//! Executable versions of the paper's undecidability reductions.
+//!
+//! Undecidability cannot be "run"; what can be run — and tested — are the
+//! reductions the proofs are made of. [`untyped`] implements the Section
+//! 4.1.2 encoding (word problem → `P_w(K)` implication, Theorem 4.3) with
+//! the Figure 2 countermodel construction; [`typed`] implements the
+//! Section 5.2 encoding (word problem → local extent implication over
+//! `M⁺`, Theorem 5.2) with the schema `σ₁` and the Figure 4 construction.
+//!
+//! Together with the monoid oracle of `pathcons-monoid`, these make the
+//! *faithfulness* of the reductions (Lemmas 4.5 and 5.4) an executable,
+//! property-tested fact on every instance where the word problem is
+//! tractable in practice.
+
+pub mod typed;
+pub mod untyped;

@@ -1,0 +1,399 @@
+//! The Section 5.2 reduction: word problem for (finite) monoids →
+//! (finite) implication of local extent constraints in the model `M⁺`
+//! (Theorem 5.2).
+//!
+//! From the alphabet `Γ₀ = {l₁, …, l_m}` the reduction builds the `M⁺`
+//! schema `σ₁`:
+//!
+//! ```text
+//! τ(C)   = [l₁: C, …, l_m: C]
+//! τ(C_s) = {C}
+//! τ(C_l) = [a: C, b: C_s, K: C_l]
+//! DBtype = [l: C_l]
+//! ```
+//!
+//! and the constraint set Σ:
+//!
+//! 1. `∀x (l·K(r,x) → ∀y (a(x,y) → b·∗(x,y)))`
+//! 2. `∀x (l·K(r,x) → ∀y (b·∗·lⱼ(x,y) → b·∗(x,y)))` for each letter
+//! 3. `∀x (l·b·∗(r,x) → ∀y (γᵢ(x,y) → δᵢ(x,y)))` for each equation
+//!    (this implementation adds the mirrored direction as well, matching
+//!    the Section 4.1.2 encoding; both directions are sound consequences
+//!    of `h(γᵢ) = h(δᵢ)` and the Figure 4 structure models them)
+//! 4. `∀x (l(r,x) → ∀y (ε(x,y) → K(x,y)))` — forcing the `K` self-loop
+//!
+//! with the test equation `(α, β)` encoded as
+//! `φ_{(α,β)} = ∀x (l·K(r,x) → ∀y (a·α(x,y) → a·β(x,y)))`.
+//!
+//! Σ ∪ {φ} has prefix bounded by `l` and `K` (Definition 2.3), so
+//! Lemma 5.4 makes the (finite) implication problem for local extent
+//! constraints undecidable over `M⁺` — the same problem that Theorem 5.1
+//! decides in PTIME over untyped data. The Figure 4 structure turns a
+//! separating finite-monoid homomorphism into a countermodel in
+//! `U_f(σ₁)`.
+
+use pathcons_constraints::{BoundedFamily, Path, PathConstraint};
+use pathcons_graph::{Graph, Label, LabelInterner, NodeId};
+use pathcons_monoid::{Homomorphism, Presentation};
+use pathcons_types::{
+    ClassId, Schema, SchemaBuilder, TypeExpr, TypeGraph, TypedGraph,
+};
+use std::collections::HashMap;
+
+/// The encoding of a monoid presentation over the schema `σ₁`.
+#[derive(Clone, Debug)]
+pub struct TypedEncoding {
+    /// Labels: generators, `a`, `b`, `K`, `l`, `∗`.
+    pub labels: LabelInterner,
+    /// The schema `σ₁`.
+    pub schema: Schema,
+    /// Its type graph.
+    pub type_graph: TypeGraph,
+    /// The constraint set Σ.
+    pub sigma: Vec<PathConstraint>,
+    /// `letter_label[i]` is the edge label of generator `i`.
+    pub letter_label: Vec<Label>,
+    /// The labels `l`, `K`, `a`, `b`, `∗`.
+    pub l: Label,
+    /// `K` (the local-database edge; also a record field of `C_l`).
+    pub k: Label,
+    /// `a`.
+    pub a: Label,
+    /// `b`.
+    pub b: Label,
+    /// `∗` (set membership).
+    pub star: Label,
+    /// The `C` class.
+    pub class_c: ClassId,
+}
+
+impl TypedEncoding {
+    /// Builds the encoding of `presentation`.
+    ///
+    /// # Panics
+    /// Panics if a generator is named `a`, `b`, `K` or `l` (the reduction
+    /// requires them to be fresh, as in the paper: `a, b, K ∉ Γ₀`).
+    pub fn new(presentation: &Presentation) -> TypedEncoding {
+        for i in 0..presentation.generator_count() {
+            let name = presentation.generator_name(i as u32);
+            assert!(
+                !matches!(name, "a" | "b" | "K" | "l" | "*"),
+                "generator name `{name}` collides with a reduction label"
+            );
+        }
+        let mut labels = LabelInterner::new();
+        let letter_label: Vec<Label> = (0..presentation.generator_count())
+            .map(|i| labels.intern(presentation.generator_name(i as u32)))
+            .collect();
+        let a = labels.intern("a");
+        let b = labels.intern("b");
+        let k = labels.intern("K");
+        let l = labels.intern("l");
+
+        // Schema σ₁.
+        let mut builder = SchemaBuilder::new();
+        let class_c = builder.declare_class("C");
+        let class_s = builder.declare_class("C_s");
+        let class_l = builder.declare_class("C_l");
+        builder.define_class(
+            class_c,
+            TypeExpr::Record(
+                letter_label
+                    .iter()
+                    .map(|&lab| (lab, TypeExpr::Class(class_c)))
+                    .collect(),
+            ),
+        );
+        builder.define_class(class_s, TypeExpr::Set(Box::new(TypeExpr::Class(class_c))));
+        builder.define_class(
+            class_l,
+            TypeExpr::Record(vec![
+                (a, TypeExpr::Class(class_c)),
+                (b, TypeExpr::Class(class_s)),
+                (k, TypeExpr::Class(class_l)),
+            ]),
+        );
+        let schema = builder
+            .finish(TypeExpr::Record(vec![(l, TypeExpr::Class(class_l))]))
+            .expect("σ₁ is well-formed");
+        let type_graph = TypeGraph::build(&schema, &mut labels);
+        let star = type_graph.star_label().expect("σ₁ uses sets");
+
+        // Σ.
+        let lk = Path::from_labels([l, k]);
+        let b_star = Path::from_labels([b, star]);
+        let mut sigma = Vec::new();
+        // (1) a-targets are set members.
+        sigma.push(PathConstraint::forward(
+            lk.clone(),
+            Path::single(a),
+            b_star.clone(),
+        ));
+        // (2) members are closed under the letters.
+        for &lab in &letter_label {
+            sigma.push(PathConstraint::forward(
+                lk.clone(),
+                b_star.push(lab),
+                b_star.clone(),
+            ));
+        }
+        // (3) equations hold at every member (both directions).
+        let l_b_star = Path::single(l).concat(&b_star);
+        for eq in presentation.equations() {
+            let gamma = word_path(&letter_label, &eq.lhs);
+            let delta = word_path(&letter_label, &eq.rhs);
+            sigma.push(PathConstraint::forward(
+                l_b_star.clone(),
+                gamma.clone(),
+                delta.clone(),
+            ));
+            sigma.push(PathConstraint::forward(l_b_star.clone(), delta, gamma));
+        }
+        // (4) the K self-loop at the C_l vertex.
+        sigma.push(PathConstraint::forward(
+            Path::single(l),
+            Path::empty(),
+            Path::single(k),
+        ));
+
+        TypedEncoding {
+            labels,
+            schema,
+            type_graph,
+            sigma,
+            letter_label,
+            l,
+            k,
+            a,
+            b,
+            star,
+            class_c,
+        }
+    }
+
+    /// The query `φ_{(α,β)}`.
+    pub fn query(&self, alpha: &[u32], beta: &[u32]) -> PathConstraint {
+        let lk = Path::from_labels([self.l, self.k]);
+        let a_alpha = Path::single(self.a).concat(&word_path(&self.letter_label, alpha));
+        let a_beta = Path::single(self.a).concat(&word_path(&self.letter_label, beta));
+        PathConstraint::forward(lk, a_alpha, a_beta)
+    }
+
+    /// Σ ∪ {φ} has prefix bounded by `l` and `K`; this partitions it
+    /// (Σ_K = groups 1–2 and the query; Σ_r = groups 3–4).
+    pub fn bounded_family(&self) -> BoundedFamily {
+        BoundedFamily::classify(&self.sigma, &Path::single(self.l), self.k)
+            .expect("Σ is prefix-bounded by construction")
+    }
+
+    /// The Figure 4 construction: from a homomorphism `h` into a finite
+    /// monoid satisfying the presentation, builds the member of
+    /// `U_f(σ₁)`:
+    ///
+    /// - one `C` vertex per element of the generated submonoid, with
+    ///   deterministic letter edges;
+    /// - the `C_l` vertex `o_l` with `a ↦ c_1` (the identity's vertex),
+    ///   `K ↦ o_l` (the forced self-loop) and `b ↦ o_s`;
+    /// - the `C_s` vertex `o_s` with `∗`-edges to *every* `C` vertex;
+    /// - the root with `l ↦ o_l`.
+    ///
+    /// If `h(α) ≠ h(β)`, the result is a typed model of `Σ ∧ ¬φ_{(α,β)}`.
+    pub fn figure4_structure(&self, hom: &Homomorphism) -> Figure4 {
+        let tg = &self.type_graph;
+        let mut graph = Graph::new();
+        let mut types = vec![tg.db()];
+
+        let type_cl = tg.type_of_path(&[self.l]).expect("l path");
+        let type_cs = tg.type_of_path(&[self.l, self.b]).expect("l·b path");
+        let type_c = tg.type_of_path(&[self.l, self.a]).expect("l·a path");
+
+        let o_l = graph.add_node();
+        types.push(type_cl);
+        let o_s = graph.add_node();
+        types.push(type_cs);
+
+        // C vertices: the generated submonoid.
+        let monoid = &hom.monoid;
+        let mut node_of: HashMap<u32, NodeId> = HashMap::new();
+        let mut order = vec![monoid.identity()];
+        node_of.insert(monoid.identity(), {
+            let n = graph.add_node();
+            types.push(type_c);
+            n
+        });
+        let mut queue = vec![monoid.identity()];
+        while let Some(m) = queue.pop() {
+            for &img in &hom.images {
+                let next = monoid.mul(m, img);
+                if let std::collections::hash_map::Entry::Vacant(e) = node_of.entry(next) {
+                    let n = graph.add_node();
+                    types.push(type_c);
+                    e.insert(n);
+                    order.push(next);
+                    queue.push(next);
+                }
+            }
+        }
+        for &m in &order {
+            for (i, &img) in hom.images.iter().enumerate() {
+                let next = monoid.mul(m, img);
+                graph.add_edge(node_of[&m], self.letter_label[i], node_of[&next]);
+            }
+        }
+
+        graph.add_edge(graph.root(), self.l, o_l);
+        graph.add_edge(o_l, self.a, node_of[&monoid.identity()]);
+        graph.add_edge(o_l, self.b, o_s);
+        graph.add_edge(o_l, self.k, o_l);
+        for &m in &order {
+            graph.add_edge(o_s, self.star, node_of[&m]);
+        }
+
+        Figure4 {
+            typed: TypedGraph { graph, types },
+            element_node: node_of,
+        }
+    }
+}
+
+/// A Figure 4 structure with its element-to-vertex map.
+#[derive(Clone, Debug)]
+pub struct Figure4 {
+    /// The typed structure (a member of `U_f(σ₁)`).
+    pub typed: TypedGraph,
+    /// Monoid element → `C` vertex.
+    pub element_node: HashMap<u32, NodeId>,
+}
+
+fn word_path(letter_label: &[Label], word: &[u32]) -> Path {
+    Path::from_labels(word.iter().map(|&l| letter_label[l as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_constraints::{all_hold, holds};
+    use pathcons_monoid::{find_separating_witness, FiniteMonoid};
+    use pathcons_types::Model;
+
+    fn commutative_presentation() -> Presentation {
+        let mut p = Presentation::free(["g1", "g2"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        p
+    }
+
+    #[test]
+    fn sigma1_is_an_mplus_schema() {
+        let enc = TypedEncoding::new(&commutative_presentation());
+        assert_eq!(enc.schema.model(), Model::MPlus);
+        // Paths follow Figure 4's shape.
+        let tg = &enc.type_graph;
+        assert!(tg.is_path(&[enc.l]));
+        assert!(tg.is_path(&[enc.l, enc.k, enc.k, enc.k]));
+        assert!(tg.is_path(&[enc.l, enc.a, enc.letter_label[0]]));
+        assert!(tg.is_path(&[enc.l, enc.b, enc.star, enc.letter_label[1]]));
+        assert!(!tg.is_path(&[enc.l, enc.b, enc.letter_label[1]]));
+        assert!(!tg.is_path(&[enc.k]));
+    }
+
+    #[test]
+    fn sigma_is_prefix_bounded_by_l_and_k() {
+        let enc = TypedEncoding::new(&commutative_presentation());
+        let family = enc.bounded_family();
+        // Σ_K: group (1) + one per letter (group 2) = 3.
+        assert_eq!(family.bounded.len(), 3);
+        // Σ_r: two equations (3, both directions) + the self-loop (4) = 3.
+        assert_eq!(family.others.len(), 3);
+        // The query is bounded as well.
+        let phi = enc.query(&[0, 1], &[1, 0]);
+        let (pi, k) = BoundedFamily::detect(&phi).expect("query bounded");
+        assert_eq!(pi, Path::single(enc.l));
+        assert_eq!(k, enc.k);
+    }
+
+    #[test]
+    fn figure4_is_a_member_of_uf_sigma1() {
+        let enc = TypedEncoding::new(&commutative_presentation());
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(2),
+            images: vec![1, 0],
+        };
+        let fig = enc.figure4_structure(&hom);
+        assert_eq!(
+            fig.typed.violations(&enc.type_graph),
+            vec![],
+            "Figure 4 violates Φ(σ₁)"
+        );
+    }
+
+    #[test]
+    fn figure4_models_sigma() {
+        let enc = TypedEncoding::new(&commutative_presentation());
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(2),
+            images: vec![1, 0],
+        };
+        assert!(hom.satisfies(&{
+            let mut p = Presentation::free(["g1", "g2"]);
+            p.add_equation(vec![0, 1], vec![1, 0]);
+            p
+        }));
+        let fig = enc.figure4_structure(&hom);
+        assert!(all_hold(&fig.typed.graph, &enc.sigma), "Figure 4 violates Σ");
+    }
+
+    #[test]
+    fn figure4_refutes_separated_query() {
+        let p = commutative_presentation();
+        let enc = TypedEncoding::new(&p);
+        let witness =
+            find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
+        let fig = enc.figure4_structure(&witness.hom);
+        let phi = enc.query(&[0, 1], &[0, 0, 1]);
+        assert!(all_hold(&fig.typed.graph, &enc.sigma));
+        assert!(!holds(&fig.typed.graph, &phi), "φ should fail on Figure 4");
+        assert_eq!(fig.typed.violations(&enc.type_graph), vec![]);
+    }
+
+    #[test]
+    fn figure4_satisfies_equal_query() {
+        let enc = TypedEncoding::new(&commutative_presentation());
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(3),
+            images: vec![1, 2],
+        };
+        let fig = enc.figure4_structure(&hom);
+        let phi = enc.query(&[0, 1], &[1, 0]);
+        assert!(holds(&fig.typed.graph, &phi));
+    }
+
+    #[test]
+    fn untyped_answer_differs_from_typed_answer() {
+        // The crux of Theorem 5.2: over *untyped* data the Theorem 5.1
+        // reduction discards Σ_r, so the implication fails; over σ₁ the
+        // type constraint makes Σ_r interact, and (for Δ ⊨ (α,β)) the
+        // implication holds. Here: (g1·g2, g2·g1) with commutativity.
+        use crate::local_extent::local_extent_implies;
+        let enc = TypedEncoding::new(&commutative_presentation());
+        let phi = enc.query(&[0, 1], &[1, 0]);
+        let untyped = local_extent_implies(&enc.sigma, &phi).unwrap();
+        // Untyped: Σ²_K = {a·l₁ → b·∗, …} cannot derive a·g1·g2 → a·g2·g1.
+        assert!(untyped.outcome.is_not_implied());
+        // Typed: every model in U(σ₁) satisfies φ. Spot-check on Figure 4
+        // models (the full typed implication is undecidable; Figure 4
+        // structures are the models that matter in Lemma 5.4).
+        for hom in [
+            Homomorphism {
+                monoid: FiniteMonoid::cyclic(2),
+                images: vec![1, 0],
+            },
+            Homomorphism {
+                monoid: FiniteMonoid::cyclic(5),
+                images: vec![2, 3],
+            },
+        ] {
+            let fig = enc.figure4_structure(&hom);
+            assert!(holds(&fig.typed.graph, &phi));
+        }
+    }
+}

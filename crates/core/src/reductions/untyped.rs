@@ -1,0 +1,370 @@
+//! The Section 4.1.2 reduction: word problem for (finite) monoids →
+//! (finite) implication for `P_w(K)` over semistructured data.
+//!
+//! Given an alphabet `Γ₀ = {l₁, …, l_m}` and equations
+//! `Δ₀ = {(γᵢ, δᵢ)}`, the encoding Σ ⊆ `P_w(K)` consists of
+//!
+//! - `∀x (ε(r,x) → K(r,x))`,
+//! - `∀x (K·lⱼ(r,x) → K(r,x))` for every letter,
+//! - `∀x (K(r,x) → ∀y (γᵢ(x,y) → δᵢ(x,y)))` and its mirror for every
+//!   equation,
+//!
+//! and a test equation `(α, β)` becomes the pair of word constraints
+//! `φ_{(α,β)} = α → β` and `φ_{(β,α)} = β → α`. Lemma 4.5:
+//! `Δ₀ ⊨ (α, β)` iff `Σ ⊨ φ_{(α,β)} ∧ φ_{(β,α)}` (and likewise for the
+//! finite variants). Since the word problem is undecidable (Theorem 4.4),
+//! so is (finite) implication for `P_w(K)` (Theorem 4.3) and hence for
+//! `P_c` (Theorem 4.1).
+//!
+//! The countermodel direction is the Figure 2 construction: a finite
+//! monoid homomorphism `h` separating `α` from `β` yields the structure
+//! with one vertex per element of the generated submonoid, `K`-edges from
+//! the root to every vertex, and deterministic letter edges — a finite
+//! model of `Σ ∧ ¬φ_{(α,β)}`.
+
+use pathcons_constraints::{Path, PathConstraint};
+use pathcons_graph::{Graph, Label, LabelInterner};
+use pathcons_monoid::{Homomorphism, Presentation, Word};
+use std::collections::HashMap;
+
+/// The encoding of a monoid presentation as a `P_w(π)` constraint set —
+/// with `π = K` (a single label) this is exactly the `P_w(K)` fragment of
+/// Theorem 4.3; longer prefixes give the `P_w(π)` generalization that
+/// Section 6 uses for Theorem 6.1.
+#[derive(Clone, Debug)]
+pub struct UntypedEncoding {
+    /// Labels: one per generator, plus the prefix labels.
+    pub labels: LabelInterner,
+    /// The distinguished prefix path `π` (disjoint from the generators).
+    pub pi: Path,
+    /// `letter_label[i]` is the edge label of generator `i`.
+    pub letter_label: Vec<Label>,
+    /// The constraint set Σ.
+    pub sigma: Vec<PathConstraint>,
+}
+
+impl UntypedEncoding {
+    /// Builds the `P_w(K)` encoding of `presentation` (Section 4.1.2).
+    pub fn new(presentation: &Presentation) -> UntypedEncoding {
+        UntypedEncoding::with_prefix(presentation, &["K"])
+    }
+
+    /// Builds the `P_w(π)` encoding with the given prefix label names
+    /// (Section 6): Σ consists of `ε → π`, `π·lⱼ → π` per letter, and
+    /// `∀x (π(r,x) → ∀y (γᵢ(x,y) ↔ δᵢ(x,y)))` per equation.
+    ///
+    /// # Panics
+    /// Panics if `prefix_names` is empty or collides with a generator.
+    pub fn with_prefix(presentation: &Presentation, prefix_names: &[&str]) -> UntypedEncoding {
+        assert!(!prefix_names.is_empty(), "π must be non-empty");
+        let mut labels = LabelInterner::new();
+        let letter_label: Vec<Label> = (0..presentation.generator_count())
+            .map(|i| labels.intern(presentation.generator_name(i as u32)))
+            .collect();
+        let pi = Path::from_labels(prefix_names.iter().map(|n| {
+            assert!(
+                (0..presentation.generator_count())
+                    .all(|i| presentation.generator_name(i as u32) != *n),
+                "prefix label `{n}` collides with a generator"
+            );
+            labels.intern(n)
+        }));
+
+        let mut sigma = Vec::new();
+        // ∀x (ε(r,x) → π(r,x))
+        sigma.push(PathConstraint::word(Path::empty(), pi.clone()));
+        // ∀x (π·lⱼ(r,x) → π(r,x))
+        for &l in &letter_label {
+            sigma.push(PathConstraint::word(pi.push(l), pi.clone()));
+        }
+        // ∀x (π(r,x) → ∀y (γᵢ(x,y) → δᵢ(x,y))) and the mirror.
+        for eq in presentation.equations() {
+            let gamma = word_path(&letter_label, &eq.lhs);
+            let delta = word_path(&letter_label, &eq.rhs);
+            sigma.push(PathConstraint::forward(pi.clone(), gamma.clone(), delta.clone()));
+            sigma.push(PathConstraint::forward(pi.clone(), delta, gamma));
+        }
+        UntypedEncoding {
+            labels,
+            pi,
+            letter_label,
+            sigma,
+        }
+    }
+
+    /// The query pair `(φ_{(α,β)}, φ_{(β,α)})` for a test equation.
+    pub fn queries(&self, alpha: &[u32], beta: &[u32]) -> (PathConstraint, PathConstraint) {
+        let a = word_path(&self.letter_label, alpha);
+        let b = word_path(&self.letter_label, beta);
+        (
+            PathConstraint::word(a.clone(), b.clone()),
+            PathConstraint::word(b, a),
+        )
+    }
+
+    /// Every constraint of Σ is in the fragment `P_w(K)` (only meaningful
+    /// for a single-label prefix) — the theorem's point is that this
+    /// *mild* extension of `P_w` is already undecidable.
+    pub fn sigma_is_in_pw_k(&self) -> bool {
+        self.pi.len() == 1 && self.sigma.iter().all(|c| c.in_pw_k(self.pi.labels()[0]))
+    }
+
+    /// Every constraint of Σ is in the fragment `P_w(π)` (Section 6).
+    pub fn sigma_is_in_pw_pi(&self) -> bool {
+        self.sigma.iter().all(|c| c.in_pw_path(&self.pi))
+    }
+
+    /// The Figure 2 construction: given a homomorphism `h` into a finite
+    /// monoid that satisfies the presentation, builds the structure `G`
+    /// with one vertex per element of the submonoid generated by the
+    /// letter images, deterministic letter edges
+    /// `lⱼ : v_m → v_{m·h(lⱼ)}`, and a fresh `π`-path from the root `v_1`
+    /// to every vertex (including the `π`-cycle back to the root; for
+    /// `π = K` these are exactly the paper's `K`-edges).
+    ///
+    /// If `h(α) ≠ h(β)`, the result is a finite model of
+    /// `Σ ∧ ¬φ_{(α,β)}`.
+    pub fn figure2_structure(&self, hom: &Homomorphism) -> Figure2 {
+        let mut graph = Graph::new();
+        let monoid = &hom.monoid;
+
+        // Vertices: elements of the submonoid generated by the images,
+        // discovered by BFS from the identity. The identity is the root.
+        let mut node_of: HashMap<u32, pathcons_graph::NodeId> = HashMap::new();
+        node_of.insert(monoid.identity(), graph.root());
+        let mut queue = vec![monoid.identity()];
+        let mut order = vec![monoid.identity()];
+        while let Some(m) = queue.pop() {
+            for &img in &hom.images {
+                let next = monoid.mul(m, img);
+                if let std::collections::hash_map::Entry::Vacant(e) = node_of.entry(next) {
+                    e.insert(graph.add_node());
+                    queue.push(next);
+                    order.push(next);
+                }
+            }
+        }
+        // Letter edges.
+        for &m in &order {
+            for (i, &img) in hom.images.iter().enumerate() {
+                let next = monoid.mul(m, img);
+                graph.add_edge(node_of[&m], self.letter_label[i], node_of[&next]);
+            }
+        }
+        // π-paths from the root to every vertex (fresh interiors per
+        // target; a single edge when |π| = 1).
+        let (pi_init, pi_last) = self.pi.split_last().expect("π is non-empty");
+        for &m in &order {
+            let pen = graph.add_path(graph.root(), &pi_init);
+            graph.add_edge(pen, pi_last, node_of[&m]);
+        }
+        Figure2 {
+            graph,
+            element_node: node_of,
+        }
+    }
+
+    /// Evaluates a monoid word to the vertex it reaches from the root in
+    /// a Figure 2 structure.
+    pub fn word_vertex(&self, fig: &Figure2, hom: &Homomorphism, word: &Word) -> pathcons_graph::NodeId {
+        fig.element_node[&hom.eval(word)]
+    }
+}
+
+/// A Figure 2 structure with its element-to-vertex map.
+#[derive(Clone, Debug)]
+pub struct Figure2 {
+    /// The structure.
+    pub graph: Graph,
+    /// Monoid element → vertex.
+    pub element_node: HashMap<u32, pathcons_graph::NodeId>,
+}
+
+fn word_path(letter_label: &[Label], word: &[u32]) -> Path {
+    Path::from_labels(word.iter().map(|&l| letter_label[l as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::chase_implication;
+    use crate::outcome::{Budget, Outcome};
+    use pathcons_constraints::{all_hold, holds};
+    use pathcons_monoid::{find_separating_witness, FiniteMonoid};
+
+    fn commutative_presentation() -> Presentation {
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        p
+    }
+
+    #[test]
+    fn encoding_shape_matches_the_paper() {
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        // 1 (ε→K) + 2 (K·lⱼ→K) + 2 (equation both ways) = 5.
+        assert_eq!(enc.sigma.len(), 5);
+        assert!(enc.sigma_is_in_pw_k());
+    }
+
+    #[test]
+    fn figure2_models_sigma() {
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        // Z2 × Z2-ish separation: count a's mod 2 (a ↦ 1, b ↦ 0 in Z2).
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(2),
+            images: vec![1, 0],
+        };
+        assert!(hom.satisfies(&p));
+        let fig = enc.figure2_structure(&hom);
+        assert!(all_hold(&fig.graph, &enc.sigma), "Figure 2 violates Σ");
+    }
+
+    #[test]
+    fn figure2_refutes_separated_queries() {
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        // ab vs aab: separated by counting a's mod 2.
+        let alpha = vec![0u32, 1];
+        let beta = vec![0u32, 0, 1];
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(2),
+            images: vec![1, 0],
+        };
+        assert_ne!(hom.eval(&alpha), hom.eval(&beta));
+        let (phi_ab, phi_ba) = enc.queries(&alpha, &beta);
+        let fig = enc.figure2_structure(&hom);
+        assert!(all_hold(&fig.graph, &enc.sigma));
+        // h(α) ≠ h(β): at least one direction fails. In Figure 2 both
+        // fail: α reaches only v_{h(α)} and β only v_{h(β)}.
+        assert!(!holds(&fig.graph, &phi_ab));
+        assert!(!holds(&fig.graph, &phi_ba));
+    }
+
+    #[test]
+    fn figure2_satisfies_equal_queries() {
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        // ab ≡ ba in the commutative presentation: any satisfying h maps
+        // them equally, so Figure 2 satisfies both query directions.
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(3),
+            images: vec![1, 2],
+        };
+        assert!(hom.satisfies(&p));
+        let (phi_ab, phi_ba) = enc.queries(&[0, 1], &[1, 0]);
+        let fig = enc.figure2_structure(&hom);
+        assert!(holds(&fig.graph, &phi_ab));
+        assert!(holds(&fig.graph, &phi_ba));
+    }
+
+    #[test]
+    fn reduction_forward_direction_via_chase() {
+        // Δ ⊨ (ab, ba) in the commutative presentation, so the encoded
+        // implication must hold; the chase should prove both directions.
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        let (phi_ab, phi_ba) = enc.queries(&[0, 1], &[1, 0]);
+        for phi in [phi_ab, phi_ba] {
+            match chase_implication(&enc.sigma, &phi, &Budget::default()) {
+                Outcome::Implied(_) => {}
+                other => panic!("expected Implied for {phi:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_negative_direction_via_witness() {
+        // Δ ⊭ (ab, aab): a separating witness exists, and its Figure 2
+        // structure is a checked countermodel — exactly Lemma 4.5(b).
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        let witness = find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3)
+            .expect("separable by counting");
+        let fig = enc.figure2_structure(&witness.hom);
+        let (phi_ab, _) = enc.queries(&[0, 1], &[0, 0, 1]);
+        assert!(all_hold(&fig.graph, &enc.sigma));
+        assert!(!holds(&fig.graph, &phi_ab));
+    }
+
+    #[test]
+    fn word_vertex_tracks_evaluation() {
+        let p = commutative_presentation();
+        let enc = UntypedEncoding::new(&p);
+        let hom = Homomorphism {
+            monoid: FiniteMonoid::cyclic(2),
+            images: vec![1, 0],
+        };
+        let fig = enc.figure2_structure(&hom);
+        let v = enc.word_vertex(&fig, &hom, &vec![0, 0]);
+        assert_eq!(v, fig.graph.root()); // aa ↦ 0 = identity
+    }
+}
+
+#[cfg(test)]
+mod pw_pi_tests {
+    use super::*;
+    use crate::chase::chase_implication;
+    use crate::outcome::{Budget, Outcome};
+    use pathcons_constraints::{all_hold, holds};
+    use pathcons_monoid::find_separating_witness;
+
+    fn commutative() -> Presentation {
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        p
+    }
+
+    #[test]
+    fn pw_pi_encoding_is_in_fragment() {
+        let enc = UntypedEncoding::with_prefix(&commutative(), &["p1", "p2"]);
+        assert!(enc.sigma_is_in_pw_pi());
+        assert!(!enc.sigma_is_in_pw_k());
+        assert_eq!(enc.pi.len(), 2);
+    }
+
+    #[test]
+    fn single_label_prefix_is_pw_k() {
+        let enc = UntypedEncoding::with_prefix(&commutative(), &["K"]);
+        assert!(enc.sigma_is_in_pw_k());
+        assert!(enc.sigma_is_in_pw_pi());
+    }
+
+    #[test]
+    fn figure2_generalizes_to_longer_prefixes() {
+        let p = commutative();
+        let enc = UntypedEncoding::with_prefix(&p, &["p1", "p2"]);
+        let witness =
+            find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
+        let fig = enc.figure2_structure(&witness.hom);
+        assert!(all_hold(&fig.graph, &enc.sigma), "Figure 2(π) violates Σ");
+        let (phi_ab, phi_ba) = enc.queries(&[0, 1], &[0, 0, 1]);
+        assert!(!holds(&fig.graph, &phi_ab));
+        assert!(!holds(&fig.graph, &phi_ba));
+    }
+
+    #[test]
+    fn chase_proves_encoded_equalities_with_long_prefix() {
+        let enc = UntypedEncoding::with_prefix(&commutative(), &["p1", "p2", "p3"]);
+        let (phi_ab, phi_ba) = enc.queries(&[0, 1], &[1, 0]);
+        for phi in [phi_ab, phi_ba] {
+            match chase_implication(&enc.sigma, &phi, &Budget::default()) {
+                Outcome::Implied(_) => {}
+                other => panic!("expected Implied, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with a generator")]
+    fn generator_collision_rejected() {
+        UntypedEncoding::with_prefix(&commutative(), &["a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_prefix_rejected() {
+        UntypedEncoding::with_prefix(&commutative(), &[]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Evidence extraction for the word-constraint engine: concrete rewrite
+//! derivations for positive answers and canonical countermodels for
+//! negative ones.
+//!
+//! The `post*` decision procedure is complete but opaque; this module
+//! turns its verdicts into artifacts a skeptic can replay:
+//!
+//! - [`derivation`] — a step-by-step prefix-rewrite sequence from `α` to
+//!   `β`, checkable by [`Derivation::check`] (found by `pre*`-guided BFS;
+//!   shortest derivations can be long, so extraction is fuel-bounded and
+//!   optional — the decision itself never is);
+//! - [`canonical_countermodel`] — a finite truncation of the canonical
+//!   model of Σ (one vertex per word `y`, edges `n_x --l--> n_y` iff
+//!   `y ⇒* x·l`, so `u` reaches exactly the `pre*(u)` vertices). The
+//!   candidate is *verified* against `Σ ∧ ¬φ` before being returned, so
+//!   a `Some` answer is self-certifying; `None` means the truncation was
+//!   too coarse, not that no countermodel exists.
+
+use pathcons_automata::PrefixRewriteSystem;
+use pathcons_constraints::{all_hold, holds, Path, PathConstraint};
+use pathcons_graph::{Graph, Label, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One prefix-rewrite step: rule `index` applied to the current word's
+/// prefix, yielding `result`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// Index of the applied word constraint in Σ.
+    pub rule: usize,
+    /// The word after the step.
+    pub result: Vec<Label>,
+}
+
+/// A prefix-rewrite derivation witnessing `Σ ⊢ α → β` under
+/// {reflexivity, transitivity, right-congruence}.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// The starting word `α`.
+    pub start: Vec<Label>,
+    /// The steps; the final step's `result` is `β` (empty for `α = β`).
+    pub steps: Vec<DerivationStep>,
+}
+
+impl Derivation {
+    /// The final word of the derivation.
+    pub fn end(&self) -> &[Label] {
+        self.steps
+            .last()
+            .map(|s| s.result.as_slice())
+            .unwrap_or(&self.start)
+    }
+
+    /// Replays the derivation against Σ, verifying every step.
+    pub fn check(&self, sigma: &[PathConstraint]) -> Result<(), String> {
+        let mut current: Vec<Label> = self.start.clone();
+        for (i, step) in self.steps.iter().enumerate() {
+            let rule = sigma
+                .get(step.rule)
+                .ok_or_else(|| format!("step {i}: rule index out of range"))?;
+            if !rule.is_word() {
+                return Err(format!("step {i}: rule is not a word constraint"));
+            }
+            let lhs = rule.lhs().labels();
+            if current.len() < lhs.len() || current[..lhs.len()] != lhs[..] {
+                return Err(format!("step {i}: lhs is not a prefix of the current word"));
+            }
+            let mut next: Vec<Label> = rule.rhs().to_vec();
+            next.extend_from_slice(&current[lhs.len()..]);
+            if next != step.result {
+                return Err(format!("step {i}: recorded result does not match"));
+            }
+            current = next;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts a derivation of `Σ ⊢ α → β` by BFS over rewrites, pruned to
+/// words that can still reach `β` (membership in `pre*(β)`). Returns
+/// `None` when `β` is unreachable or the `fuel` (visited-word budget)
+/// runs out — shortest derivations can be exponentially long, so
+/// extraction is best-effort while the decision itself is exact.
+pub fn derivation(
+    sigma: &[PathConstraint],
+    alpha: &Path,
+    beta: &Path,
+    fuel: usize,
+) -> Option<Derivation> {
+    let mut system = PrefixRewriteSystem::new();
+    for c in sigma {
+        if !c.is_word() {
+            return None;
+        }
+        system.add_rule(c.lhs().to_vec(), c.rhs().to_vec());
+    }
+    if alpha.labels() == beta.labels() {
+        return Some(Derivation {
+            start: alpha.to_vec(),
+            steps: Vec::new(),
+        });
+    }
+    let pre_star = system.pre_star(beta);
+    if !pre_star.accepts(alpha) {
+        return None;
+    }
+
+    // BFS with parent pointers over (word) nodes, expanding only words
+    // inside pre*(β).
+    let start: Vec<Label> = alpha.to_vec();
+    let target: Vec<Label> = beta.to_vec();
+    let mut parent: HashMap<Vec<Label>, (Vec<Label>, usize)> = HashMap::new();
+    let mut queue: VecDeque<Vec<Label>> = VecDeque::new();
+    let mut seen: HashSet<Vec<Label>> = HashSet::new();
+    seen.insert(start.clone());
+    queue.push_back(start.clone());
+    let mut found = false;
+    while let Some(word) = queue.pop_front() {
+        if word == target {
+            found = true;
+            break;
+        }
+        if seen.len() > fuel {
+            return None;
+        }
+        for (rule_idx, rule) in system.rules().iter().enumerate() {
+            if word.len() >= rule.lhs.len() && word[..rule.lhs.len()] == rule.lhs[..] {
+                let mut next: Vec<Label> = rule.rhs.clone();
+                next.extend_from_slice(&word[rule.lhs.len()..]);
+                if !seen.contains(&next) && pre_star.accepts(&next) {
+                    seen.insert(next.clone());
+                    parent.insert(next.clone(), (word.clone(), rule_idx));
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    if !found {
+        return None;
+    }
+    // Reconstruct.
+    let mut steps = Vec::new();
+    let mut cursor = target.clone();
+    while cursor != start {
+        let (prev, rule) = parent.get(&cursor).expect("BFS parent");
+        steps.push(DerivationStep {
+            rule: *rule,
+            result: cursor.clone(),
+        });
+        cursor = prev.clone();
+    }
+    steps.reverse();
+    Some(Derivation { start, steps })
+}
+
+/// Attempts to build a finite countermodel of `Σ ∧ ¬φ` by truncating the
+/// canonical model of Σ.
+///
+/// In the (generally infinite) canonical model, there is one vertex
+/// `n_y` per word `y`, the root is `n_ε`, and `n_x --l--> n_y` iff
+/// `y ⇒* x·l` under the rewrite rules read off Σ. A word `u` then
+/// reaches exactly `{n_y : y ⇒* u}`, so every rule `u → v` of Σ holds
+/// (`y ⇒* u` implies `y ⇒* v`), while a non-derivable `α → β` fails at
+/// the witness `n_α`. Truncating to words of length ≤ `max_len` only
+/// *removes* vertices and edges, which preserves `¬φ` but may break Σ —
+/// so the candidate is verified with the satisfaction checker before
+/// being returned, and a `None` means the truncation was too coarse, not
+/// that the implication holds.
+pub fn canonical_countermodel(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    max_len: usize,
+) -> Option<Graph> {
+    let mut system = PrefixRewriteSystem::new();
+    for c in sigma {
+        if !c.is_word() {
+            return None;
+        }
+        system.add_rule(c.lhs().to_vec(), c.rhs().to_vec());
+    }
+    if !phi.is_word() {
+        return None;
+    }
+
+    // Alphabet: labels mentioned anywhere.
+    let mut alphabet: Vec<Label> = sigma
+        .iter()
+        .chain(std::iter::once(phi))
+        .flat_map(|c| {
+            c.lhs()
+                .labels()
+                .iter()
+                .chain(c.rhs().labels())
+                .copied()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    // Grow the truncation length until a candidate verifies — smaller
+    // universes give smaller (more readable) countermodels.
+    (1..=max_len)
+        .find_map(|len| canonical_truncation(&system, sigma, phi, &alphabet, len))
+}
+
+/// One truncation attempt at a fixed word length.
+fn canonical_truncation(
+    system: &PrefixRewriteSystem,
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    alphabet: &[Label],
+    max_len: usize,
+) -> Option<Graph> {
+    // Keep the universe manageable: cap the word count.
+    const MAX_WORDS: usize = 240;
+    let mut words: Vec<Vec<Label>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<Label>> = vec![Vec::new()];
+    'grow: for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &l in alphabet {
+                let mut e = w.clone();
+                e.push(l);
+                words.push(e.clone());
+                next.push(e);
+                if words.len() >= MAX_WORDS {
+                    break 'grow;
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    let mut graph = Graph::new();
+    let nodes: Vec<NodeId> = std::iter::once(graph.root())
+        .chain((1..words.len()).map(|_| graph.add_node()))
+        .collect();
+
+    // Edges: n_x --l--> n_y iff y ∈ pre*(x·l). One pre* automaton per
+    // (x, l); membership tested for every candidate y.
+    for (xi, x) in words.iter().enumerate() {
+        for &l in alphabet {
+            let mut xl = x.clone();
+            xl.push(l);
+            let pre = system.pre_star(&xl);
+            for (yi, y) in words.iter().enumerate() {
+                if pre.accepts(y) {
+                    graph.add_edge(nodes[xi], l, nodes[yi]);
+                }
+            }
+        }
+    }
+
+    // The truncation may cut Σ-required edges to out-of-universe words;
+    // only a verified candidate is a countermodel.
+    if all_hold(&graph, sigma) && !holds(&graph, phi) {
+        Some(graph)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_constraints::parse_constraints;
+    use pathcons_graph::LabelInterner;
+
+    #[test]
+    fn derivation_for_chained_rules() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b\nb.g -> c", &mut labels).unwrap();
+        let alpha = Path::parse("a.g", &mut labels).unwrap();
+        let beta = Path::parse("c", &mut labels).unwrap();
+        let d = derivation(&sigma, &alpha, &beta, 10_000).expect("derivable");
+        assert_eq!(d.steps.len(), 2);
+        d.check(&sigma).unwrap();
+        assert_eq!(d.end(), beta.labels());
+    }
+
+    #[test]
+    fn reflexive_derivation_is_empty() {
+        let mut labels = LabelInterner::new();
+        let alpha = Path::parse("a.b", &mut labels).unwrap();
+        let d = derivation(&[], &alpha, &alpha, 100).unwrap();
+        assert!(d.steps.is_empty());
+        d.check(&[]).unwrap();
+    }
+
+    #[test]
+    fn underivable_returns_none() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let alpha = Path::parse("b", &mut labels).unwrap();
+        let beta = Path::parse("a", &mut labels).unwrap();
+        assert_eq!(derivation(&sigma, &alpha, &beta, 10_000), None);
+    }
+
+    #[test]
+    fn derivation_check_rejects_forgeries() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        // Claiming a ⇒ a via rule 0 (which produces b) must fail.
+        let forged = Derivation {
+            start: vec![a],
+            steps: vec![DerivationStep {
+                rule: 0,
+                result: vec![a],
+            }],
+        };
+        assert!(forged.check(&sigma).is_err());
+        // And an honest one passes.
+        let honest = Derivation {
+            start: vec![a],
+            steps: vec![DerivationStep {
+                rule: 0,
+                result: vec![b],
+            }],
+        };
+        honest.check(&sigma).unwrap();
+    }
+
+    #[test]
+    fn canonical_countermodel_for_simple_case() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let phi = PathConstraint::parse("b -> a", &mut labels).unwrap();
+        let g = canonical_countermodel(&sigma, &phi, 4).expect("countermodel");
+        assert!(all_hold(&g, &sigma));
+        assert!(!holds(&g, &phi));
+    }
+
+    #[test]
+    fn canonical_countermodel_none_for_implied() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let phi = PathConstraint::parse("a.c -> b.c", &mut labels).unwrap();
+        assert!(canonical_countermodel(&sigma, &phi, 4).is_none());
+    }
+
+    #[test]
+    fn canonical_countermodel_handles_growing_rules() {
+        let mut labels = LabelInterner::new();
+        // a ⇒ b·a keeps post* sets distinct; refute b·a -> a.
+        let sigma = parse_constraints("a -> b.a", &mut labels).unwrap();
+        let phi = PathConstraint::parse("b.a -> a", &mut labels).unwrap();
+        if let Some(g) = canonical_countermodel(&sigma, &phi, 5) {
+            assert!(all_hold(&g, &sigma));
+            assert!(!holds(&g, &phi));
+        }
+        // (None is acceptable — the truncation may be too coarse — but a
+        // returned model must verify, which the asserts above cover.)
+    }
+}

@@ -1,0 +1,121 @@
+//! GraphViz DOT rendering, for inspecting structures such as the paper's
+//! Figure 1 (the bibliography document) or the countermodels produced by
+//! the solvers.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::LabelInterner;
+use std::fmt::Write as _;
+
+/// Options controlling [`to_dot`] output.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Name of the digraph.
+    pub name: String,
+    /// Extra attributes rendered for the root node.
+    pub root_attrs: String,
+    /// Optional per-node captions (index-aligned with node ids).
+    pub node_captions: Vec<String>,
+}
+
+impl Default for DotOptions {
+    fn default() -> DotOptions {
+        DotOptions {
+            name: "G".to_owned(),
+            root_attrs: "shape=doublecircle".to_owned(),
+            node_captions: Vec::new(),
+        }
+    }
+}
+
+/// Renders `graph` as a GraphViz `digraph`.
+pub fn to_dot(graph: &Graph, labels: &LabelInterner, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    for node in graph.nodes() {
+        let caption = options
+            .node_captions
+            .get(node.index())
+            .map(String::as_str)
+            .unwrap_or("");
+        let label = if caption.is_empty() {
+            node_name(graph, node)
+        } else {
+            format!("{}\\n{}", node_name(graph, node), escape(caption))
+        };
+        let extra = if node == graph.root() {
+            format!(", {}", options.root_attrs)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  {} [label=\"{}\"{}];", node.index(), label, extra);
+    }
+    for (from, label, to) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            from.index(),
+            to.index(),
+            escape(labels.name(label))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_name(graph: &Graph, node: NodeId) -> String {
+    if node == graph.root() {
+        "r".to_owned()
+    } else {
+        format!("n{}", node.index())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_graph;
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -book-> b\nb -author-> p", &mut labels).unwrap();
+        let dot = to_dot(&g, &labels, &DotOptions::default());
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("label=\"book\""));
+        assert!(dot.contains("label=\"author\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn captions_are_rendered() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -a-> x", &mut labels).unwrap();
+        let dot = to_dot(
+            &g,
+            &labels,
+            &DotOptions {
+                node_captions: vec!["DBtype".into(), "Book".into()],
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("DBtype"));
+        assert!(dot.contains("Book"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut labels = LabelInterner::new();
+        let mut g = Graph::new();
+        let n = g.add_node();
+        let weird = labels.intern("a\"b");
+        g.add_edge(g.root(), weird, n);
+        let dot = to_dot(&g, &labels, &DotOptions::default());
+        assert!(dot.contains("a\\\"b"));
+    }
+}

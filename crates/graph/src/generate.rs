@@ -1,0 +1,145 @@
+//! Random graph generation (feature `gen`), used by property tests, the
+//! countermodel search engines, and the benchmark workload generators.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for [`random_graph`].
+#[derive(Clone, Debug)]
+pub struct RandomGraphConfig {
+    /// Number of nodes including the root (must be ≥ 1).
+    pub nodes: usize,
+    /// Edge alphabet to draw labels from (must be non-empty).
+    pub labels: Vec<Label>,
+    /// Expected number of out-edges per node.
+    pub mean_out_degree: f64,
+    /// Whether every non-root node is guaranteed to be reachable from the
+    /// root (via a random spanning arborescence laid down first).
+    pub connected: bool,
+}
+
+impl RandomGraphConfig {
+    /// A reasonable default configuration over the given alphabet.
+    pub fn new(nodes: usize, labels: Vec<Label>) -> RandomGraphConfig {
+        RandomGraphConfig {
+            nodes,
+            labels,
+            mean_out_degree: 2.0,
+            connected: true,
+        }
+    }
+}
+
+/// Generates a random rooted graph.
+///
+/// # Panics
+/// Panics if `config.nodes == 0` or `config.labels` is empty.
+pub fn random_graph<R: Rng>(rng: &mut R, config: &RandomGraphConfig) -> Graph {
+    assert!(config.nodes >= 1, "need at least the root node");
+    assert!(!config.labels.is_empty(), "need a non-empty alphabet");
+
+    let mut graph = Graph::new();
+    let mut ids = vec![graph.root()];
+    for _ in 1..config.nodes {
+        ids.push(graph.add_node());
+    }
+
+    if config.connected {
+        // Random arborescence: parent of node i is a uniformly chosen
+        // earlier node, so every node is root-reachable.
+        for i in 1..config.nodes {
+            let parent = ids[rng.gen_range(0..i)];
+            let label = *config.labels.choose(rng).expect("non-empty alphabet");
+            graph.add_edge(parent, label, ids[i]);
+        }
+    }
+
+    // Extra random edges to reach the requested mean out-degree.
+    let target_edges = (config.nodes as f64 * config.mean_out_degree) as usize;
+    let mut budget = target_edges.saturating_sub(graph.edge_count());
+    // Cap attempts to avoid spinning when the graph saturates.
+    let mut attempts = budget.saturating_mul(4) + 16;
+    while budget > 0 && attempts > 0 {
+        attempts -= 1;
+        let from = ids[rng.gen_range(0..config.nodes)];
+        let to = ids[rng.gen_range(0..config.nodes)];
+        let label = *config.labels.choose(rng).expect("non-empty alphabet");
+        if graph.add_edge(from, label, to) {
+            budget -= 1;
+        }
+    }
+    graph
+}
+
+/// Generates a random label word of the given length.
+pub fn random_word<R: Rng>(rng: &mut R, labels: &[Label], len: usize) -> Vec<Label> {
+    (0..len)
+        .map(|_| *labels.choose(rng).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// Picks a random node id of `graph`.
+pub fn random_node<R: Rng>(rng: &mut R, graph: &Graph) -> NodeId {
+    NodeId::from_index(rng.gen_range(0..graph.node_count()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn alphabet() -> Vec<Label> {
+        let interner = LabelInterner::with_labels(["a", "b", "c"]);
+        interner.labels().collect()
+    }
+
+    #[test]
+    fn generates_requested_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_graph(&mut rng, &RandomGraphConfig::new(10, alphabet()));
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn connected_graphs_are_root_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = random_graph(&mut rng, &RandomGraphConfig::new(12, alphabet()));
+            assert_eq!(g.reachable_from_root().len(), 12);
+        }
+    }
+
+    #[test]
+    fn disconnected_mode_allows_orphans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = RandomGraphConfig {
+            connected: false,
+            mean_out_degree: 0.0,
+            ..RandomGraphConfig::new(5, alphabet())
+        };
+        let g = random_graph(&mut rng, &config);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_word_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = random_word(&mut rng, &alphabet(), 7);
+        assert_eq!(w.len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = RandomGraphConfig::new(8, alphabet());
+        let g1 = random_graph(&mut StdRng::seed_from_u64(42), &config);
+        let g2 = random_graph(&mut StdRng::seed_from_u64(42), &config);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

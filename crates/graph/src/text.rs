@@ -1,0 +1,242 @@
+//! A compact text format for graphs, used for fixtures and debugging.
+//!
+//! Grammar (one statement per line, `#` starts a comment):
+//!
+//! ```text
+//! graph    := line*
+//! line     := edge | "root" ident
+//! edge     := ident "-" label "->" ident
+//! ```
+//!
+//! Node identifiers are arbitrary tokens; they are allocated in order of
+//! first appearance, except that the root (declared with `root <ident>`,
+//! or defaulting to the first mentioned node) is always node 0. Labels are
+//! interned into the caller-supplied [`LabelInterner`].
+//!
+//! ```
+//! use pathcons_graph::{parse_graph, LabelInterner};
+//!
+//! let mut labels = LabelInterner::new();
+//! let g = parse_graph("r -book-> b\nb -author-> p\np -wrote-> b", &mut labels).unwrap();
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 3);
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use crate::label::LabelInterner;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when parsing the graph text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGraphError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+/// Parses the text format described in the module docs.
+pub fn parse_graph(input: &str, labels: &mut LabelInterner) -> Result<Graph, ParseGraphError> {
+    struct Statement<'a> {
+        line: usize,
+        kind: StatementKind<'a>,
+    }
+    enum StatementKind<'a> {
+        Root(&'a str),
+        Edge(&'a str, &'a str, &'a str),
+    }
+
+    let mut statements = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("root ") {
+            let name = rest.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(ParseGraphError {
+                    line: line_no,
+                    message: "expected a single node name after `root`".into(),
+                });
+            }
+            statements.push(Statement {
+                line: line_no,
+                kind: StatementKind::Root(name),
+            });
+            continue;
+        }
+        // edge: <from> -<label>-> <to>
+        let parse_edge = || -> Option<(&str, &str, &str)> {
+            let (from, rest) = line.split_once(" -")?;
+            let (label, to) = rest.split_once("-> ")?;
+            let from = from.trim();
+            let label = label.trim();
+            let to = to.trim();
+            if from.is_empty() || label.is_empty() || to.is_empty() {
+                return None;
+            }
+            if to.contains(char::is_whitespace) {
+                return None;
+            }
+            Some((from, label, to))
+        };
+        match parse_edge() {
+            Some((from, label, to)) => statements.push(Statement {
+                line: line_no,
+                kind: StatementKind::Edge(from, label, to),
+            }),
+            None => {
+                return Err(ParseGraphError {
+                    line: line_no,
+                    message: format!("expected `from -label-> to` or `root name`, got `{line}`"),
+                })
+            }
+        }
+    }
+
+    // Determine the root name: explicit declaration wins, otherwise the
+    // first node mentioned.
+    let mut root_name: Option<&str> = None;
+    for stmt in &statements {
+        if let StatementKind::Root(name) = stmt.kind {
+            if root_name.is_some() {
+                return Err(ParseGraphError {
+                    line: stmt.line,
+                    message: "duplicate `root` declaration".into(),
+                });
+            }
+            root_name = Some(name);
+        }
+    }
+    if root_name.is_none() {
+        root_name = statements.iter().find_map(|s| match s.kind {
+            StatementKind::Edge(from, _, _) => Some(from),
+            StatementKind::Root(_) => None,
+        });
+    }
+
+    let mut graph = Graph::new();
+    let mut names: HashMap<&str, NodeId> = HashMap::new();
+    if let Some(name) = root_name {
+        names.insert(name, graph.root());
+    }
+    fn node_for<'a>(
+        graph: &mut Graph,
+        names: &mut HashMap<&'a str, NodeId>,
+        name: &'a str,
+    ) -> NodeId {
+        *names.entry(name).or_insert_with(|| graph.add_node())
+    }
+    for stmt in &statements {
+        if let StatementKind::Edge(from, label, to) = stmt.kind {
+            let from = node_for(&mut graph, &mut names, from);
+            let to = node_for(&mut graph, &mut names, to);
+            let label = labels.intern(label);
+            graph.add_edge(from, label, to);
+        }
+    }
+    Ok(graph)
+}
+
+/// Serializes `graph` into the text format, resolving names via `labels`.
+///
+/// Nodes are written as `n<index>`, the root as `r`. The output round-trips
+/// through [`parse_graph`] up to node renaming.
+pub fn render_graph(graph: &Graph, labels: &LabelInterner) -> String {
+    let mut out = String::new();
+    let name = |n: NodeId| {
+        if n == graph.root() {
+            "r".to_owned()
+        } else {
+            format!("n{}", n.index())
+        }
+    };
+    out.push_str(&format!("root {}\n", name(graph.root())));
+    for (from, label, to) in graph.edges() {
+        out.push_str(&format!(
+            "{} -{}-> {}\n",
+            name(from),
+            labels.name(label),
+            name(to)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edges() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -a-> x\nx -b-> y\ny -a-> r", &mut labels).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let a = labels.get("a").unwrap();
+        assert_eq!(g.successors(g.root(), a).count(), 1);
+    }
+
+    #[test]
+    fn explicit_root_declaration() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("root top\nx -a-> top", &mut labels).unwrap();
+        // `top` must be node 0 (the root) even though `x` is mentioned first.
+        assert_eq!(g.node_count(), 2);
+        let a = labels.get("a").unwrap();
+        let x = g.nodes().find(|&n| n != g.root()).unwrap();
+        assert!(g.has_edge(x, a, g.root()));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("# header\n\nr -a-> x # trailing\n", &mut labels).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -K-> r", &mut labels).unwrap();
+        assert_eq!(g.node_count(), 1);
+        let k = labels.get("K").unwrap();
+        assert!(g.has_edge(g.root(), k, g.root()));
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let mut labels = LabelInterner::new();
+        let err = parse_graph("r -a-> x\nbogus line here you see", &mut labels).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_root_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_graph("root a\nroot b", &mut labels).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -a-> x\nx -b-> y\ny -c-> r\nr -a-> y", &mut labels).unwrap();
+        let text = render_graph(&g, &labels);
+        let mut labels2 = LabelInterner::new();
+        let g2 = parse_graph(&text, &mut labels2).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+}

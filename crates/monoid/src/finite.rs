@@ -1,0 +1,381 @@
+//! Concrete finite monoids and finite-quotient search.
+//!
+//! The negative side of the *finite* word problem — `Δ ⊭_f (α, β)` — is
+//! witnessed by a finite monoid `M` and a homomorphism `h : Γ* → M` that
+//! satisfies every equation of `Δ` but separates `α` from `β`. By Cayley's
+//! theorem every finite monoid embeds in a full transformation monoid
+//! `T_k`, so enumerating assignments of generators to functions
+//! `[k] → [k]` is a refutation procedure that is complete in the limit.
+//! These witnesses are exactly what the Figure 2 / Figure 4 countermodel
+//! constructions of the paper consume.
+
+use crate::presentation::{Letter, Presentation};
+use std::collections::HashMap;
+
+/// A finite monoid given by its multiplication table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiniteMonoid {
+    size: usize,
+    /// `table[a * size + b] = a ∘ b`.
+    table: Vec<u32>,
+    identity: u32,
+}
+
+impl FiniteMonoid {
+    /// Builds a monoid from a multiplication table, verifying the axioms.
+    pub fn from_table(size: usize, table: Vec<u32>, identity: u32) -> Result<FiniteMonoid, String> {
+        if table.len() != size * size {
+            return Err(format!(
+                "table has {} entries, expected {}",
+                table.len(),
+                size * size
+            ));
+        }
+        if table.iter().any(|&x| x as usize >= size) {
+            return Err("table entry out of range".into());
+        }
+        if identity as usize >= size {
+            return Err("identity out of range".into());
+        }
+        let m = FiniteMonoid {
+            size,
+            table,
+            identity,
+        };
+        for a in 0..size as u32 {
+            if m.mul(m.identity, a) != a || m.mul(a, m.identity) != a {
+                return Err(format!("identity law fails at {a}"));
+            }
+        }
+        for a in 0..size as u32 {
+            for b in 0..size as u32 {
+                for c in 0..size as u32 {
+                    if m.mul(m.mul(a, b), c) != m.mul(a, m.mul(b, c)) {
+                        return Err(format!("associativity fails at ({a},{b},{c})"));
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// The cyclic group `Z_k` under addition (as a monoid).
+    pub fn cyclic(k: usize) -> FiniteMonoid {
+        assert!(k >= 1);
+        let mut table = vec![0u32; k * k];
+        for a in 0..k {
+            for b in 0..k {
+                table[a * k + b] = ((a + b) % k) as u32;
+            }
+        }
+        FiniteMonoid {
+            size: k,
+            table,
+            identity: 0,
+        }
+    }
+
+    /// The two-element monoid `{1, 0}` with absorbing zero.
+    pub fn boolean_and() -> FiniteMonoid {
+        // elements: 0 = identity(true), 1 = zero(false)
+        FiniteMonoid {
+            size: 2,
+            table: vec![0, 1, 1, 1],
+            identity: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The identity element.
+    pub fn identity(&self) -> u32 {
+        self.identity
+    }
+
+    /// Product `a ∘ b`.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        self.table[a as usize * self.size + b as usize]
+    }
+}
+
+/// A homomorphism `h : Γ* → M` determined by generator images.
+#[derive(Clone, Debug)]
+pub struct Homomorphism {
+    /// The target monoid.
+    pub monoid: FiniteMonoid,
+    /// `images[letter]` is `h(letter)`.
+    pub images: Vec<u32>,
+}
+
+impl Homomorphism {
+    /// Evaluates `h(word)`.
+    pub fn eval(&self, word: &[Letter]) -> u32 {
+        word.iter().fold(self.monoid.identity(), |acc, &l| {
+            self.monoid.mul(acc, self.images[l as usize])
+        })
+    }
+
+    /// Whether `h` satisfies every equation of `presentation`.
+    pub fn satisfies(&self, presentation: &Presentation) -> bool {
+        presentation
+            .equations()
+            .iter()
+            .all(|eq| self.eval(&eq.lhs) == self.eval(&eq.rhs))
+    }
+}
+
+/// A witness that `Δ ⊭_f (α, β)`: a homomorphism into a finite monoid
+/// satisfying `Δ` with `h(α) ≠ h(β)`.
+#[derive(Clone, Debug)]
+pub struct SeparatingWitness {
+    /// The separating homomorphism.
+    pub hom: Homomorphism,
+    /// `h(α)`.
+    pub alpha_image: u32,
+    /// `h(β)`.
+    pub beta_image: u32,
+}
+
+/// Searches for a separating witness among transformation monoids `T_k`
+/// for `k = 1..=max_degree`: each generator is assigned a function
+/// `[k] → [k]`; the submonoid generated is the image of `h`.
+///
+/// Returns the first witness found, or `None` if none exists within the
+/// bound. Complete in the limit (Cayley), exponential in practice — keep
+/// `max_degree ≤ 3` for alphabets of size ≥ 3.
+pub fn find_separating_witness(
+    presentation: &Presentation,
+    alpha: &[Letter],
+    beta: &[Letter],
+    max_degree: usize,
+) -> Option<SeparatingWitness> {
+    let gens = presentation.generator_count();
+    for k in 1..=max_degree {
+        let functions = all_functions(k);
+        let mut assignment = vec![0usize; gens];
+        loop {
+            // Build the transformation-monoid homomorphism for this
+            // assignment and test it.
+            if let Some(w) =
+                try_assignment(presentation, alpha, beta, k, &functions, &assignment)
+            {
+                return Some(w);
+            }
+            // Next assignment (odometer).
+            let mut i = 0;
+            loop {
+                if i == gens {
+                    break;
+                }
+                assignment[i] += 1;
+                if assignment[i] < functions.len() {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+            if i == gens {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// All functions `[k] → [k]`, each as a vector of images.
+fn all_functions(k: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let total = (k as u64).pow(k as u32);
+    for code in 0..total {
+        let mut f = Vec::with_capacity(k);
+        let mut c = code;
+        for _ in 0..k {
+            f.push((c % k as u64) as u8);
+            c /= k as u64;
+        }
+        out.push(f);
+    }
+    out
+}
+
+fn compose(f: &[u8], g: &[u8]) -> Vec<u8> {
+    // (f ; g)(x) = g(f(x)) — left-to-right composition matching word order.
+    f.iter().map(|&x| g[x as usize]).collect()
+}
+
+fn try_assignment(
+    presentation: &Presentation,
+    alpha: &[Letter],
+    beta: &[Letter],
+    k: usize,
+    functions: &[Vec<u8>],
+    assignment: &[usize],
+) -> Option<SeparatingWitness> {
+    let identity: Vec<u8> = (0..k as u8).collect();
+    let eval = |word: &[Letter]| -> Vec<u8> {
+        word.iter().fold(identity.clone(), |acc, &l| {
+            compose(&acc, &functions[assignment[l as usize]])
+        })
+    };
+
+    // Quick rejection: equations must hold as transformations.
+    for eq in presentation.equations() {
+        if eval(&eq.lhs) != eval(&eq.rhs) {
+            return None;
+        }
+    }
+    let fa = eval(alpha);
+    let fb = eval(beta);
+    if fa == fb {
+        return None;
+    }
+
+    // Materialize the generated submonoid as a FiniteMonoid (closure of
+    // the generator images plus identity under composition).
+    let mut elements: Vec<Vec<u8>> = vec![identity.clone()];
+    let mut index: HashMap<Vec<u8>, u32> = HashMap::new();
+    index.insert(identity, 0);
+    let gen_images: Vec<Vec<u8>> = assignment
+        .iter()
+        .map(|&i| functions[i].clone())
+        .collect();
+    let mut frontier = vec![0usize];
+    while let Some(e) = frontier.pop() {
+        for g in &gen_images {
+            let prod = compose(&elements[e], g);
+            if !index.contains_key(&prod) {
+                let id = elements.len() as u32;
+                index.insert(prod.clone(), id);
+                elements.push(prod);
+                frontier.push(id as usize);
+            }
+        }
+    }
+    let size = elements.len();
+    let mut table = vec![0u32; size * size];
+    for (i, a) in elements.iter().enumerate() {
+        for (j, b) in elements.iter().enumerate() {
+            let prod = compose(a, b);
+            // The closure above only multiplied by generators; products of
+            // two arbitrary elements are compositions of generator
+            // sequences, hence still in the closure.
+            table[i * size + j] = *index.get(&prod).expect("closed under composition");
+        }
+    }
+    let monoid = FiniteMonoid {
+        size,
+        table,
+        identity: 0,
+    };
+    let images: Vec<u32> = gen_images.iter().map(|g| index[g]).collect();
+    let hom = Homomorphism { monoid, images };
+    let alpha_image = hom.eval(alpha);
+    let beta_image = hom.eval(beta);
+    debug_assert_ne!(alpha_image, beta_image);
+    Some(SeparatingWitness {
+        hom,
+        alpha_image,
+        beta_image,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_monoid_is_valid() {
+        let z5 = FiniteMonoid::cyclic(5);
+        let rebuilt = FiniteMonoid::from_table(5, z5.table.clone(), 0).unwrap();
+        assert_eq!(z5, rebuilt);
+        assert_eq!(z5.mul(3, 4), 2);
+    }
+
+    #[test]
+    fn invalid_tables_rejected() {
+        // Non-associative magma on 2 elements.
+        assert!(FiniteMonoid::from_table(2, vec![0, 1, 1, 0], 1).is_err());
+        // Wrong sizes.
+        assert!(FiniteMonoid::from_table(2, vec![0, 1, 1], 0).is_err());
+        assert!(FiniteMonoid::from_table(2, vec![0, 1, 1, 5], 0).is_err());
+        assert!(FiniteMonoid::from_table(2, vec![0, 1, 1, 1], 7).is_err());
+    }
+
+    #[test]
+    fn boolean_and_monoid() {
+        let m = FiniteMonoid::boolean_and();
+        assert_eq!(m.mul(0, 0), 0);
+        assert_eq!(m.mul(0, 1), 1);
+        assert_eq!(m.mul(1, 1), 1);
+    }
+
+    #[test]
+    fn homomorphism_eval() {
+        let z3 = FiniteMonoid::cyclic(3);
+        let h = Homomorphism {
+            monoid: z3,
+            images: vec![1, 2],
+        };
+        // h(a) = 1, h(b) = 2: h(ab) = 0, h(aab) = 1.
+        assert_eq!(h.eval(&[0, 1]), 0);
+        assert_eq!(h.eval(&[0, 0, 1]), 1);
+        assert_eq!(h.eval(&[]), 0);
+    }
+
+    #[test]
+    fn homomorphism_respects_presentation() {
+        let mut p = Presentation::free(["a"]);
+        p.add_equation(vec![0, 0, 0], vec![]);
+        let good = Homomorphism {
+            monoid: FiniteMonoid::cyclic(3),
+            images: vec![1],
+        };
+        assert!(good.satisfies(&p));
+        let bad = Homomorphism {
+            monoid: FiniteMonoid::cyclic(4),
+            images: vec![1],
+        };
+        assert!(!bad.satisfies(&p));
+    }
+
+    #[test]
+    fn separating_witness_for_free_monoid() {
+        // In the free monoid on {a, b}, a ≠ b is separated by a finite
+        // monoid (e.g. Z2 sending a ↦ 1, b ↦ 0).
+        let p = Presentation::free(["a", "b"]);
+        let w = find_separating_witness(&p, &[0], &[1], 2).expect("should separate");
+        assert!(w.hom.satisfies(&p));
+        assert_ne!(w.alpha_image, w.beta_image);
+    }
+
+    #[test]
+    fn no_witness_for_provably_equal_words() {
+        // ⟨a | aa = a⟩ : a ≡ aa, so no finite monoid can separate them.
+        let mut p = Presentation::free(["a"]);
+        p.add_equation(vec![0, 0], vec![0]);
+        assert!(find_separating_witness(&p, &[0], &[0, 0], 3).is_none());
+    }
+
+    #[test]
+    fn commutative_quotient_separates_counts() {
+        // ⟨a, b | ab = ba⟩ : ab ≡ ba but ab ≢ aab.
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        assert!(find_separating_witness(&p, &[0, 1], &[1, 0], 2).is_none());
+        let w = find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separate by count");
+        assert!(w.hom.satisfies(&p));
+    }
+
+    #[test]
+    fn witness_monoid_is_a_valid_monoid() {
+        let p = Presentation::free(["a", "b"]);
+        let w = find_separating_witness(&p, &[0, 1], &[1, 0], 2).unwrap();
+        let m = &w.hom.monoid;
+        // Re-validate through the checked constructor.
+        assert!(FiniteMonoid::from_table(m.size(), m.table.clone(), m.identity()).is_ok());
+    }
+}

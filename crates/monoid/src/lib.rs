@@ -1,0 +1,56 @@
+//! # pathcons-monoid
+//!
+//! Finitely presented monoids and the (finite) word problem — the
+//! undecidable problem that Theorems 4.3 and 5.2 of Buneman, Fan &
+//! Weinstein (PODS 1999) reduce *from*.
+//!
+//! The word problem for (finite) monoids is undecidable (the paper's
+//! Theorem 4.4), so this crate provides honest semi-deciders:
+//!
+//! - [`KnuthBendix`] — budgeted Knuth–Bendix completion; when it converges
+//!   the word problem of the presentation is decided by normal forms;
+//! - [`bounded_congruence_search`] — a sound bounded prover for `α ≡ β`;
+//! - [`find_separating_witness`] — finite-quotient search over
+//!   transformation monoids (complete in the limit, by Cayley's theorem),
+//!   producing the `(M, h)` witnesses consumed by the paper's Figure 2 and
+//!   Figure 4 countermodel constructions;
+//! - [`decide_word_problem`] / [`decide_finite_word_problem`] — the
+//!   combined three-valued oracles.
+//!
+//! ```
+//! use pathcons_monoid::{decide_word_problem, Presentation, WordProblemAnswer,
+//!                       WordProblemBudget};
+//!
+//! // ⟨a, b | ab = ba⟩: the free commutative monoid.
+//! let mut p = Presentation::free(["a", "b"]);
+//! p.add_equation(vec![0, 1], vec![1, 0]);
+//!
+//! let budget = WordProblemBudget::default();
+//! let aba = p.parse_word("aba").unwrap();
+//! let aab = p.parse_word("aab").unwrap();
+//! assert!(matches!(
+//!     decide_word_problem(&p, &aba, &aab, &budget),
+//!     WordProblemAnswer::Equal(_)
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod finite;
+mod presentation;
+mod rewriting;
+mod word_problem;
+
+pub use finite::{
+    find_separating_witness, FiniteMonoid, Homomorphism, SeparatingWitness,
+};
+pub use presentation::{Equation, Letter, Presentation, Word, WordParseError};
+pub use rewriting::{
+    bounded_congruence_search, shortlex, CompletionBudget, CompletionStatus, KnuthBendix,
+    StringRule,
+};
+pub use word_problem::{
+    decide_finite_word_problem, decide_word_problem, EqualityEvidence, SeparationEvidence,
+    WordProblemAnswer, WordProblemBudget,
+};

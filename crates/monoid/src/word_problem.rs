@@ -1,0 +1,290 @@
+//! The (finite) word problem for monoids, as a three-valued procedure.
+//!
+//! Both problems are undecidable (Theorem 4.4 of the paper, citing
+//! Abiteboul/Hull/Vianu and Lewis/Papadimitriou), so this module combines
+//! the semi-deciders of [`crate::rewriting`] and [`crate::finite`] into an
+//! honest three-valued oracle used by the path-constraint reductions.
+
+use crate::finite::{find_separating_witness, SeparatingWitness};
+use crate::presentation::{Letter, Presentation};
+use crate::rewriting::{bounded_congruence_search, CompletionBudget, KnuthBendix};
+
+/// Resource budget for the combined procedure.
+#[derive(Clone, Debug)]
+pub struct WordProblemBudget {
+    /// Budget for Knuth–Bendix completion.
+    pub completion: CompletionBudget,
+    /// Maximum word length for the bounded congruence search.
+    pub search_max_len: usize,
+    /// Maximum visited words for the bounded congruence search.
+    pub search_max_words: usize,
+    /// Maximum transformation degree for finite-quotient search.
+    pub max_transformation_degree: usize,
+}
+
+impl Default for WordProblemBudget {
+    fn default() -> WordProblemBudget {
+        WordProblemBudget {
+            completion: CompletionBudget::default(),
+            search_max_len: 12,
+            search_max_words: 20_000,
+            max_transformation_degree: 3,
+        }
+    }
+}
+
+/// Answer to a word problem query.
+#[derive(Clone, Debug)]
+pub enum WordProblemAnswer {
+    /// `Δ ⊨ (α, β)` (hence also `Δ ⊨_f (α, β)`), with the evidence kind.
+    Equal(EqualityEvidence),
+    /// The words are *not* congruent. For the unrestricted problem this
+    /// refutes `Δ ⊨ (α, β)`; carried witness may additionally refute the
+    /// finite problem.
+    NotEqual(SeparationEvidence),
+    /// The budget was exhausted without an answer.
+    Unknown,
+}
+
+/// How equality was established.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EqualityEvidence {
+    /// Equal normal forms under a converged (confluent) completion.
+    ConfluentNormalForms,
+    /// A bounded bidirectional congruence search connected the words
+    /// (sound even when completion did not converge).
+    BoundedSearch,
+}
+
+/// How separation was established.
+#[derive(Clone, Debug)]
+pub enum SeparationEvidence {
+    /// Distinct normal forms under a converged completion — refutes the
+    /// unrestricted problem; says nothing about the finite problem by
+    /// itself.
+    ConfluentNormalForms,
+    /// A finite monoid homomorphism separating the words — refutes *both*
+    /// problems (a finite monoid is a monoid).
+    FiniteWitness(SeparatingWitness),
+}
+
+/// Decides (as far as the budget allows) the *unrestricted* word problem
+/// `Δ ⊨ (α, β)`.
+pub fn decide_word_problem(
+    presentation: &Presentation,
+    alpha: &[Letter],
+    beta: &[Letter],
+    budget: &WordProblemBudget,
+) -> WordProblemAnswer {
+    let kb = KnuthBendix::complete(presentation, budget.completion);
+    if kb.converged() {
+        return if kb.equal(alpha, beta) {
+            WordProblemAnswer::Equal(EqualityEvidence::ConfluentNormalForms)
+        } else {
+            WordProblemAnswer::NotEqual(SeparationEvidence::ConfluentNormalForms)
+        };
+    }
+    // Completion diverged within budget: fall back to semi-deciders.
+    if bounded_congruence_search(
+        presentation,
+        alpha,
+        beta,
+        budget.search_max_len,
+        budget.search_max_words,
+    ) {
+        return WordProblemAnswer::Equal(EqualityEvidence::BoundedSearch);
+    }
+    if let Some(witness) =
+        find_separating_witness(presentation, alpha, beta, budget.max_transformation_degree)
+    {
+        return WordProblemAnswer::NotEqual(SeparationEvidence::FiniteWitness(witness));
+    }
+    WordProblemAnswer::Unknown
+}
+
+/// Decides (as far as the budget allows) the *finite* word problem
+/// `Δ ⊨_f (α, β)`.
+///
+/// Positive answers come from congruence equality (equality in the
+/// presented monoid transfers to every quotient); negative answers require
+/// a finite separating witness.
+pub fn decide_finite_word_problem(
+    presentation: &Presentation,
+    alpha: &[Letter],
+    beta: &[Letter],
+    budget: &WordProblemBudget,
+) -> WordProblemAnswer {
+    let kb = KnuthBendix::complete(presentation, budget.completion);
+    if kb.converged() && kb.equal(alpha, beta) {
+        return WordProblemAnswer::Equal(EqualityEvidence::ConfluentNormalForms);
+    }
+    if !kb.converged()
+        && bounded_congruence_search(
+            presentation,
+            alpha,
+            beta,
+            budget.search_max_len,
+            budget.search_max_words,
+        )
+    {
+        return WordProblemAnswer::Equal(EqualityEvidence::BoundedSearch);
+    }
+    if let Some(witness) =
+        find_separating_witness(presentation, alpha, beta, budget.max_transformation_degree)
+    {
+        return WordProblemAnswer::NotEqual(SeparationEvidence::FiniteWitness(witness));
+    }
+    WordProblemAnswer::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> WordProblemBudget {
+        WordProblemBudget::default()
+    }
+
+    #[test]
+    fn equal_in_cyclic_presentation() {
+        let mut p = Presentation::free(["a"]);
+        p.add_equation(vec![0, 0, 0], vec![]);
+        match decide_word_problem(&p, &[0, 0, 0, 0], &[0], &budget()) {
+            WordProblemAnswer::Equal(EqualityEvidence::ConfluentNormalForms) => {}
+            other => panic!("expected Equal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unequal_in_free_monoid() {
+        let p = Presentation::free(["a", "b"]);
+        match decide_word_problem(&p, &[0], &[1], &budget()) {
+            WordProblemAnswer::NotEqual(_) => {}
+            other => panic!("expected NotEqual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_problem_negative_needs_witness() {
+        let p = Presentation::free(["a", "b"]);
+        match decide_finite_word_problem(&p, &[0], &[1], &budget()) {
+            WordProblemAnswer::NotEqual(SeparationEvidence::FiniteWitness(w)) => {
+                assert_ne!(w.alpha_image, w.beta_image);
+            }
+            other => panic!("expected FiniteWitness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_and_unrestricted_agree_on_commutative_example() {
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        for decide in [decide_word_problem, decide_finite_word_problem] {
+            match decide(&p, &[0, 1], &[1, 0], &budget()) {
+                WordProblemAnswer::Equal(_) => {}
+                other => panic!("expected Equal, got {other:?}"),
+            }
+            match decide(&p, &[0], &[1], &budget()) {
+                WordProblemAnswer::NotEqual(_) => {}
+                other => panic!("expected NotEqual, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn s3_word_problem() {
+        let mut p = Presentation::free(["s", "t"]);
+        p.add_equation(vec![0, 0], vec![]);
+        p.add_equation(vec![1, 1], vec![]);
+        p.add_equation(vec![0, 1, 0, 1, 0, 1], vec![]);
+        match decide_word_problem(&p, &[0, 1, 0], &[1, 0, 1], &budget()) {
+            WordProblemAnswer::Equal(_) => {}
+            other => panic!("expected Equal, got {other:?}"),
+        }
+        match decide_word_problem(&p, &[0, 1], &[1, 0], &budget()) {
+            WordProblemAnswer::NotEqual(_) => {}
+            other => panic!("expected NotEqual, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::rewriting::CompletionBudget;
+
+    /// A budget so small that completion cannot finish, forcing the
+    /// fallback semi-deciders.
+    fn starved() -> WordProblemBudget {
+        WordProblemBudget {
+            completion: CompletionBudget {
+                max_rules: 0,
+                max_pairs: 0,
+            },
+            search_max_len: 8,
+            search_max_words: 5_000,
+            max_transformation_degree: 2,
+        }
+    }
+
+    #[test]
+    fn bounded_search_kicks_in_when_completion_is_starved() {
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        // ab ≡ ba is one equation application away: the bounded search
+        // must prove it even with completion disabled.
+        match decide_word_problem(&p, &[0, 1], &[1, 0], &starved()) {
+            WordProblemAnswer::Equal(EqualityEvidence::BoundedSearch) => {}
+            other => panic!("expected BoundedSearch evidence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_search_kicks_in_when_completion_is_starved() {
+        // A presentation with an equation so that the starved completion
+        // cannot converge (a free presentation would converge trivially).
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        match decide_word_problem(&p, &[0], &[1], &starved()) {
+            WordProblemAnswer::NotEqual(SeparationEvidence::FiniteWitness(w)) => {
+                assert!(w.hom.satisfies(&p));
+            }
+            other => panic!("expected FiniteWitness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_when_everything_is_starved() {
+        // Distinct normal forms, but no finite witness within degree 1
+        // and no bounded-search connection: honest Unknown.
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        let budget = WordProblemBudget {
+            completion: CompletionBudget {
+                max_rules: 0,
+                max_pairs: 0,
+            },
+            search_max_len: 1,
+            search_max_words: 1,
+            max_transformation_degree: 1,
+        };
+        match decide_word_problem(&p, &[0, 0, 1], &[1], &budget) {
+            WordProblemAnswer::Unknown => {}
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        match decide_finite_word_problem(&p, &[0, 0, 1], &[1], &budget) {
+            WordProblemAnswer::Unknown => {}
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_problem_uses_bounded_search_too() {
+        let mut p = Presentation::free(["a", "b"]);
+        p.add_equation(vec![0, 1], vec![1, 0]);
+        match decide_finite_word_problem(&p, &[0, 1, 0], &[0, 0, 1], &starved()) {
+            WordProblemAnswer::Equal(EqualityEvidence::BoundedSearch) => {}
+            other => panic!("expected BoundedSearch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! A small data-definition language for schemas.
+//!
+//! Grammar (`#` starts a comment; statements end with `;`):
+//!
+//! ```text
+//! schema := stmt*
+//! stmt   := "atoms" ident ("," ident)* ";"
+//!         | "class" ident "=" type ";"
+//!         | "db" "=" type ";"
+//! type   := ident                       — an atom or class name
+//!         | "{" type "}"                — set type (M⁺ only)
+//!         | "[" [field ("," field)*] "]" — record type
+//! field  := ident ":" type
+//! ```
+//!
+//! Example (the paper's Example 3.1):
+//!
+//! ```text
+//! atoms string, int;
+//! class Person = [name: string, SSN: string, age: {int}, wrote: {Book}];
+//! class Book   = [title: string, ISBN: string, year: {int},
+//!                 ref: {Book}, author: {Person}];
+//! db = [person: {Person}, book: {Book}];
+//! ```
+
+use crate::schema::{Schema, SchemaBuilder, TypeExpr};
+use pathcons_graph::LabelInterner;
+use std::fmt;
+
+/// Error from [`parse_schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DdlError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+/// Parses the DDL described in the module docs into a [`Schema`],
+/// interning record labels into `labels`.
+pub fn parse_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, DdlError> {
+    let cleaned: String = input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let statements: Vec<&str> = cleaned
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let mut builder = SchemaBuilder::new();
+
+    // Pass 1: declare atoms and classes so that types can reference them.
+    let mut class_bodies: Vec<(String, &str)> = Vec::new();
+    let mut db_body: Option<&str> = None;
+    for stmt in &statements {
+        if let Some(rest) = stmt.strip_prefix("atoms") {
+            for name in rest.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(DdlError {
+                        message: "empty atom name".into(),
+                    });
+                }
+                builder.atom(name);
+            }
+        } else if let Some(rest) = stmt.strip_prefix("class") {
+            let (name, body) = rest.split_once('=').ok_or_else(|| DdlError {
+                message: format!("expected `class Name = type`, got `{stmt}`"),
+            })?;
+            let name = name.trim();
+            if class_bodies.iter().any(|(n, _)| n == name) {
+                return Err(DdlError {
+                    message: format!("duplicate definition of class `{name}`"),
+                });
+            }
+            builder.declare_class(name);
+            class_bodies.push((name.to_owned(), body.trim()));
+        } else if let Some(rest) = stmt.strip_prefix("db") {
+            let body = rest.trim_start().strip_prefix('=').ok_or_else(|| DdlError {
+                message: format!("expected `db = type`, got `{stmt}`"),
+            })?;
+            if db_body.replace(body.trim()).is_some() {
+                return Err(DdlError {
+                    message: "duplicate `db` declaration".into(),
+                });
+            }
+        } else {
+            return Err(DdlError {
+                message: format!("unknown statement `{stmt}`"),
+            });
+        }
+    }
+
+    // Pass 2: parse types.
+    for (name, body) in class_bodies {
+        let class = builder.declare_class(&name);
+        let ty = parse_type(body, &mut builder, labels)?;
+        builder.define_class(class, ty);
+    }
+    let db_body = db_body.ok_or_else(|| DdlError {
+        message: "missing `db = type;` declaration".into(),
+    })?;
+    let db_type = parse_type(db_body, &mut builder, labels)?;
+    builder.finish(db_type).map_err(|e| DdlError {
+        message: e.message,
+    })
+}
+
+fn parse_type(
+    text: &str,
+    builder: &mut SchemaBuilder,
+    labels: &mut LabelInterner,
+) -> Result<TypeExpr, DdlError> {
+    let mut parser = TypeParser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    let ty = parser.parse(builder, labels)?;
+    parser.skip_ws();
+    if parser.pos != parser.text.len() {
+        return Err(DdlError {
+            message: format!("trailing input in type `{text}`"),
+        });
+    }
+    Ok(ty)
+}
+
+struct TypeParser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl TypeParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), DdlError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DdlError {
+                message: format!(
+                    "expected `{}` at offset {} in type",
+                    byte as char, self.pos
+                ),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DdlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && (self.text[self.pos].is_ascii_alphanumeric()
+                || matches!(self.text[self.pos], b'_' | b'*' | b'@' | b'$'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(DdlError {
+                message: format!("expected identifier at offset {start}"),
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn parse(
+        &mut self,
+        builder: &mut SchemaBuilder,
+        labels: &mut LabelInterner,
+    ) -> Result<TypeExpr, DdlError> {
+        match self.peek() {
+            Some(b'{') => {
+                self.expect(b'{')?;
+                let inner = self.parse(builder, labels)?;
+                self.expect(b'}')?;
+                Ok(TypeExpr::Set(Box::new(inner)))
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut fields = Vec::new();
+                if self.peek() != Some(b']') {
+                    loop {
+                        let label = self.ident()?;
+                        self.expect(b':')?;
+                        let ty = self.parse(builder, labels)?;
+                        fields.push((labels.intern(&label), ty));
+                        if self.peek() == Some(b',') {
+                            self.expect(b',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(b']')?;
+                Ok(TypeExpr::Record(fields))
+            }
+            Some(_) => {
+                let name = self.ident()?;
+                // Resolve: declared class first, then atom.
+                if let Some(class) = builder.find_class(&name) {
+                    Ok(TypeExpr::Class(class))
+                } else if let Some(atom) = builder.find_atom(&name) {
+                    Ok(TypeExpr::Atom(atom))
+                } else {
+                    Err(DdlError {
+                        message: format!("unknown type name `{name}`"),
+                    })
+                }
+            }
+            None => Err(DdlError {
+                message: "unexpected end of type".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Model;
+    use crate::type_graph::TypeGraph;
+
+    const EXAMPLE: &str = "\
+        atoms string, int;\n\
+        class Person = [name: string, SSN: string, age: {int}, wrote: {Book}];\n\
+        class Book = [title: string, ISBN: string, year: {int}, ref: {Book}, author: {Person}];\n\
+        db = [person: {Person}, book: {Book}];\n";
+
+    #[test]
+    fn parses_example_schema() {
+        let mut labels = LabelInterner::new();
+        let schema = parse_schema(EXAMPLE, &mut labels).unwrap();
+        assert_eq!(schema.class_count(), 2);
+        assert_eq!(schema.atom_count(), 2);
+        assert_eq!(schema.model(), Model::MPlus);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        assert!(tg.star_label().is_some());
+    }
+
+    #[test]
+    fn parses_m_schema() {
+        let mut labels = LabelInterner::new();
+        let schema = parse_schema(
+            "atoms string;\n\
+             class P = [name: string, wrote: B];\n\
+             class B = [title: string, author: P];\n\
+             db = [person: P, book: B];",
+            &mut labels,
+        )
+        .unwrap();
+        assert_eq!(schema.model(), Model::M);
+    }
+
+    #[test]
+    fn forward_class_references_work() {
+        // Person references Book before Book is textually defined.
+        let mut labels = LabelInterner::new();
+        let schema = parse_schema(
+            "atoms s;\nclass A = [x: B];\nclass B = [y: s];\ndb = [a: A];",
+            &mut labels,
+        )
+        .unwrap();
+        assert_eq!(schema.class_count(), 2);
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut labels = LabelInterner::new();
+        let schema = parse_schema("db = [];", &mut labels).unwrap();
+        assert_eq!(schema.class_count(), 0);
+    }
+
+    #[test]
+    fn unknown_type_name_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_schema("db = [a: Mystery];", &mut labels).unwrap_err();
+        assert!(err.message.contains("Mystery"));
+    }
+
+    #[test]
+    fn missing_db_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_schema("atoms s;", &mut labels).unwrap_err();
+        assert!(err.message.contains("db"));
+    }
+
+    #[test]
+    fn duplicate_db_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_schema("db = [];\ndb = [];", &mut labels).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let mut labels = LabelInterner::new();
+        let schema =
+            parse_schema("# a schema\ndb = []; # entry point", &mut labels).unwrap();
+        assert_eq!(schema.class_count(), 0);
+    }
+
+    #[test]
+    fn trailing_garbage_in_type_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_schema("db = [] extra;", &mut labels).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn nested_sets_parse() {
+        let mut labels = LabelInterner::new();
+        let schema = parse_schema("atoms i;\ndb = [xs: {{i}}];", &mut labels).unwrap();
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let xs = labels.get("xs").unwrap();
+        let star = tg.star_label().unwrap();
+        assert!(tg.is_path(&[xs, star, star]));
+        assert!(!tg.is_path(&[xs, star, star, star]));
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use crate::schema::{example_bibliography_schema, example_bibliography_schema_m};
+    use crate::type_graph::TypeGraph;
+
+    /// render_ddl ∘ parse_schema is the identity up to naming.
+    #[test]
+    fn ddl_roundtrip_mplus() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let ddl = schema.render_ddl(&labels);
+        let mut labels2 = LabelInterner::new();
+        let reparsed = parse_schema(&ddl, &mut labels2).unwrap();
+        assert_eq!(reparsed.class_count(), schema.class_count());
+        assert_eq!(reparsed.atom_count(), schema.atom_count());
+        assert_eq!(reparsed.model(), schema.model());
+        // The type graphs have the same shape.
+        let tg1 = TypeGraph::build(&schema, &mut labels);
+        let tg2 = TypeGraph::build(&reparsed, &mut labels2);
+        assert_eq!(tg1.node_count(), tg2.node_count());
+        assert_eq!(tg1.edge_labels().len(), tg2.edge_labels().len());
+        // Path languages agree (compare readable words up to length 4,
+        // mapped through names).
+        let words1: Vec<Vec<String>> = tg1
+            .to_dfa()
+            .readable_up_to(4)
+            .into_iter()
+            .map(|w| w.iter().map(|&l| labels.name(l).to_owned()).collect())
+            .collect();
+        let words2: Vec<Vec<String>> = tg2
+            .to_dfa()
+            .readable_up_to(4)
+            .into_iter()
+            .map(|w| w.iter().map(|&l| labels2.name(l).to_owned()).collect())
+            .collect();
+        let s1: std::collections::HashSet<_> = words1.into_iter().collect();
+        let s2: std::collections::HashSet<_> = words2.into_iter().collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn ddl_roundtrip_m() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let ddl = schema.render_ddl(&labels);
+        assert!(ddl.contains("class Person"));
+        assert!(ddl.contains("db = [person: Person, book: Book];"));
+        let mut labels2 = LabelInterner::new();
+        let reparsed = parse_schema(&ddl, &mut labels2).unwrap();
+        assert_eq!(reparsed.model(), crate::schema::Model::M);
+    }
+}
+
+#[cfg(test)]
+mod duplicate_class_tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_class_definition_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = parse_schema(
+            "atoms s;\nclass A = [x: s];\nclass A = [y: s];\ndb = [a: A];",
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate definition of class `A`"));
+    }
+}

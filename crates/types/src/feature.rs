@@ -1,0 +1,295 @@
+//! Feature-structure operations on `M` databases.
+//!
+//! Section 3.3 of the paper observes that "databases of `M` are comparable
+//! to feature structures studied in feature logics" (Rounds [23]): rooted,
+//! deterministic, label-functional graphs. This module provides the two
+//! classic feature-logic operations for members of `U_f(σ)` over `M`
+//! schemas:
+//!
+//! - [`subsumes`] — `a ⊑ b`: there is a (necessarily unique)
+//!   root-preserving, label-commuting, type-preserving morphism `a → b`;
+//!   equivalently, every path identification `a` makes, `b` makes too;
+//! - [`unify`] — the least structure subsumed by both inputs: disjoint
+//!   union with roots merged, closed under the determinism congruence
+//!   (merged vertices must agree on every field), with extensionality
+//!   restored. Fails when the inputs demand incompatible types for one
+//!   vertex.
+//!
+//! Both operations interact with the paper's Section 4 results: the
+//! congruence the `M` engine computes is exactly the path-identification
+//! preorder that subsumption compares.
+
+use crate::instance::extensionality_repair;
+use crate::type_graph::TypeGraph;
+use crate::typed_graph::TypedGraph;
+use pathcons_graph::{Graph, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Whether `a ⊑ b`: a root-preserving morphism `a → b` exists.
+///
+/// Both structures should be deterministic (members of `U_f(σ)` over an
+/// `M` schema are); with determinism the morphism is forced and the check
+/// is a single BFS.
+pub fn subsumes(a: &TypedGraph, b: &TypedGraph) -> bool {
+    morphism(a, b).is_some()
+}
+
+/// The morphism `a → b` underlying subsumption, if it exists:
+/// `result[x.index()]` is the image of `a`'s vertex `x` (vertices of `a`
+/// unreachable from the root are unconstrained and map to themselves
+/// conceptually; they are left as `None`).
+pub fn morphism(a: &TypedGraph, b: &TypedGraph) -> Option<Vec<Option<NodeId>>> {
+    let mut map: Vec<Option<NodeId>> = vec![None; a.graph.node_count()];
+    map[a.graph.root().index()] = Some(b.graph.root());
+    if a.type_of(a.graph.root()) != b.type_of(b.graph.root()) {
+        return None;
+    }
+    let mut queue = VecDeque::new();
+    queue.push_back(a.graph.root());
+    while let Some(x) = queue.pop_front() {
+        let image = map[x.index()].expect("queued vertices are mapped");
+        for (label, target) in a.graph.out_edges(x) {
+            // b must have the same field edge (b is deterministic).
+            let b_target = b.graph.unique_successor(image, label)?;
+            if b.type_of(b_target) != a.type_of(target) {
+                return None;
+            }
+            match map[target.index()] {
+                None => {
+                    map[target.index()] = Some(b_target);
+                    queue.push_back(target);
+                }
+                Some(existing) if existing == b_target => {}
+                Some(_) => return None, // a identifies less than b requires
+            }
+        }
+    }
+    Some(map)
+}
+
+/// Why a unification failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnifyError {
+    /// Two vertices forced together have different types.
+    TypeClash,
+}
+
+/// Unifies two `M` structures over the same schema: the least structure
+/// subsumed by both. Returns `Err(UnifyError::TypeClash)` when the merge
+/// forces a vertex to carry two types.
+pub fn unify(
+    a: &TypedGraph,
+    b: &TypedGraph,
+    type_graph: &TypeGraph,
+) -> Result<TypedGraph, UnifyError> {
+    // Disjoint union, b shifted past a.
+    let offset = a.graph.node_count();
+    let total = offset + b.graph.node_count();
+    let mut types = a.types.clone();
+    types.extend(b.types.iter().copied());
+
+    // Union–find over the union, seeded by merging the roots.
+    let mut parent: Vec<usize> = (0..total).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+
+    // Collect edges of the union.
+    let mut edges: Vec<(usize, pathcons_graph::Label, usize)> = Vec::new();
+    for (f, l, t) in a.graph.edges() {
+        edges.push((f.index(), l, t.index()));
+    }
+    for (f, l, t) in b.graph.edges() {
+        edges.push((f.index() + offset, l, t.index() + offset));
+    }
+
+    // Merge roots, then close under determinism: merged vertices must
+    // have their equal-labeled successors merged.
+    let mut pending = vec![(a.graph.root().index(), b.graph.root().index() + offset)];
+    while let Some((x, y)) = pending.pop() {
+        let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));
+        if rx == ry {
+            continue;
+        }
+        if types[rx] != types[ry] {
+            return Err(UnifyError::TypeClash);
+        }
+        parent[ry] = rx;
+        // Successor congruence: for each label with successors on both
+        // sides, merge them. (Scan is quadratic in edges; fine at the
+        // feature-structure sizes this targets.)
+        for &(f1, l1, t1) in &edges {
+            if find(&mut parent, f1) != rx {
+                continue;
+            }
+            for &(f2, l2, t2) in &edges {
+                if l1 == l2 && find(&mut parent, f2) == rx {
+                    let (u, v) = (find(&mut parent, t1), find(&mut parent, t2));
+                    if u != v {
+                        pending.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    // Build the quotient graph.
+    let mut node_of: HashMap<usize, NodeId> = HashMap::new();
+    let mut graph = Graph::new();
+    let mut out_types = Vec::new();
+    let root_rep = find(&mut parent, a.graph.root().index());
+    node_of.insert(root_rep, graph.root());
+    out_types.push(types[root_rep]);
+    for i in 0..total {
+        let r = find(&mut parent, i);
+        if let std::collections::hash_map::Entry::Vacant(e) = node_of.entry(r) {
+            e.insert(graph.add_node());
+            out_types.push(types[r]);
+        }
+    }
+    for &(f, l, t) in &edges {
+        let fr = find(&mut parent, f);
+        let tr = find(&mut parent, t);
+        graph.add_edge(node_of[&fr], l, node_of[&tr]);
+    }
+
+    // Restore extensionality (atoms aside, M has only the DBtype record
+    // as a structural type, but the repair is cheap and general).
+    Ok(extensionality_repair(
+        TypedGraph {
+            graph,
+            types: out_types,
+        },
+        type_graph,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::canonical_instance;
+    use crate::schema::example_bibliography_schema_m;
+    use pathcons_graph::LabelInterner;
+
+    fn setup() -> (LabelInterner, TypeGraph) {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        (labels, tg)
+    }
+
+    /// An instance with `n` distinct (person, book) pairs chained so that
+    /// person_i wrote book_i and book_i's author is person_{(i+k) mod n}.
+    fn instance(tg: &TypeGraph, labels: &LabelInterner, n: usize, twist: usize) -> TypedGraph {
+        let l = |s: &str| labels.get(s).unwrap();
+        let mut g = Graph::new();
+        let mut types = vec![tg.db()];
+        let person_t = tg.type_of_path(&[l("person")]).unwrap();
+        let book_t = tg.type_of_path(&[l("book")]).unwrap();
+        let string_t = tg.type_of_path(&[l("person"), l("name")]).unwrap();
+        let mut persons = Vec::new();
+        let mut books = Vec::new();
+        for _ in 0..n {
+            let p = g.add_node();
+            types.push(person_t);
+            persons.push(p);
+            let b = g.add_node();
+            types.push(book_t);
+            books.push(b);
+            let nm = g.add_node();
+            types.push(string_t);
+            g.add_edge(p, l("name"), nm);
+            let t = g.add_node();
+            types.push(string_t);
+            g.add_edge(b, l("title"), t);
+        }
+        g.add_edge(g.root(), l("person"), persons[0]);
+        g.add_edge(g.root(), l("book"), books[0]);
+        for i in 0..n {
+            g.add_edge(persons[i], l("wrote"), books[i]);
+            g.add_edge(books[i], l("author"), persons[(i + twist) % n]);
+        }
+        TypedGraph { graph: g, types }
+    }
+
+    #[test]
+    fn canonical_instance_subsumes_everything() {
+        // The canonical instance identifies ALL same-type paths — wait,
+        // no: it is the *most merged* structure, so everything subsumes
+        // INTO it: any instance maps onto the canonical one.
+        let (labels, tg) = setup();
+        let canon = canonical_instance(&tg);
+        for twist in 0..3 {
+            let inst = instance(&tg, &labels, 3, twist);
+            assert!(
+                subsumes(&inst, &canon),
+                "twist {twist} should map onto the canonical instance"
+            );
+        }
+    }
+
+    #[test]
+    fn subsumption_detects_distinguishing_identifications() {
+        let (labels, tg) = setup();
+        // twist 0: book_0.author = person_0 (a 2-cycle with wrote).
+        // twist 1 over n=2: book_0.author = person_1.
+        let tight = instance(&tg, &labels, 1, 0); // fully identified loop
+        let loose = instance(&tg, &labels, 2, 1); // 4-cycle
+        // The loose structure maps onto the tight one (everything
+        // collapses), not vice versa.
+        assert!(subsumes(&loose, &tight));
+        assert!(!subsumes(&tight, &loose));
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive() {
+        let (labels, tg) = setup();
+        let a = instance(&tg, &labels, 2, 1);
+        let b = instance(&tg, &labels, 1, 0);
+        let canon = canonical_instance(&tg);
+        assert!(subsumes(&a, &a));
+        assert!(subsumes(&b, &b));
+        if subsumes(&a, &b) && subsumes(&b, &canon) {
+            assert!(subsumes(&a, &canon));
+        }
+    }
+
+    #[test]
+    fn unify_merges_compatible_structures() {
+        let (labels, tg) = setup();
+        let a = instance(&tg, &labels, 2, 0);
+        let b = instance(&tg, &labels, 2, 1);
+        let u = unify(&a, &b, &tg).expect("same schema unifies");
+        // The unifier is subsumed by both inputs (it makes at least the
+        // identifications of each).
+        assert!(subsumes(&a, &u));
+        assert!(subsumes(&b, &u));
+        // And the result is still a valid M structure.
+        assert_eq!(u.violations(&tg), vec![]);
+    }
+
+    #[test]
+    fn unify_with_self_changes_nothing_semantically() {
+        let (labels, tg) = setup();
+        let a = instance(&tg, &labels, 2, 1);
+        let u = unify(&a, &a, &tg).unwrap();
+        assert!(subsumes(&a, &u));
+        assert!(subsumes(&u, &a));
+    }
+
+    #[test]
+    fn unify_respects_the_congruence_semantics() {
+        // Unifying the canonical instance with anything yields the
+        // canonical instance (it is the top of the subsumption order).
+        let (labels, tg) = setup();
+        let canon = canonical_instance(&tg);
+        let a = instance(&tg, &labels, 2, 1);
+        let u = unify(&a, &canon, &tg).unwrap();
+        assert!(subsumes(&u, &canon));
+        assert!(subsumes(&canon, &u));
+    }
+}

@@ -1,0 +1,208 @@
+//! Type inference: recovering the (unique) typing of an untyped graph.
+//!
+//! In `Φ(σ)`-conforming structures every vertex has exactly one type, and
+//! the type graph is deterministic, so the typing of a root-reachable
+//! structure is forced: the root is `DBtype`, and an `l`-edge out of a
+//! `τ`-vertex leads to a `step(τ, l)`-vertex. This module propagates that
+//! assignment and reports precisely why it fails when it does — which
+//! turns the `Φ(σ)` validator into a checker for plain (untyped)
+//! documents, e.g. XML loaded by `pathcons-xml`.
+
+use crate::type_graph::{TypeGraph, TypeNodeId};
+use crate::typed_graph::TypedGraph;
+use pathcons_graph::{Graph, Label, NodeId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why a typing could not be inferred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeInferenceError {
+    /// An edge leaves a vertex with a label its type does not admit.
+    NoSuchEdge {
+        /// Source vertex.
+        node: NodeId,
+        /// Its inferred type.
+        node_type: TypeNodeId,
+        /// The offending label.
+        label: Label,
+    },
+    /// Two incoming edges force different types on one vertex.
+    Conflict {
+        /// The vertex with conflicting demands.
+        node: NodeId,
+        /// First inferred type.
+        first: TypeNodeId,
+        /// Second inferred type.
+        second: TypeNodeId,
+    },
+    /// Vertices unreachable from the root cannot be typed by propagation.
+    Unreachable {
+        /// The untypable vertices.
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for TypeInferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeInferenceError::NoSuchEdge { node, label, .. } => write!(
+                f,
+                "vertex {node:?} has an edge labeled #{} its type does not admit",
+                label.index()
+            ),
+            TypeInferenceError::Conflict {
+                node,
+                first,
+                second,
+            } => write!(
+                f,
+                "vertex {node:?} is forced to both {first:?} and {second:?}"
+            ),
+            TypeInferenceError::Unreachable { nodes } => {
+                write!(f, "{} vertices unreachable from the root", nodes.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeInferenceError {}
+
+/// Infers the unique typing of `graph` against `type_graph`, by
+/// propagation from the root. Succeeds iff a typing exists; the result
+/// still needs [`TypedGraph::violations`] for the cardinality and
+/// extensionality clauses of `Φ(σ)` (inference only checks edge shape).
+pub fn infer_typing(graph: &Graph, type_graph: &TypeGraph) -> Result<TypedGraph, TypeInferenceError> {
+    let mut types: Vec<Option<TypeNodeId>> = vec![None; graph.node_count()];
+    types[graph.root().index()] = Some(type_graph.db());
+    let mut queue = VecDeque::new();
+    queue.push_back(graph.root());
+    while let Some(node) = queue.pop_front() {
+        let node_type = types[node.index()].expect("queued nodes are typed");
+        for (label, target) in graph.out_edges(node) {
+            let Some(target_type) = type_graph.step(node_type, label) else {
+                return Err(TypeInferenceError::NoSuchEdge {
+                    node,
+                    node_type,
+                    label,
+                });
+            };
+            match types[target.index()] {
+                None => {
+                    types[target.index()] = Some(target_type);
+                    queue.push_back(target);
+                }
+                Some(existing) if existing == target_type => {}
+                Some(existing) => {
+                    return Err(TypeInferenceError::Conflict {
+                        node: target,
+                        first: existing,
+                        second: target_type,
+                    })
+                }
+            }
+        }
+    }
+    let unreachable: Vec<NodeId> = graph
+        .nodes()
+        .filter(|n| types[n.index()].is_none())
+        .collect();
+    if !unreachable.is_empty() {
+        return Err(TypeInferenceError::Unreachable { nodes: unreachable });
+    }
+    Ok(TypedGraph {
+        graph: graph.clone(),
+        types: types.into_iter().map(|t| t.expect("all typed")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::canonical_instance;
+    use crate::schema::example_bibliography_schema_m;
+    use pathcons_graph::LabelInterner;
+
+    #[test]
+    fn infers_canonical_instance_typing() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let inst = canonical_instance(&tg);
+        let inferred = infer_typing(&inst.graph, &tg).unwrap();
+        assert_eq!(inferred.types, inst.types);
+        assert!(inferred.satisfies_type_constraint(&tg));
+    }
+
+    #[test]
+    fn detects_inadmissible_edges() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let mut inst = canonical_instance(&tg);
+        // Add a bogus edge with a label the root type does not admit.
+        let bogus = labels.intern("bogus");
+        let target = inst.graph.nodes().nth(1).unwrap();
+        inst.graph.add_edge(inst.graph.root(), bogus, target);
+        match infer_typing(&inst.graph, &tg) {
+            Err(TypeInferenceError::NoSuchEdge { label, .. }) => assert_eq!(label, bogus),
+            other => panic!("expected NoSuchEdge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_type_conflicts() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let mut inst = canonical_instance(&tg);
+        // Point `person` and `book` at the same vertex: it would need both
+        // types.
+        let person = labels.get("person").unwrap();
+        let book = labels.get("book").unwrap();
+        let book_node = inst
+            .graph
+            .unique_successor(inst.graph.root(), book)
+            .unwrap();
+        inst.graph.add_edge(inst.graph.root(), person, book_node);
+        match infer_typing(&inst.graph, &tg) {
+            Err(TypeInferenceError::Conflict { .. }) => {}
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_unreachable_nodes() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let mut inst = canonical_instance(&tg);
+        inst.graph.add_node(); // orphan
+        match infer_typing(&inst.graph, &tg) {
+            Err(TypeInferenceError::Unreachable { nodes }) => assert_eq!(nodes.len(), 1),
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inference_plus_validation_rejects_incomplete_records() {
+        // A structurally typable graph that still violates Φ(σ): a book
+        // without its author edge.
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let l = |labels: &LabelInterner, n: &str| labels.get(n).unwrap();
+        let mut g = Graph::new();
+        let person = g.add_node();
+        let book = g.add_node();
+        let name_v = g.add_node();
+        let title_v = g.add_node();
+        g.add_edge(g.root(), l(&labels, "person"), person);
+        g.add_edge(g.root(), l(&labels, "book"), book);
+        g.add_edge(person, l(&labels, "name"), name_v);
+        g.add_edge(person, l(&labels, "wrote"), book);
+        g.add_edge(book, l(&labels, "title"), title_v);
+        // book is missing its `author` edge.
+        let typed = infer_typing(&g, &tg).unwrap();
+        assert!(!typed.satisfies_type_constraint(&tg));
+    }
+}

@@ -1,0 +1,364 @@
+//! Instance generation: members of `U_f(σ)`.
+//!
+//! Provides the canonical (smallest deterministic) instance of a schema,
+//! random instance generation for property tests and for the bounded
+//! typed countermodel search of `pathcons-core`, and the extensionality
+//! repair (quotient) that hash-conses structural set/record nodes.
+
+use crate::type_graph::{TypeGraph, TypeNodeId, TypeNodeKind};
+use crate::typed_graph::TypedGraph;
+use pathcons_graph::{Graph, NodeId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Builds the canonical instance: one node per type node reachable from
+/// `DBtype`, record edges wired to the unique node of the field type, and
+/// each set realized as a singleton.
+///
+/// The result always satisfies `Φ(σ)`; for `M` schemas it realizes every
+/// path of `Paths(σ)` at exactly one node (the situation of Lemma 4.6).
+pub fn canonical_instance(type_graph: &TypeGraph) -> TypedGraph {
+    // Reachable type nodes from db, BFS; db first so it maps to the root.
+    let mut order: Vec<TypeNodeId> = Vec::new();
+    let mut seen = vec![false; type_graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[type_graph.db().index()] = true;
+    queue.push_back(type_graph.db());
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for label in type_graph.out_labels(t) {
+            let next = type_graph.step(t, label).expect("out label");
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+
+    let mut graph = Graph::new();
+    let mut node_of: HashMap<TypeNodeId, NodeId> = HashMap::new();
+    let mut types = Vec::with_capacity(order.len());
+    for (i, &t) in order.iter().enumerate() {
+        let node = if i == 0 { graph.root() } else { graph.add_node() };
+        node_of.insert(t, node);
+        types.push(t);
+    }
+    for &t in &order {
+        let from = node_of[&t];
+        for label in type_graph.out_labels(t) {
+            let target_type = type_graph.step(t, label).expect("out label");
+            graph.add_edge(from, label, node_of[&target_type]);
+        }
+    }
+    TypedGraph { graph, types }
+}
+
+/// Parameters for [`random_instance`].
+#[derive(Clone, Debug)]
+pub struct InstanceConfig {
+    /// Soft cap on node count; once exceeded, existing nodes are reused.
+    pub target_nodes: usize,
+    /// Probability of reusing an existing node of the right type for a
+    /// record field / set member, when one exists.
+    pub reuse_probability: f64,
+    /// Maximum cardinality of a generated set.
+    pub set_max: usize,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> InstanceConfig {
+        InstanceConfig {
+            target_nodes: 24,
+            reuse_probability: 0.5,
+            set_max: 2,
+        }
+    }
+}
+
+/// Generates a random member of `U_f(σ)`.
+///
+/// Nodes are created top-down from the root; record fields and set members
+/// either reuse an existing node of the required type or create a fresh
+/// one (always reusing once `target_nodes` is exceeded, so generation
+/// terminates on recursive schemas). A final [`extensionality_repair`]
+/// pass merges structural duplicates so the result satisfies `Φ(σ)`.
+pub fn random_instance<R: Rng>(
+    rng: &mut R,
+    type_graph: &TypeGraph,
+    config: &InstanceConfig,
+) -> TypedGraph {
+    let mut graph = Graph::new();
+    let mut types: Vec<TypeNodeId> = vec![type_graph.db()];
+    let mut by_type: HashMap<TypeNodeId, Vec<NodeId>> = HashMap::new();
+    by_type.insert(type_graph.db(), vec![graph.root()]);
+    let mut worklist: Vec<NodeId> = vec![graph.root()];
+
+    while let Some(node) = worklist.pop() {
+        let ty = types[node.index()];
+        match type_graph.kind(ty).clone() {
+            TypeNodeKind::Atom(_) => {}
+            TypeNodeKind::Set(elem) => {
+                let star = type_graph.star_label().expect("set implies ∗");
+                let card = rng.gen_range(0..=config.set_max);
+                for _ in 0..card {
+                    let target = pick_target(
+                        rng, &mut graph, &mut types, &mut by_type, &mut worklist, elem, config,
+                    );
+                    graph.add_edge(node, star, target);
+                }
+            }
+            TypeNodeKind::Record(fields) => {
+                for (label, field_type) in fields {
+                    let target = pick_target(
+                        rng, &mut graph, &mut types, &mut by_type, &mut worklist, field_type,
+                        config,
+                    );
+                    graph.add_edge(node, label, target);
+                }
+            }
+        }
+    }
+
+    extensionality_repair(TypedGraph { graph, types }, type_graph)
+}
+
+fn pick_target<R: Rng>(
+    rng: &mut R,
+    graph: &mut Graph,
+    types: &mut Vec<TypeNodeId>,
+    by_type: &mut HashMap<TypeNodeId, Vec<NodeId>>,
+    worklist: &mut Vec<NodeId>,
+    ty: TypeNodeId,
+    config: &InstanceConfig,
+) -> NodeId {
+    let existing = by_type.get(&ty).map(|v| v.len()).unwrap_or(0);
+    let over_budget = graph.node_count() >= config.target_nodes;
+    let reuse = existing > 0 && (over_budget || rng.gen_bool(config.reuse_probability));
+    if reuse {
+        let candidates = &by_type[&ty];
+        candidates[rng.gen_range(0..candidates.len())]
+    } else {
+        let node = graph.add_node();
+        types.push(ty);
+        by_type.entry(ty).or_default().push(node);
+        worklist.push(node);
+        node
+    }
+}
+
+/// Quotients `instance` by the extensionality congruence: repeatedly
+/// merges distinct structural set/record nodes of the same type with
+/// identical out-edge structure until none remain.
+pub fn extensionality_repair(instance: TypedGraph, type_graph: &TypeGraph) -> TypedGraph {
+    extensionality_repair_mapped(instance, type_graph).0
+}
+
+/// Like [`extensionality_repair`], additionally returning the composed
+/// node mapping: `mapping[old.index()]` is the node of the result that
+/// `old` ended up as (callers use it to remap side tables keyed by node).
+pub fn extensionality_repair_mapped(
+    instance: TypedGraph,
+    type_graph: &TypeGraph,
+) -> (TypedGraph, Vec<NodeId>) {
+    let mut mapping: Vec<NodeId> = instance.graph.nodes().collect();
+    let mut current = instance;
+    loop {
+        // Group candidate nodes by (type, canonical out-edge signature).
+        let mut signature: HashMap<(TypeNodeId, Vec<(u32, u32)>), NodeId> = HashMap::new();
+        let mut merge: Vec<(NodeId, NodeId)> = Vec::new();
+        for node in current.graph.nodes() {
+            let ty = current.types[node.index()];
+            if type_graph.class_of(ty).is_some() {
+                continue;
+            }
+            let structural = matches!(
+                type_graph.kind(ty),
+                TypeNodeKind::Set(_) | TypeNodeKind::Record(_)
+            );
+            if !structural {
+                continue;
+            }
+            let mut sig: Vec<(u32, u32)> = current
+                .graph
+                .out_edges(node)
+                .map(|(l, t)| (l.index() as u32, t.index() as u32))
+                .collect();
+            sig.sort_unstable();
+            sig.dedup();
+            match signature.get(&(ty, sig.clone())) {
+                Some(&prev) => merge.push((prev, node)),
+                None => {
+                    signature.insert((ty, sig), node);
+                }
+            }
+        }
+        if merge.is_empty() {
+            return (current, mapping);
+        }
+        // Build representative map and quotient.
+        let mut repr: Vec<NodeId> = current.graph.nodes().collect();
+        for (keep, drop) in merge {
+            repr[drop.index()] = keep;
+        }
+        let (next, step_map) = quotient_mapped(&current, &repr);
+        for m in mapping.iter_mut() {
+            *m = step_map[m.index()];
+        }
+        current = next;
+    }
+}
+
+/// Quotients a typed graph by a representative map (`repr[n]` must itself
+/// be a representative, i.e. `repr[repr[n]] == repr[n]`), preserving the
+/// root's class. Types of merged nodes must agree.
+pub fn quotient(instance: &TypedGraph, repr: &[NodeId]) -> TypedGraph {
+    quotient_mapped(instance, repr).0
+}
+
+/// Like [`quotient`], additionally returning the node mapping
+/// (`mapping[old.index()]` = the new node the old one became).
+pub fn quotient_mapped(instance: &TypedGraph, repr: &[NodeId]) -> (TypedGraph, Vec<NodeId>) {
+    let g = &instance.graph;
+    // Compact representative indices.
+    let mut new_index: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut graph = Graph::new();
+    let mut types = Vec::new();
+
+    let root_repr = repr[g.root().index()];
+    new_index.insert(root_repr, graph.root());
+    types.push(instance.types[root_repr.index()]);
+
+    for node in g.nodes() {
+        let r = repr[node.index()];
+        if let std::collections::hash_map::Entry::Vacant(e) = new_index.entry(r) {
+            e.insert(graph.add_node());
+            types.push(instance.types[r.index()]);
+        }
+    }
+    for (from, label, to) in g.edges() {
+        let f = new_index[&repr[from.index()]];
+        let t = new_index[&repr[to.index()]];
+        graph.add_edge(f, label, t);
+    }
+    let mapping: Vec<NodeId> = g
+        .nodes()
+        .map(|n| new_index[&repr[n.index()]])
+        .collect();
+    (TypedGraph { graph, types }, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{example_bibliography_schema, example_bibliography_schema_m};
+    use pathcons_graph::LabelInterner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn canonical_m_instance_is_valid() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let inst = canonical_instance(&tg);
+        assert_eq!(inst.violations(&tg), vec![]);
+        // One node per reachable type: DBtype, Person, Book, string = 4.
+        assert_eq!(inst.graph.node_count(), 4);
+    }
+
+    #[test]
+    fn canonical_mplus_instance_is_valid() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let inst = canonical_instance(&tg);
+        assert_eq!(inst.violations(&tg), vec![]);
+    }
+
+    #[test]
+    fn canonical_m_realizes_every_path_uniquely() {
+        // Lemma 4.6 situation: in M, every path of Paths(σ) reaches a
+        // unique node in every member of U(σ).
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let inst = canonical_instance(&tg);
+        for word in tg.to_dfa().readable_up_to(5) {
+            let reached = pathcons_graph::eval_from_root(&inst.graph, &word);
+            assert_eq!(reached.len(), 1, "path {word:?}");
+        }
+    }
+
+    #[test]
+    fn random_m_instances_are_valid() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let inst = random_instance(&mut rng, &tg, &InstanceConfig::default());
+            assert_eq!(inst.violations(&tg), vec![], "seeded instance invalid");
+        }
+    }
+
+    #[test]
+    fn random_mplus_instances_are_valid() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let inst = random_instance(&mut rng, &tg, &InstanceConfig::default());
+            assert_eq!(inst.violations(&tg), vec![], "seeded instance invalid");
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_root_and_merges() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let mut g = Graph::new();
+        let n1 = g.add_node();
+        let n2 = g.add_node();
+        g.add_edge(g.root(), a, n1);
+        g.add_edge(g.root(), a, n2);
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let ty = tg.db();
+        let inst = TypedGraph {
+            graph: g,
+            types: vec![ty, ty, ty],
+        };
+        let repr = vec![
+            NodeId::from_index(0),
+            NodeId::from_index(1),
+            NodeId::from_index(1),
+        ];
+        let q = quotient(&inst, &repr);
+        assert_eq!(q.graph.node_count(), 2);
+        assert_eq!(q.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn repair_merges_equal_singleton_sets() {
+        // Two {Book} set nodes pointing at the same book must merge.
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let inst = canonical_instance(&tg);
+        // Duplicate the {Book} set node (the target of `book` from root).
+        let book_l = labels.get("book").unwrap();
+        let star = tg.star_label().unwrap();
+        let mut g = inst.graph.clone();
+        let mut types = inst.types.clone();
+        let book_set = g.unique_successor(g.root(), book_l).unwrap();
+        let member = g.unique_successor(book_set, star).unwrap();
+        let dup = g.add_node();
+        types.push(types[book_set.index()]);
+        g.add_edge(dup, star, member);
+        let broken = TypedGraph { graph: g, types };
+        assert!(!broken.satisfies_type_constraint(&tg));
+        let repaired = extensionality_repair(broken, &tg);
+        assert!(repaired.satisfies_type_constraint(&tg));
+    }
+}

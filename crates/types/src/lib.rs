@@ -1,0 +1,47 @@
+//! # pathcons-types
+//!
+//! The object-oriented type systems of Buneman, Fan & Weinstein
+//! (PODS 1999), Section 3: the generic model **M⁺** (classes, records,
+//! sets, recursion) and its restriction **M** (no sets; databases of `M`
+//! are comparable to feature structures).
+//!
+//! A schema `σ = (C, τ, DBtype)` determines a signature `σ(τ)` and a type
+//! constraint `Φ(σ)`; the abstract databases of `σ` are the finite
+//! structures satisfying `Φ(σ)` (`U_f(σ)`). This crate provides:
+//!
+//! - [`Schema`] / [`SchemaBuilder`] / [`TypeExpr`] — schemas and [`Model`]
+//!   classification (M vs M⁺);
+//! - [`parse_schema`] — a small schema DDL;
+//! - [`TypeGraph`] — the signature `E(σ)`/`T(σ)` as a deterministic type
+//!   graph; `Paths(σ)` membership and the type of each path;
+//! - [`TypedGraph`] — σ-structures with node typings and full `Φ(σ)`
+//!   validation (including the set/record extensionality clauses);
+//! - [`canonical_instance`] / [`random_instance`] /
+//!   [`extensionality_repair`] — members of `U_f(σ)` for tests, searches
+//!   and benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ddl;
+mod feature;
+mod instance;
+mod schema;
+mod type_graph;
+mod typed_graph;
+
+pub use ddl::{parse_schema, DdlError};
+pub use feature::{morphism, subsumes, unify, UnifyError};
+pub use instance::{
+    canonical_instance, extensionality_repair, extensionality_repair_mapped, quotient,
+    quotient_mapped, random_instance, InstanceConfig,
+};
+pub use schema::{
+    example_bibliography_schema, example_bibliography_schema_m, AtomId, ClassId, Model, Schema,
+    SchemaBuilder, SchemaError, TypeExpr,
+};
+pub use type_graph::{TypeGraph, TypeNodeId, TypeNodeKind, STAR};
+pub use typed_graph::{TypedGraph, TypeViolation};
+
+mod infer;
+pub use infer::{infer_typing, TypeInferenceError};

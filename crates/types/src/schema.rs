@@ -1,0 +1,511 @@
+//! Schemas of the object-oriented models `M⁺` and `M` (Section 3.2/3.3).
+//!
+//! A schema in `M⁺` is a triple `(C, τ, DBtype)`: a finite set of classes,
+//! a mapping from classes to types, and the type of the database entry
+//! point. Types are built from atomic types, class references, set types
+//! `{τ}` and record types `[l₁:τ₁, …, lₙ:τₙ]`; `τ(C)` and `DBtype` must
+//! not themselves be atomic or class types. The model `M` is the
+//! restriction with no set types and with record fields drawn from atomic
+//! and class types only.
+
+use pathcons_graph::{Label, LabelInterner};
+use std::fmt;
+
+/// An atomic type (e.g. `string`, `int`), by index into the schema.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(pub u32);
+
+/// A class, by index into the schema.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+impl fmt::Debug for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A type expression over a schema's atoms and classes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypeExpr {
+    /// An atomic type `b ∈ B`.
+    Atom(AtomId),
+    /// A class reference `C ∈ C`.
+    Class(ClassId),
+    /// A set type `{τ}` (only in `M⁺`).
+    Set(Box<TypeExpr>),
+    /// A record type `[l₁:τ₁, …, lₙ:τₙ]` with distinct labels,
+    /// kept in declaration order.
+    Record(Vec<(Label, TypeExpr)>),
+}
+
+impl TypeExpr {
+    /// Whether the expression is atomic or a bare class reference — the
+    /// forms forbidden for `τ(C)` and `DBtype`.
+    pub fn is_atomic_or_class(&self) -> bool {
+        matches!(self, TypeExpr::Atom(_) | TypeExpr::Class(_))
+    }
+
+    /// Whether any set type occurs anywhere in the expression.
+    pub fn contains_set(&self) -> bool {
+        match self {
+            TypeExpr::Atom(_) | TypeExpr::Class(_) => false,
+            TypeExpr::Set(_) => true,
+            TypeExpr::Record(fields) => fields.iter().any(|(_, t)| t.contains_set()),
+        }
+    }
+}
+
+/// Which model a schema lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// `M`: classes, records and recursion; no sets; record fields are
+    /// atomic or class types.
+    M,
+    /// `M⁺`: additionally set types and nested type expressions.
+    MPlus,
+}
+
+/// A schema `σ = (C, τ, DBtype)`.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    atom_names: Vec<String>,
+    class_names: Vec<String>,
+    class_types: Vec<TypeExpr>,
+    db_type: TypeExpr,
+}
+
+/// A schema well-formedness violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Builder for [`Schema`]; declare atoms and classes up front so that
+/// recursive class references can be constructed.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaBuilder {
+    atom_names: Vec<String>,
+    class_names: Vec<String>,
+    class_types: Vec<Option<TypeExpr>>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Declares an atomic type, returning its id. Idempotent per name.
+    pub fn atom(&mut self, name: &str) -> AtomId {
+        if let Some(pos) = self.atom_names.iter().position(|n| n == name) {
+            return AtomId(pos as u32);
+        }
+        self.atom_names.push(name.to_owned());
+        AtomId((self.atom_names.len() - 1) as u32)
+    }
+
+    /// Declares a class (without its type yet), returning its id.
+    /// Idempotent per name.
+    pub fn declare_class(&mut self, name: &str) -> ClassId {
+        if let Some(pos) = self.class_names.iter().position(|n| n == name) {
+            return ClassId(pos as u32);
+        }
+        self.class_names.push(name.to_owned());
+        self.class_types.push(None);
+        ClassId((self.class_names.len() - 1) as u32)
+    }
+
+    /// Defines `τ(class) = ty`.
+    pub fn define_class(&mut self, class: ClassId, ty: TypeExpr) {
+        self.class_types[class.0 as usize] = Some(ty);
+    }
+
+    /// Looks up a declared class by name without declaring it.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        self.class_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Looks up a declared atom by name without declaring it.
+    pub fn find_atom(&self, name: &str) -> Option<AtomId> {
+        self.atom_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AtomId(i as u32))
+    }
+
+    /// Finalizes the schema with the given `DBtype`, validating
+    /// well-formedness.
+    pub fn finish(self, db_type: TypeExpr) -> Result<Schema, SchemaError> {
+        let mut class_types = Vec::with_capacity(self.class_types.len());
+        for (i, t) in self.class_types.into_iter().enumerate() {
+            match t {
+                Some(t) => class_types.push(t),
+                None => {
+                    return Err(SchemaError {
+                        message: format!("class `{}` declared but never defined", self.class_names[i]),
+                    })
+                }
+            }
+        }
+        let schema = Schema {
+            atom_names: self.atom_names,
+            class_names: self.class_names,
+            class_types,
+            db_type,
+        };
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+impl Schema {
+    /// Checks well-formedness: `τ(C)` and `DBtype` are not atomic/class
+    /// types, record labels are distinct, and all atom/class references
+    /// are in range.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        if self.db_type.is_atomic_or_class() {
+            return Err(SchemaError {
+                message: "DBtype must not be an atomic or class type".into(),
+            });
+        }
+        self.check_expr(&self.db_type, "DBtype")?;
+        for (i, t) in self.class_types.iter().enumerate() {
+            let name = &self.class_names[i];
+            if t.is_atomic_or_class() {
+                return Err(SchemaError {
+                    message: format!("τ({name}) must not be an atomic or class type"),
+                });
+            }
+            self.check_expr(t, name)?;
+        }
+        Ok(())
+    }
+
+    fn check_expr(&self, expr: &TypeExpr, context: &str) -> Result<(), SchemaError> {
+        match expr {
+            TypeExpr::Atom(a) => {
+                if a.0 as usize >= self.atom_names.len() {
+                    return Err(SchemaError {
+                        message: format!("{context}: dangling atom reference"),
+                    });
+                }
+            }
+            TypeExpr::Class(c) => {
+                if c.0 as usize >= self.class_names.len() {
+                    return Err(SchemaError {
+                        message: format!("{context}: dangling class reference"),
+                    });
+                }
+            }
+            TypeExpr::Set(inner) => self.check_expr(inner, context)?,
+            TypeExpr::Record(fields) => {
+                for (i, (label, ty)) in fields.iter().enumerate() {
+                    if fields[..i].iter().any(|(l, _)| l == label) {
+                        return Err(SchemaError {
+                            message: format!("{context}: duplicate record label"),
+                        });
+                    }
+                    self.check_expr(ty, context)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The model the schema belongs to: [`Model::M`] when it satisfies the
+    /// restrictions of Section 3.3, [`Model::MPlus`] otherwise.
+    pub fn model(&self) -> Model {
+        let in_m = |expr: &TypeExpr| -> bool {
+            match expr {
+                // τ(C)/DBtype level: must be a record of atomic/class fields.
+                TypeExpr::Record(fields) => fields
+                    .iter()
+                    .all(|(_, t)| matches!(t, TypeExpr::Atom(_) | TypeExpr::Class(_))),
+                _ => false,
+            }
+        };
+        if in_m(&self.db_type) && self.class_types.iter().all(in_m) {
+            Model::M
+        } else {
+            Model::MPlus
+        }
+    }
+
+    /// Number of atomic types.
+    pub fn atom_count(&self) -> usize {
+        self.atom_names.len()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Name of an atomic type.
+    pub fn atom_name(&self, atom: AtomId) -> &str {
+        &self.atom_names[atom.0 as usize]
+    }
+
+    /// Name of a class.
+    pub fn class_name(&self, class: ClassId) -> &str {
+        &self.class_names[class.0 as usize]
+    }
+
+    /// `τ(class)`.
+    pub fn class_type(&self, class: ClassId) -> &TypeExpr {
+        &self.class_types[class.0 as usize]
+    }
+
+    /// The type of the entry point.
+    pub fn db_type(&self) -> &TypeExpr {
+        &self.db_type
+    }
+
+    /// Renders the whole schema in the DDL syntax accepted by
+    /// `parse_schema` (atoms, classes, then `db = …;`).
+    pub fn render_ddl(&self, labels: &LabelInterner) -> String {
+        let mut out = String::new();
+        if self.atom_count() > 0 {
+            out.push_str("atoms ");
+            out.push_str(&self.atom_names.join(", "));
+            out.push_str(";\n");
+        }
+        for i in 0..self.class_count() {
+            let class = ClassId(i as u32);
+            out.push_str(&format!(
+                "class {} = {};\n",
+                self.class_name(class),
+                self.render_type(self.class_type(class), labels)
+            ));
+        }
+        out.push_str(&format!("db = {};\n", self.render_type(&self.db_type, labels)));
+        out
+    }
+
+    /// Renders a type expression with names.
+    pub fn render_type(&self, expr: &TypeExpr, labels: &LabelInterner) -> String {
+        match expr {
+            TypeExpr::Atom(a) => self.atom_name(*a).to_owned(),
+            TypeExpr::Class(c) => self.class_name(*c).to_owned(),
+            TypeExpr::Set(inner) => format!("{{{}}}", self.render_type(inner, labels)),
+            TypeExpr::Record(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(l, t)| format!("{}: {}", labels.name(*l), self.render_type(t, labels)))
+                    .collect();
+                format!("[{}]", body.join(", "))
+            }
+        }
+    }
+}
+
+/// Builds the paper's Example 3.1 bibliography schema (Book/Person with
+/// sets for optional and multi-valued fields) in `M⁺`. Returns the schema
+/// together with the label interner it used.
+pub fn example_bibliography_schema(labels: &mut LabelInterner) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let string = b.atom("string");
+    let int = b.atom("int");
+    let person = b.declare_class("Person");
+    let book = b.declare_class("Book");
+
+    let l = |labels: &mut LabelInterner, name: &str| labels.intern(name);
+    let name_l = l(labels, "name");
+    let ssn_l = l(labels, "SSN");
+    let age_l = l(labels, "age");
+    let wrote_l = l(labels, "wrote");
+    let title_l = l(labels, "title");
+    let isbn_l = l(labels, "ISBN");
+    let year_l = l(labels, "year");
+    let ref_l = l(labels, "ref");
+    let author_l = l(labels, "author");
+    let person_l = l(labels, "person");
+    let book_l = l(labels, "book");
+
+    b.define_class(
+        person,
+        TypeExpr::Record(vec![
+            (name_l, TypeExpr::Atom(string)),
+            (ssn_l, TypeExpr::Atom(string)),
+            (age_l, TypeExpr::Set(Box::new(TypeExpr::Atom(int)))),
+            (wrote_l, TypeExpr::Set(Box::new(TypeExpr::Class(book)))),
+        ]),
+    );
+    b.define_class(
+        book,
+        TypeExpr::Record(vec![
+            (title_l, TypeExpr::Atom(string)),
+            (isbn_l, TypeExpr::Atom(string)),
+            (year_l, TypeExpr::Set(Box::new(TypeExpr::Atom(int)))),
+            (ref_l, TypeExpr::Set(Box::new(TypeExpr::Class(book)))),
+            (author_l, TypeExpr::Set(Box::new(TypeExpr::Class(person)))),
+        ]),
+    );
+    b.finish(TypeExpr::Record(vec![
+        (person_l, TypeExpr::Set(Box::new(TypeExpr::Class(person)))),
+        (book_l, TypeExpr::Set(Box::new(TypeExpr::Class(book)))),
+    ]))
+    .expect("example schema is well-formed")
+}
+
+/// Builds an `M` version of the bibliography schema (no sets: exactly one
+/// author per book, one book per person).
+pub fn example_bibliography_schema_m(labels: &mut LabelInterner) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let string = b.atom("string");
+    let person = b.declare_class("Person");
+    let book = b.declare_class("Book");
+
+    let name_l = labels.intern("name");
+    let wrote_l = labels.intern("wrote");
+    let title_l = labels.intern("title");
+    let author_l = labels.intern("author");
+    let person_l = labels.intern("person");
+    let book_l = labels.intern("book");
+
+    b.define_class(
+        person,
+        TypeExpr::Record(vec![
+            (name_l, TypeExpr::Atom(string)),
+            (wrote_l, TypeExpr::Class(book)),
+        ]),
+    );
+    b.define_class(
+        book,
+        TypeExpr::Record(vec![
+            (title_l, TypeExpr::Atom(string)),
+            (author_l, TypeExpr::Class(person)),
+        ]),
+    );
+    b.finish(TypeExpr::Record(vec![
+        (person_l, TypeExpr::Class(person)),
+        (book_l, TypeExpr::Class(book)),
+    ]))
+    .expect("example schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_schema_is_mplus() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        assert_eq!(schema.model(), Model::MPlus);
+        assert_eq!(schema.class_count(), 2);
+        assert_eq!(schema.atom_count(), 2);
+    }
+
+    #[test]
+    fn m_example_schema_is_m() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        assert_eq!(schema.model(), Model::M);
+    }
+
+    #[test]
+    fn undefined_class_rejected() {
+        let mut b = SchemaBuilder::new();
+        let _c = b.declare_class("C");
+        let err = b.finish(TypeExpr::Record(vec![])).unwrap_err();
+        assert!(err.message.contains("never defined"));
+    }
+
+    #[test]
+    fn atomic_db_type_rejected() {
+        let mut b = SchemaBuilder::new();
+        let s = b.atom("string");
+        let err = b.finish(TypeExpr::Atom(s)).unwrap_err();
+        assert!(err.message.contains("DBtype"));
+    }
+
+    #[test]
+    fn class_valued_class_type_rejected() {
+        let mut b = SchemaBuilder::new();
+        let c = b.declare_class("C");
+        b.define_class(c, TypeExpr::Class(c));
+        let err = b.finish(TypeExpr::Record(vec![])).unwrap_err();
+        assert!(err.message.contains("τ(C)"));
+    }
+
+    #[test]
+    fn duplicate_record_labels_rejected() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let mut b = SchemaBuilder::new();
+        let s = b.atom("string");
+        let err = b
+            .finish(TypeExpr::Record(vec![
+                (a, TypeExpr::Atom(s)),
+                (a, TypeExpr::Atom(s)),
+            ]))
+            .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn nested_records_force_mplus() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let b_l = labels.intern("b");
+        let mut b = SchemaBuilder::new();
+        let s = b.atom("string");
+        // db = [a: [b: string]] — nested record, not allowed in M.
+        let schema = b
+            .finish(TypeExpr::Record(vec![(
+                a,
+                TypeExpr::Record(vec![(b_l, TypeExpr::Atom(s))]),
+            )]))
+            .unwrap();
+        assert_eq!(schema.model(), Model::MPlus);
+    }
+
+    #[test]
+    fn render_type_is_readable() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let rendered = schema.render_type(schema.db_type(), &labels);
+        assert_eq!(rendered, "[person: {Person}, book: {Book}]");
+    }
+
+    #[test]
+    fn builder_is_idempotent_per_name() {
+        let mut b = SchemaBuilder::new();
+        assert_eq!(b.atom("s"), b.atom("s"));
+        assert_eq!(b.declare_class("C"), b.declare_class("C"));
+    }
+
+    #[test]
+    fn contains_set_traverses_records() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let mut b = SchemaBuilder::new();
+        let s = b.atom("string");
+        let ty = TypeExpr::Record(vec![(
+            a,
+            TypeExpr::Set(Box::new(TypeExpr::Atom(s))),
+        )]);
+        assert!(ty.contains_set());
+        assert!(!TypeExpr::Atom(s).contains_set());
+    }
+}

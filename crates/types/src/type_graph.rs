@@ -1,0 +1,450 @@
+//! The signature determined by a schema: `σ(τ) = (r, E(σ), T(σ))` and the
+//! *type graph* over it (Section 3.2.2).
+//!
+//! `T(σ)` — the unary relation symbols — are the types reachable from
+//! `DBtype` and the classes; `E(σ)` — the binary relation symbols — are
+//! the record labels plus the distinguished set-membership relation `∗`.
+//! The type graph is deterministic (record labels are distinct), so it
+//! doubles as a partial DFA whose readable words are exactly `Paths(σ)`.
+
+use crate::schema::{AtomId, ClassId, Schema, TypeExpr};
+use pathcons_automata::{Dfa, StateId};
+use pathcons_graph::{Label, LabelInterner};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node of the type graph — an element of `T(σ)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeNodeId(u32);
+
+impl TypeNodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// From raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> TypeNodeId {
+        debug_assert!(index <= u32::MAX as usize);
+        TypeNodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for TypeNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identity of a type node. Classes are *nominal* (two classes with equal
+/// `τ(C)` are distinct types); set and record types are *structural*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum TypeKey {
+    Atom(AtomId),
+    Class(ClassId),
+    Structural(TypeExpr),
+}
+
+/// One-level structure of a type node, with references resolved to type
+/// nodes. For a class node this is the unfolding of `τ(C)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeNodeKind {
+    /// Atomic type: no outgoing edges.
+    Atom(AtomId),
+    /// Set type (or class with set `τ(C)`): `∗`-edges to the element type.
+    Set(TypeNodeId),
+    /// Record type (or class with record `τ(C)`): exactly one edge per
+    /// label. Sorted by label.
+    Record(Vec<(Label, TypeNodeId)>),
+}
+
+/// The name of the set-membership label.
+pub const STAR: &str = "*";
+
+/// The type graph of a schema.
+#[derive(Clone, Debug)]
+pub struct TypeGraph {
+    keys: Vec<TypeKey>,
+    kinds: Vec<TypeNodeKind>,
+    /// Whether a node is a class node (class nodes are exempt from the
+    /// extensionality clauses of `Φ(σ)`).
+    is_class: Vec<Option<ClassId>>,
+    db: TypeNodeId,
+    star: Option<Label>,
+    edge_labels: Vec<Label>,
+}
+
+impl TypeGraph {
+    /// Builds the type graph of `schema`. Record labels come from the
+    /// schema; the `∗` label is interned into `labels` when the schema
+    /// uses sets.
+    pub fn build(schema: &Schema, labels: &mut LabelInterner) -> TypeGraph {
+        let star = if schema.db_type().contains_set()
+            || (0..schema.class_count())
+                .any(|i| schema.class_type(ClassId(i as u32)).contains_set())
+        {
+            Some(labels.intern(STAR))
+        } else {
+            None
+        };
+
+        let mut builder = Builder {
+            schema,
+            star,
+            keys: Vec::new(),
+            kinds: Vec::new(),
+            is_class: Vec::new(),
+            index: HashMap::new(),
+        };
+
+        // The DB node first (so it is node 0 and the DFA start state),
+        // then every class (T(σ) contains all classes by definition).
+        let db = builder.node_for(TypeKey::Structural(schema.db_type().clone()));
+        for c in 0..schema.class_count() {
+            builder.node_for(TypeKey::Class(ClassId(c as u32)));
+        }
+        // `node_for` expands recursively, so everything reachable exists.
+
+        let mut edge_labels: Vec<Label> = builder
+            .kinds
+            .iter()
+            .flat_map(|k| match k {
+                TypeNodeKind::Record(fields) => fields.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+                TypeNodeKind::Set(_) => star.into_iter().collect(),
+                TypeNodeKind::Atom(_) => Vec::new(),
+            })
+            .collect();
+        edge_labels.sort_unstable();
+        edge_labels.dedup();
+
+        TypeGraph {
+            keys: builder.keys,
+            kinds: builder.kinds,
+            is_class: builder.is_class,
+            db,
+            star,
+            edge_labels,
+        }
+    }
+
+    /// The `DBtype` node (the type of the root).
+    pub fn db(&self) -> TypeNodeId {
+        self.db
+    }
+
+    /// Number of types in `T(σ)`.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// All type nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = TypeNodeId> + '_ {
+        (0..self.kinds.len()).map(TypeNodeId::from_index)
+    }
+
+    /// Structure of a node.
+    pub fn kind(&self, node: TypeNodeId) -> &TypeNodeKind {
+        &self.kinds[node.index()]
+    }
+
+    /// The class a node stands for, if it is a class node.
+    pub fn class_of(&self, node: TypeNodeId) -> Option<ClassId> {
+        self.is_class[node.index()]
+    }
+
+    /// The type node of a class, if it is part of the graph.
+    pub fn node_for_class(&self, class: ClassId) -> Option<TypeNodeId> {
+        self.keys
+            .iter()
+            .position(|k| *k == TypeKey::Class(class))
+            .map(TypeNodeId::from_index)
+    }
+
+    /// The `∗` label if the schema uses sets.
+    pub fn star_label(&self) -> Option<Label> {
+        self.star
+    }
+
+    /// `E(σ)`: all edge labels, sorted.
+    pub fn edge_labels(&self) -> &[Label] {
+        &self.edge_labels
+    }
+
+    /// Deterministic step `node --label--> ?`.
+    pub fn step(&self, node: TypeNodeId, label: Label) -> Option<TypeNodeId> {
+        match &self.kinds[node.index()] {
+            TypeNodeKind::Atom(_) => None,
+            TypeNodeKind::Set(elem) => {
+                if Some(label) == self.star {
+                    Some(*elem)
+                } else {
+                    None
+                }
+            }
+            TypeNodeKind::Record(fields) => fields
+                .binary_search_by_key(&label, |&(l, _)| l)
+                .ok()
+                .map(|pos| fields[pos].1),
+        }
+    }
+
+    /// Labels with outgoing edges from `node`.
+    pub fn out_labels(&self, node: TypeNodeId) -> Vec<Label> {
+        match &self.kinds[node.index()] {
+            TypeNodeKind::Atom(_) => Vec::new(),
+            TypeNodeKind::Set(_) => self.star.into_iter().collect(),
+            TypeNodeKind::Record(fields) => fields.iter().map(|&(l, _)| l).collect(),
+        }
+    }
+
+    /// The type of the node reached by `word` from the root — every path
+    /// has at most one type. `None` iff `word ∉ Paths(σ)`.
+    pub fn type_of_path(&self, word: &[Label]) -> Option<TypeNodeId> {
+        let mut node = self.db;
+        for &label in word {
+            node = self.step(node, label)?;
+        }
+        Some(node)
+    }
+
+    /// `Paths(σ)` membership.
+    pub fn is_path(&self, word: &[Label]) -> bool {
+        self.type_of_path(word).is_some()
+    }
+
+    /// The type graph as a partial DFA; state indices coincide with type
+    /// node indices and the start state is the `DBtype` node. All states
+    /// are accepting (readability is the membership criterion).
+    pub fn to_dfa(&self) -> Dfa {
+        let mut dfa = Dfa::new();
+        dfa.set_accepting(dfa.start(), true);
+        for _ in 1..self.node_count() {
+            let s = dfa.add_state();
+            dfa.set_accepting(s, true);
+        }
+        for node in self.nodes() {
+            let from = StateId::from_index(node.index());
+            for label in self.out_labels(node) {
+                let to = self.step(node, label).expect("out_labels is accurate");
+                dfa.set_transition(from, label, StateId::from_index(to.index()));
+            }
+        }
+        dfa
+    }
+
+    /// Human-readable name for a type node.
+    pub fn name(&self, node: TypeNodeId, schema: &Schema, labels: &LabelInterner) -> String {
+        match &self.keys[node.index()] {
+            TypeKey::Atom(a) => schema.atom_name(*a).to_owned(),
+            TypeKey::Class(c) => schema.class_name(*c).to_owned(),
+            TypeKey::Structural(expr) => {
+                if node == self.db {
+                    "DBtype".to_owned()
+                } else {
+                    schema.render_type(expr, labels)
+                }
+            }
+        }
+    }
+}
+
+struct Builder<'a> {
+    schema: &'a Schema,
+    star: Option<Label>,
+    keys: Vec<TypeKey>,
+    kinds: Vec<TypeNodeKind>,
+    is_class: Vec<Option<ClassId>>,
+    index: HashMap<TypeKey, TypeNodeId>,
+}
+
+impl Builder<'_> {
+    fn node_for(&mut self, key: TypeKey) -> TypeNodeId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = TypeNodeId::from_index(self.keys.len());
+        self.keys.push(key.clone());
+        // Placeholder kind; fixed up after recursive expansion.
+        self.kinds.push(TypeNodeKind::Atom(AtomId(u32::MAX)));
+        self.is_class.push(match &key {
+            TypeKey::Class(c) => Some(*c),
+            _ => None,
+        });
+        self.index.insert(key.clone(), id);
+
+        let expr: TypeExpr = match &key {
+            TypeKey::Atom(a) => TypeExpr::Atom(*a),
+            TypeKey::Class(c) => self.schema.class_type(*c).clone(),
+            TypeKey::Structural(e) => e.clone(),
+        };
+        let kind = match expr {
+            TypeExpr::Atom(a) => TypeNodeKind::Atom(a),
+            // A bare class expression can only appear *inside* set/record
+            // types (τ(C) and DBtype are never bare classes), and those
+            // paths resolve through `resolve` below — but keep it total.
+            TypeExpr::Class(c) => {
+                let target = self.node_for(TypeKey::Class(c));
+                return self.alias(id, target);
+            }
+            TypeExpr::Set(inner) => {
+                debug_assert!(self.star.is_some(), "set type without ∗ label");
+                TypeNodeKind::Set(self.resolve(&inner))
+            }
+            TypeExpr::Record(fields) => {
+                let mut resolved: Vec<(Label, TypeNodeId)> = fields
+                    .iter()
+                    .map(|(l, t)| (*l, self.resolve(t)))
+                    .collect();
+                resolved.sort_by_key(|&(l, _)| l);
+                TypeNodeKind::Record(resolved)
+            }
+        };
+        self.kinds[id.index()] = kind;
+        id
+    }
+
+    /// Resolves a field/element type to its node.
+    fn resolve(&mut self, expr: &TypeExpr) -> TypeNodeId {
+        let key = match expr {
+            TypeExpr::Atom(a) => TypeKey::Atom(*a),
+            TypeExpr::Class(c) => TypeKey::Class(*c),
+            other => TypeKey::Structural(other.clone()),
+        };
+        self.node_for(key)
+    }
+
+    /// Degenerate case: a structural node that is a bare class reference;
+    /// give it the class's kind.
+    fn alias(&mut self, id: TypeNodeId, target: TypeNodeId) -> TypeNodeId {
+        self.kinds[id.index()] = self.kinds[target.index()].clone();
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{example_bibliography_schema, example_bibliography_schema_m};
+
+    #[test]
+    fn example_signature_matches_paper() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+
+        // Section 3.2.2: E includes person, book, name, SSN, wrote, age,
+        // title, ISBN, year, ref, author and ∗.
+        let expected = [
+            "person", "book", "name", "SSN", "wrote", "age", "title", "ISBN", "year", "ref",
+            "author", "*",
+        ];
+        for name in expected {
+            let l = labels.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(tg.edge_labels().contains(&l), "E(σ) missing {name}");
+        }
+        assert_eq!(tg.edge_labels().len(), expected.len());
+
+        // T includes Person, Book, string, {int}, {Book}, {Person} and
+        // DBtype. ({string} does not occur in this schema.)
+        assert_eq!(tg.node_count(), 8); // + int itself as element of {int}
+    }
+
+    #[test]
+    fn paths_follow_the_schema() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let l = |n: &str| labels.get(n).unwrap();
+
+        // book.∗.author.∗.name is a path; book.name is not (must pass ∗).
+        assert!(tg.is_path(&[l("book"), l("*"), l("author"), l("*"), l("name")]));
+        assert!(!tg.is_path(&[l("book"), l("name")]));
+        assert!(tg.is_path(&[]));
+        // Recursion: book.∗.ref.∗.ref.∗ …
+        assert!(tg.is_path(&[l("book"), l("*"), l("ref"), l("*"), l("ref"), l("*")]));
+    }
+
+    #[test]
+    fn m_schema_has_no_star() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        assert!(tg.star_label().is_none());
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(tg.is_path(&[l("book"), l("author"), l("wrote")]));
+        assert!(tg.is_path(&[l("book"), l("author"), l("name")]));
+        assert!(!tg.is_path(&[l("book"), l("wrote")]));
+    }
+
+    #[test]
+    fn type_of_path_is_deterministic() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema_m(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let l = |n: &str| labels.get(n).unwrap();
+        let person = tg.type_of_path(&[l("person")]).unwrap();
+        let author = tg
+            .type_of_path(&[l("book"), l("author")])
+            .unwrap();
+        assert_eq!(person, author);
+        assert_eq!(
+            tg.name(person, &schema, &labels),
+            "Person"
+        );
+    }
+
+    #[test]
+    fn dfa_agrees_with_type_graph() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let dfa = tg.to_dfa();
+        for word in dfa.readable_up_to(4) {
+            assert!(tg.is_path(&word));
+        }
+        // Spot-check a non-path.
+        let l = |n: &str| labels.get(n).unwrap();
+        assert!(!dfa.readable(&[l("book"), l("book")]));
+    }
+
+    #[test]
+    fn classes_are_nominal() {
+        // Two classes with identical record types are distinct type nodes.
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let ca = labels.intern("ca");
+        let cb = labels.intern("cb");
+        let mut b = crate::schema::SchemaBuilder::new();
+        let s = b.atom("string");
+        let c1 = b.declare_class("C1");
+        let c2 = b.declare_class("C2");
+        b.define_class(c1, TypeExpr::Record(vec![(a, TypeExpr::Atom(s))]));
+        b.define_class(c2, TypeExpr::Record(vec![(a, TypeExpr::Atom(s))]));
+        let schema = b
+            .finish(TypeExpr::Record(vec![
+                (ca, TypeExpr::Class(c1)),
+                (cb, TypeExpr::Class(c2)),
+            ]))
+            .unwrap();
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let n1 = tg.node_for_class(c1).unwrap();
+        let n2 = tg.node_for_class(c2).unwrap();
+        assert_ne!(n1, n2);
+        assert_eq!(tg.kind(n1), tg.kind(n2));
+        assert_eq!(tg.class_of(n1), Some(c1));
+    }
+
+    #[test]
+    fn out_labels_and_step_agree() {
+        let mut labels = LabelInterner::new();
+        let schema = example_bibliography_schema(&mut labels);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        for node in tg.nodes() {
+            for label in tg.out_labels(node) {
+                assert!(tg.step(node, label).is_some());
+            }
+        }
+    }
+}

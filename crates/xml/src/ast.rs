@@ -1,0 +1,325 @@
+//! A minimal self-contained XML subset parser.
+//!
+//! The paper motivates everything with XML documents, so the examples and
+//! experiment harness load documents end-to-end. Supported: elements,
+//! attributes, text content, self-closing tags, comments, processing
+//! instructions / declarations (skipped), and the five predefined
+//! entities. Not supported (not needed for the reproduction): DTDs,
+//! namespaces, CDATA.
+
+use std::fmt;
+
+/// An XML element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated text content directly under this element, trimmed.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// The value of an attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The first child with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// Error from [`parse_xml`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document and returns its root element.
+pub fn parse_xml(input: &str) -> Result<XmlElement, XmlError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_misc()?;
+    let root = parser.element()?;
+    parser.skip_misc()?;
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .map(|b| b.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match find(self.bytes, self.pos + 2, "?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(XmlElement {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                        text: String::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(self.err("expected a quoted attribute value"));
+                    }
+                    let q = quote.unwrap();
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|b| b != q).unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(q) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attributes.push((attr, unescape(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            self.skip_misc()?;
+            let start = self.pos;
+            // Accumulate raw text until `<`.
+            while self.peek().map(|b| b != b'<').unwrap_or(false) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                let trimmed = chunk.trim();
+                if !trimmed.is_empty() {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&unescape(trimmed));
+                }
+                continue;
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input in element content"));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.err(&format!(
+                        "mismatched closing tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(XmlElement {
+                    name,
+                    attributes,
+                    children,
+                    text,
+                });
+            }
+            children.push(self.element()?);
+        }
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    if from > bytes.len() {
+        return None;
+    }
+    (from..bytes.len().saturating_sub(n.len() - 1)).find(|&i| &bytes[i..i + n.len()] == n)
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = parse_xml("<bib><book id='b1'><title>Data</title></book></bib>").unwrap();
+        assert_eq!(doc.name, "bib");
+        assert_eq!(doc.children.len(), 1);
+        let book = &doc.children[0];
+        assert_eq!(book.attribute("id"), Some("b1"));
+        assert_eq!(book.child("title").unwrap().text, "Data");
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let doc = parse_xml("<a><b x=\"1\"/><b x=\"2\"/></a>").unwrap();
+        assert_eq!(doc.children.len(), 2);
+        assert_eq!(doc.children[1].attribute("x"), Some("2"));
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let doc = parse_xml(
+            "<?xml version=\"1.0\"?>\n<!-- a bibliography -->\n<bib>\n<!-- inner -->\n<book/></bib>",
+        )
+        .unwrap();
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn entities_unescaped() {
+        let doc = parse_xml("<t a='x &amp; y'>1 &lt; 2</t>").unwrap();
+        assert_eq!(doc.attribute("a"), Some("x & y"));
+        assert_eq!(doc.text, "1 < 2");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse_xml("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_xml("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn text_and_children_mix() {
+        let doc = parse_xml("<p>hello <b>world</b> again</p>").unwrap();
+        assert_eq!(doc.text, "hello again");
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_constructs_rejected() {
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<!-- never closed").is_err());
+        assert!(parse_xml("<a x=1/>").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Path constraints embedded in XML — the "preliminary proposal" the
+//! paper's Section 6 mentions (a constraint syntax conforming to XML).
+//!
+//! ```xml
+//! <constraints>
+//!   <!-- ∀x (book(r,x) → ∀y (author(x,y) → wrote(y,x))) -->
+//!   <constraint prefix="book" lhs="author" rhs="wrote" direction="backward"/>
+//!   <!-- word constraint: ∀x (book.author(r,x) → person(r,x)) -->
+//!   <constraint lhs="book.author" rhs="person"/>
+//! </constraints>
+//! ```
+//!
+//! Paths use the same dotted syntax as the text format; a missing
+//! `prefix` is the empty path; `direction` defaults to `forward`.
+
+use crate::ast::{parse_xml, XmlError};
+use pathcons_constraints::{Path, PathConstraint};
+use pathcons_graph::LabelInterner;
+use std::fmt;
+
+/// Error from [`load_constraints`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstraintLoadError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// Structural problem.
+    Malformed(String),
+}
+
+impl fmt::Display for ConstraintLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintLoadError::Xml(e) => write!(f, "XML parse error: {e}"),
+            ConstraintLoadError::Malformed(m) => write!(f, "malformed constraints: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintLoadError {}
+
+impl From<XmlError> for ConstraintLoadError {
+    fn from(e: XmlError) -> ConstraintLoadError {
+        ConstraintLoadError::Xml(e)
+    }
+}
+
+/// Parses a `<constraints>` document.
+pub fn load_constraints(
+    input: &str,
+    labels: &mut LabelInterner,
+) -> Result<Vec<PathConstraint>, ConstraintLoadError> {
+    let root = parse_xml(input)?;
+    if root.name != "constraints" {
+        return Err(ConstraintLoadError::Malformed(format!(
+            "expected <constraints>, found <{}>",
+            root.name
+        )));
+    }
+    let mut out = Vec::new();
+    for (i, el) in root.children.iter().enumerate() {
+        if el.name != "constraint" {
+            return Err(ConstraintLoadError::Malformed(format!(
+                "child #{i}: expected <constraint>, found <{}>",
+                el.name
+            )));
+        }
+        let mut path = |attr: Option<&str>| -> Result<Path, ConstraintLoadError> {
+            match attr {
+                None | Some("") => Ok(Path::empty()),
+                Some(text) => Path::parse(text, labels)
+                    .map_err(|e| ConstraintLoadError::Malformed(e.message)),
+            }
+        };
+        let prefix = path(el.attribute("prefix"))?;
+        let lhs = path(Some(el.attribute("lhs").ok_or_else(|| {
+            ConstraintLoadError::Malformed(format!("constraint #{i}: missing lhs"))
+        })?))?;
+        let rhs = path(Some(el.attribute("rhs").ok_or_else(|| {
+            ConstraintLoadError::Malformed(format!("constraint #{i}: missing rhs"))
+        })?))?;
+        let constraint = match el.attribute("direction").unwrap_or("forward") {
+            "forward" => PathConstraint::forward(prefix, lhs, rhs),
+            "backward" => PathConstraint::backward(prefix, lhs, rhs),
+            other => {
+                return Err(ConstraintLoadError::Malformed(format!(
+                    "constraint #{i}: unknown direction `{other}`"
+                )))
+            }
+        };
+        out.push(constraint);
+    }
+    Ok(out)
+}
+
+/// Renders constraints in the XML syntax (inverse of
+/// [`load_constraints`]).
+pub fn render_constraints(constraints: &[PathConstraint], labels: &LabelInterner) -> String {
+    let mut out = String::from("<constraints>\n");
+    for c in constraints {
+        let dir = if c.is_forward() { "forward" } else { "backward" };
+        let path_attr = |p: &Path| {
+            if p.is_empty() {
+                String::new()
+            } else {
+                p.display(labels).to_string()
+            }
+        };
+        out.push_str(&format!(
+            "  <constraint prefix=\"{}\" lhs=\"{}\" rhs=\"{}\" direction=\"{}\"/>\n",
+            path_attr(c.prefix()),
+            path_attr(c.lhs()),
+            path_attr(c.rhs()),
+            dir
+        ));
+    }
+    out.push_str("</constraints>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_paper_constraints() {
+        let mut labels = LabelInterner::new();
+        let cs = load_constraints(
+            r##"<constraints>
+              <constraint prefix="book" lhs="author" rhs="wrote" direction="backward"/>
+              <constraint lhs="book.author" rhs="person"/>
+              <constraint prefix="MIT" lhs="book.author" rhs="person"/>
+            </constraints>"##,
+            &mut labels,
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 3);
+        assert!(cs[0].is_backward());
+        assert!(cs[1].is_word());
+        assert!(!cs[2].is_word());
+        assert_eq!(
+            cs[0].display(&labels).to_string(),
+            "book: author <- wrote"
+        );
+    }
+
+    #[test]
+    fn empty_paths_allowed() {
+        let mut labels = LabelInterner::new();
+        let cs = load_constraints(
+            r##"<constraints><constraint prefix="" lhs="a" rhs=""/></constraints>"##,
+            &mut labels,
+        )
+        .unwrap();
+        assert!(cs[0].prefix().is_empty());
+        assert!(cs[0].rhs().is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut labels = LabelInterner::new();
+        let cs = load_constraints(
+            r##"<constraints>
+              <constraint prefix="book" lhs="author" rhs="wrote" direction="backward"/>
+              <constraint lhs="a.b" rhs="c"/>
+            </constraints>"##,
+            &mut labels,
+        )
+        .unwrap();
+        let rendered = render_constraints(&cs, &labels);
+        let reparsed = load_constraints(&rendered, &mut labels).unwrap();
+        assert_eq!(cs, reparsed);
+    }
+
+    #[test]
+    fn missing_lhs_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = load_constraints(
+            r##"<constraints><constraint rhs="a"/></constraints>"##,
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintLoadError::Malformed(m) if m.contains("lhs")));
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = load_constraints(
+            r##"<constraints><constraint lhs="a" rhs="b" direction="sideways"/></constraints>"##,
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintLoadError::Malformed(m) if m.contains("sideways")));
+    }
+}

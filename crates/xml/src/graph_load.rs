@@ -1,0 +1,268 @@
+//! Loading XML documents as σ-structures (the paper's Figure 1).
+//!
+//! The mapping follows Section 1: vertices denote elements, and edges
+//! emanating from them denote sub-elements, attributes, and relationships
+//! with other elements:
+//!
+//! - the document element becomes the root `r`;
+//! - each child element `<c>…</c>` of an element `e` adds an edge
+//!   `c(e, child)`;
+//! - an attribute `id="x"` registers the element under the identifier
+//!   `x` (no edge);
+//! - any other attribute whose value is `#x` (or a space-separated list
+//!   of `#x` references) adds an edge labeled with the attribute name to
+//!   the referenced element — this is how `author`, `ref` and `wrote`
+//!   are encoded;
+//! - any other attribute adds an edge to a fresh value vertex.
+//!
+//! Text content makes an element a value vertex; the text is reported in
+//! a side table (σ-structures carry no payloads).
+
+use crate::ast::{parse_xml, XmlElement, XmlError};
+use pathcons_graph::{Graph, LabelInterner, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A document loaded as a graph, with side tables for inspection.
+#[derive(Clone, Debug)]
+pub struct LoadedDocument {
+    /// The σ-structure; the root is the document element.
+    pub graph: Graph,
+    /// Element ids (`id="…"`) to vertices.
+    pub ids: HashMap<String, NodeId>,
+    /// Text content per vertex (value vertices).
+    pub text: HashMap<NodeId, String>,
+    /// Element tag name per vertex (the vertex's provenance).
+    pub tag: HashMap<NodeId, String>,
+}
+
+/// Error from [`load_document`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// A reference (`#x`) points at no element with `id="x"`.
+    DanglingReference {
+        /// The referenced identifier.
+        id: String,
+    },
+    /// Two elements share an id.
+    DuplicateId {
+        /// The duplicated identifier.
+        id: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Xml(e) => write!(f, "XML parse error: {e}"),
+            LoadError::DanglingReference { id } => write!(f, "dangling reference #{id}"),
+            LoadError::DuplicateId { id } => write!(f, "duplicate id `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<XmlError> for LoadError {
+    fn from(e: XmlError) -> LoadError {
+        LoadError::Xml(e)
+    }
+}
+
+/// Parses and loads a document.
+pub fn load_document(input: &str, labels: &mut LabelInterner) -> Result<LoadedDocument, LoadError> {
+    let root = parse_xml(input)?;
+    load_element_tree(&root, labels)
+}
+
+/// Loads an already-parsed element tree.
+pub fn load_element_tree(
+    root: &XmlElement,
+    labels: &mut LabelInterner,
+) -> Result<LoadedDocument, LoadError> {
+    let mut doc = LoadedDocument {
+        graph: Graph::new(),
+        ids: HashMap::new(),
+        text: HashMap::new(),
+        tag: HashMap::new(),
+    };
+    // Pass 1: create vertices for every element, register ids.
+    let mut node_of: HashMap<*const XmlElement, NodeId> = HashMap::new();
+    let mut stack: Vec<&XmlElement> = vec![root];
+    let mut first = true;
+    while let Some(el) = stack.pop() {
+        let node = if first {
+            first = false;
+            doc.graph.root()
+        } else {
+            doc.graph.add_node()
+        };
+        node_of.insert(el as *const _, node);
+        doc.tag.insert(node, el.name.clone());
+        if !el.text.is_empty() {
+            doc.text.insert(node, el.text.clone());
+        }
+        if let Some(id) = el.attribute("id") {
+            if doc.ids.insert(id.to_owned(), node).is_some() {
+                return Err(LoadError::DuplicateId { id: id.to_owned() });
+            }
+        }
+        for child in &el.children {
+            stack.push(child);
+        }
+    }
+    // Pass 2: edges.
+    let mut stack: Vec<&XmlElement> = vec![root];
+    while let Some(el) = stack.pop() {
+        let node = node_of[&(el as *const _)];
+        for child in &el.children {
+            let label = labels.intern(&child.name);
+            doc.graph.add_edge(node, label, node_of[&(child as *const _)]);
+            stack.push(child);
+        }
+        for (name, value) in &el.attributes {
+            if name == "id" {
+                continue;
+            }
+            let label = labels.intern(name);
+            if value.starts_with('#') {
+                for reference in value.split_whitespace() {
+                    let id = reference.trim_start_matches('#');
+                    let target =
+                        *doc.ids
+                            .get(id)
+                            .ok_or_else(|| LoadError::DanglingReference {
+                                id: id.to_owned(),
+                            })?;
+                    doc.graph.add_edge(node, label, target);
+                }
+            } else {
+                let value_node = doc.graph.add_node();
+                doc.text.insert(value_node, value.clone());
+                doc.graph.add_edge(node, label, value_node);
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// The paper's Figure 1 document: a bibliography with two persons, three
+/// books, inverse `author`/`wrote` edges and a `ref` edge.
+pub const FIGURE1_XML: &str = r##"<?xml version="1.0"?>
+<bib>
+  <person id="p1" wrote="#b1 #b2">
+    <name>Alice</name>
+    <SSN>111-11-1111</SSN>
+    <age>41</age>
+  </person>
+  <person id="p2" wrote="#b2 #b3">
+    <name>Bob</name>
+    <SSN>222-22-2222</SSN>
+  </person>
+  <book id="b1" author="#p1" ref="#b2">
+    <title>Semistructured Data</title>
+    <ISBN>0-111</ISBN>
+    <year>1997</year>
+  </book>
+  <book id="b2" author="#p1 #p2">
+    <title>Path Constraints</title>
+    <ISBN>0-222</ISBN>
+  </book>
+  <book id="b3" author="#p2">
+    <title>Type Systems</title>
+    <ISBN>0-333</ISBN>
+  </book>
+</bib>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_constraints::{holds, PathConstraint};
+
+    fn figure1() -> (LoadedDocument, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let doc = load_document(FIGURE1_XML, &mut labels).unwrap();
+        (doc, labels)
+    }
+
+    #[test]
+    fn figure1_loads() {
+        let (doc, labels) = figure1();
+        // 1 root + 2 persons + 3 books + (3+2) person fields + (3+2+2)
+        // book text children = …; just sanity-check ids and edges.
+        assert_eq!(doc.ids.len(), 5);
+        let book = labels.get("book").unwrap();
+        assert_eq!(doc.graph.successors(doc.graph.root(), book).count(), 3);
+        let person = labels.get("person").unwrap();
+        assert_eq!(doc.graph.successors(doc.graph.root(), person).count(), 2);
+    }
+
+    #[test]
+    fn figure1_satisfies_extent_constraints() {
+        let (doc, mut labels) = figure1();
+        for text in [
+            "book.author -> person",
+            "person.wrote -> book",
+            "book.ref -> book",
+        ] {
+            let c = PathConstraint::parse(text, &mut labels).unwrap();
+            assert!(holds(&doc.graph, &c), "extent constraint failed: {text}");
+        }
+    }
+
+    #[test]
+    fn figure1_satisfies_inverse_constraints() {
+        let (doc, mut labels) = figure1();
+        for text in ["book: author <- wrote", "person: wrote <- author"] {
+            let c = PathConstraint::parse(text, &mut labels).unwrap();
+            assert!(holds(&doc.graph, &c), "inverse constraint failed: {text}");
+        }
+    }
+
+    #[test]
+    fn text_content_is_recorded() {
+        let (doc, labels) = figure1();
+        let name = labels.get("name").unwrap();
+        let p1 = doc.ids["p1"];
+        let name_node = doc.graph.successors(p1, name).next().unwrap();
+        assert_eq!(doc.text[&name_node], "Alice");
+    }
+
+    #[test]
+    fn dangling_reference_detected() {
+        let mut labels = LabelInterner::new();
+        let err = load_document(r##"<bib><book author="#nobody"/></bib>"##, &mut labels)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LoadError::DanglingReference {
+                id: "nobody".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let mut labels = LabelInterner::new();
+        let err =
+            load_document(r##"<bib><a id="x"/><b id="x"/></bib>"##, &mut labels).unwrap_err();
+        assert_eq!(err, LoadError::DuplicateId { id: "x".into() });
+    }
+
+    #[test]
+    fn plain_attributes_become_value_vertices() {
+        let mut labels = LabelInterner::new();
+        let doc = load_document(r##"<bib><book ISBN="0-123"/></bib>"##, &mut labels).unwrap();
+        let isbn = labels.get("ISBN").unwrap();
+        let book_node = doc
+            .graph
+            .successors(doc.graph.root(), labels.get("book").unwrap())
+            .next()
+            .unwrap();
+        let value = doc.graph.successors(book_node, isbn).next().unwrap();
+        assert_eq!(doc.text[&value], "0-123");
+    }
+}

@@ -1,0 +1,31 @@
+//! # pathcons-xml
+//!
+//! A minimal self-contained XML layer: the paper frames everything around
+//! XML documents (Section 1, Figure 1), so this crate lets examples and
+//! experiments run end-to-end from documents:
+//!
+//! - [`parse_xml`] — a small XML subset parser (elements, attributes,
+//!   text, comments);
+//! - [`load_document`] — documents as σ-structures following the paper's
+//!   encoding (elements = vertices; sub-elements and `#id` reference
+//!   attributes = labeled edges), with [`FIGURE1_XML`] as the canonical
+//!   fixture;
+//! - [`load_schema`] — XML-Data-flavoured schemas (the paper's Section 1
+//!   example syntax) into `M⁺` schemas, with [`PAPER_SCHEMA_XML`];
+//! - [`load_constraints`] / [`render_constraints`] — path constraints in
+//!   an XML syntax (the Section 6 "preliminary proposal").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod constraints_load;
+mod graph_load;
+mod schema_load;
+mod typed_load;
+
+pub use ast::{parse_xml, XmlElement, XmlError};
+pub use constraints_load::{load_constraints, render_constraints, ConstraintLoadError};
+pub use graph_load::{load_document, load_element_tree, LoadError, LoadedDocument, FIGURE1_XML};
+pub use schema_load::{load_schema, SchemaLoadError, PAPER_SCHEMA_XML};
+pub use typed_load::{load_typed_document, TypedDocument, TypedLoadError};

@@ -1,0 +1,289 @@
+//! Reading XML-Data-flavoured schemas (the paper's Section 1 example)
+//! into `M⁺` schemas.
+//!
+//! Supported syntax, modeled on the paper's XML-Data fragment:
+//!
+//! ```xml
+//! <schema>
+//!   <elementType id="book">
+//!     <attribute name="author" range="#person" occurs="many"/>
+//!     <attribute name="ref" range="#book" occurs="many"/>
+//!     <element type="#ISBN"/>
+//!     <element type="#title"/>
+//!     <element type="#year" occurs="optional"/>
+//!   </elementType>
+//!   <elementType id="title"><string/></elementType>
+//!   …
+//! </schema>
+//! ```
+//!
+//! - an `elementType` whose body is `<string/>` (or `<int/>`) denotes an
+//!   atomic type; references to it become atom-typed record fields named
+//!   after it;
+//! - every other `elementType` becomes a class whose record fields come
+//!   from its `attribute` and `element` children;
+//! - `occurs="optional"` and `occurs="many"` wrap the field type in a
+//!   set, following Example 3.1 ("optional sub-elements are specified as
+//!   sets");
+//! - the database type is a record with one set-valued field per
+//!   top-level class (a class not referenced by any other), named by the
+//!   class id — again following Example 3.1 — unless the `<schema>`
+//!   element carries `root="#c1 #c2"`, which selects the entry classes
+//!   explicitly.
+
+use crate::ast::{parse_xml, XmlElement, XmlError};
+use pathcons_graph::LabelInterner;
+use pathcons_types::{Schema, SchemaBuilder, TypeExpr};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error from [`load_schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaLoadError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// Structural problem in the schema document.
+    Malformed(String),
+}
+
+impl fmt::Display for SchemaLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaLoadError::Xml(e) => write!(f, "XML parse error: {e}"),
+            SchemaLoadError::Malformed(m) => write!(f, "malformed schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaLoadError {}
+
+impl From<XmlError> for SchemaLoadError {
+    fn from(e: XmlError) -> SchemaLoadError {
+        SchemaLoadError::Xml(e)
+    }
+}
+
+/// Parses an XML-Data-flavoured schema document.
+pub fn load_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, SchemaLoadError> {
+    let root = parse_xml(input)?;
+    if root.name != "schema" {
+        return Err(SchemaLoadError::Malformed(format!(
+            "expected <schema>, found <{}>",
+            root.name
+        )));
+    }
+
+    let mut builder = SchemaBuilder::new();
+    let mut atoms: HashMap<String, TypeExpr> = HashMap::new();
+    let mut class_elements: Vec<&XmlElement> = Vec::new();
+
+    // Pass 1: classify elementTypes into atoms and classes.
+    for et in root.children_named("elementType") {
+        let id = et
+            .attribute("id")
+            .ok_or_else(|| SchemaLoadError::Malformed("elementType without id".into()))?;
+        let is_atomic = et
+            .children
+            .iter()
+            .any(|c| matches!(c.name.as_str(), "string" | "int"));
+        if is_atomic {
+            let atom_name = et
+                .children
+                .iter()
+                .find(|c| matches!(c.name.as_str(), "string" | "int"))
+                .map(|c| c.name.clone())
+                .expect("checked above");
+            let atom = builder.atom(&atom_name);
+            atoms.insert(id.to_owned(), TypeExpr::Atom(atom));
+        } else {
+            builder.declare_class(id);
+            class_elements.push(et);
+        }
+    }
+
+    // Pass 2: build record types.
+    let mut referenced: HashSet<String> = HashSet::new();
+    for et in &class_elements {
+        let id = et.attribute("id").expect("checked in pass 1");
+        let class = builder
+            .find_class(id)
+            .expect("declared in pass 1");
+        let mut fields: Vec<(pathcons_graph::Label, TypeExpr)> = Vec::new();
+        for child in &et.children {
+            let (field_name, target) = match child.name.as_str() {
+                "attribute" => {
+                    let name = child.attribute("name").ok_or_else(|| {
+                        SchemaLoadError::Malformed("attribute without name".into())
+                    })?;
+                    let range = child.attribute("range").ok_or_else(|| {
+                        SchemaLoadError::Malformed("attribute without range".into())
+                    })?;
+                    (name.to_owned(), range.trim_start_matches('#').to_owned())
+                }
+                "element" => {
+                    let ty = child.attribute("type").ok_or_else(|| {
+                        SchemaLoadError::Malformed("element without type".into())
+                    })?;
+                    let target = ty.trim_start_matches('#').to_owned();
+                    (target.clone(), target)
+                }
+                other => {
+                    return Err(SchemaLoadError::Malformed(format!(
+                        "unexpected <{other}> inside elementType"
+                    )))
+                }
+            };
+            let base = if let Some(atom) = atoms.get(&target) {
+                atom.clone()
+            } else if let Some(c) = builder.find_class(&target) {
+                referenced.insert(target.clone());
+                TypeExpr::Class(c)
+            } else {
+                return Err(SchemaLoadError::Malformed(format!(
+                    "unknown elementType `#{target}`"
+                )));
+            };
+            let occurs = child.attribute("occurs").unwrap_or("one");
+            let ty = match occurs {
+                "one" | "required" => base,
+                "optional" | "many" => TypeExpr::Set(Box::new(base)),
+                other => {
+                    return Err(SchemaLoadError::Malformed(format!(
+                        "unknown occurs value `{other}`"
+                    )))
+                }
+            };
+            fields.push((labels.intern(&field_name), ty));
+        }
+        builder.define_class(class, TypeExpr::Record(fields));
+    }
+
+    // DB type: explicit root="…" attribute, or all unreferenced classes.
+    let entry_ids: Vec<String> = match root.attribute("root") {
+        Some(spec) => spec
+            .split_whitespace()
+            .map(|s| s.trim_start_matches('#').to_owned())
+            .collect(),
+        None => class_elements
+            .iter()
+            .map(|et| et.attribute("id").expect("checked").to_owned())
+            .filter(|id| !referenced.contains(id))
+            .collect(),
+    };
+    if entry_ids.is_empty() {
+        return Err(SchemaLoadError::Malformed(
+            "no entry classes (every class is referenced); use root=\"#…\"".into(),
+        ));
+    }
+    let mut db_fields = Vec::new();
+    for id in entry_ids {
+        let class = builder.find_class(&id).ok_or_else(|| {
+            SchemaLoadError::Malformed(format!("entry class `#{id}` not found"))
+        })?;
+        db_fields.push((
+            labels.intern(&id),
+            TypeExpr::Set(Box::new(TypeExpr::Class(class))),
+        ));
+    }
+    builder
+        .finish(TypeExpr::Record(db_fields))
+        .map_err(|e| SchemaLoadError::Malformed(e.message))
+}
+
+/// The paper's Section 1 XML-Data schema (books and persons), completed
+/// with the person elementType.
+pub const PAPER_SCHEMA_XML: &str = r##"<schema root="#book #person">
+  <elementType id="book">
+    <attribute name="author" range="#person" occurs="many"/>
+    <attribute name="ref" range="#book" occurs="many"/>
+    <element type="#ISBN"/>
+    <element type="#title"/>
+    <element type="#year" occurs="optional"/>
+  </elementType>
+  <elementType id="person">
+    <attribute name="wrote" range="#book" occurs="many"/>
+    <element type="#SSN"/>
+    <element type="#name"/>
+    <element type="#age" occurs="optional"/>
+  </elementType>
+  <elementType id="title"><string/></elementType>
+  <elementType id="ISBN"><string/></elementType>
+  <elementType id="year"><int/></elementType>
+  <elementType id="SSN"><string/></elementType>
+  <elementType id="name"><string/></elementType>
+  <elementType id="age"><int/></elementType>
+</schema>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_types::{Model, TypeGraph};
+
+    #[test]
+    fn paper_schema_loads() {
+        let mut labels = LabelInterner::new();
+        let schema = load_schema(PAPER_SCHEMA_XML, &mut labels).unwrap();
+        assert_eq!(schema.class_count(), 2);
+        assert_eq!(schema.model(), Model::MPlus);
+        let tg = TypeGraph::build(&schema, &mut labels);
+        let l = |n: &str| labels.get(n).unwrap();
+        let star = tg.star_label().unwrap();
+        assert!(tg.is_path(&[l("book"), star, l("author"), star, l("name")]));
+        assert!(tg.is_path(&[l("person"), star, l("wrote"), star, l("title")]));
+        assert!(!tg.is_path(&[l("book"), star, l("wrote")]));
+    }
+
+    #[test]
+    fn unreferenced_classes_become_entries() {
+        let mut labels = LabelInterner::new();
+        let schema = load_schema(
+            r##"<schema>
+              <elementType id="s"><string/></elementType>
+              <elementType id="leaf"><element type="#s"/></elementType>
+              <elementType id="top"><attribute name="x" range="#leaf"/></elementType>
+            </schema>"##,
+            &mut labels,
+        )
+        .unwrap();
+        // `top` is unreferenced → sole entry.
+        let rendered = schema.render_type(schema.db_type(), &labels);
+        assert_eq!(rendered, "[top: {top}]");
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = load_schema(
+            r##"<schema><elementType id="a"><attribute name="x" range="#ghost"/></elementType></schema>"##,
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaLoadError::Malformed(m) if m.contains("ghost")));
+    }
+
+    #[test]
+    fn fully_cyclic_schema_needs_explicit_root() {
+        let mut labels = LabelInterner::new();
+        let err = load_schema(
+            r##"<schema>
+              <elementType id="a"><attribute name="x" range="#b"/></elementType>
+              <elementType id="b"><attribute name="y" range="#a"/></elementType>
+            </schema>"##,
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaLoadError::Malformed(m) if m.contains("entry")));
+    }
+
+    #[test]
+    fn bad_occurs_rejected() {
+        let mut labels = LabelInterner::new();
+        let err = load_schema(
+            r##"<schema><elementType id="a"><attribute name="x" range="#a" occurs="sometimes"/></elementType></schema>"##,
+            &mut labels,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaLoadError::Malformed(m) if m.contains("occurs")));
+    }
+}

@@ -1,0 +1,447 @@
+//! Schema-directed document loading: XML documents as members of
+//! `U_f(σ)`.
+//!
+//! The flat Figure 1 encoding ([`crate::load_document`]) puts attribute
+//! and sub-element edges directly on element vertices; under an `M⁺`
+//! schema, multi-valued and optional fields instead route through a `∗`
+//! set vertex (Example 3.1 "optional sub-elements are specified as
+//! sets"). This module loads a document *against* a schema, materializing
+//! exactly the structure `Φ(σ)` demands:
+//!
+//! - each element whose tag resolves to a class becomes a class vertex;
+//! - record fields of set type get a fresh set vertex with `∗`-edges to
+//!   the members (possibly none — that is how optionality is encoded);
+//! - record fields of atomic type point at value vertices (text content
+//!   or attribute values);
+//! - the root element becomes the `DBtype` vertex, with one set vertex
+//!   per entry field collecting the top-level elements;
+//! - extensionality is restored by the quotient of
+//!   [`pathcons_types::extensionality_repair`].
+//!
+//! The result is validated against `Φ(σ)` before being returned.
+
+use crate::ast::{parse_xml, XmlElement, XmlError};
+use crate::graph_load::{load_element_tree, LoadError};
+use pathcons_graph::{Graph, Label, LabelInterner, NodeId};
+use pathcons_types::{
+    extensionality_repair_mapped, TypeGraph, TypeNodeId, TypeNodeKind, TypeViolation, TypedGraph,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`load_typed_document`].
+#[derive(Clone, Debug)]
+pub enum TypedLoadError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// Reference resolution failed (dangling `#id`, duplicate id).
+    Load(LoadError),
+    /// The document does not fit the schema.
+    Schema(String),
+    /// The assembled instance still violates `Φ(σ)` (with the first few
+    /// violations attached).
+    Violations(Vec<TypeViolation>),
+}
+
+impl fmt::Display for TypedLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypedLoadError::Xml(e) => write!(f, "XML parse error: {e}"),
+            TypedLoadError::Load(e) => write!(f, "{e}"),
+            TypedLoadError::Schema(m) => write!(f, "schema mismatch: {m}"),
+            TypedLoadError::Violations(vs) => {
+                write!(f, "{} Φ(σ) violation(s), first: {:?}", vs.len(), vs.first())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypedLoadError {}
+
+impl From<XmlError> for TypedLoadError {
+    fn from(e: XmlError) -> TypedLoadError {
+        TypedLoadError::Xml(e)
+    }
+}
+
+/// A document loaded as a member of `U_f(σ)`.
+#[derive(Clone, Debug)]
+pub struct TypedDocument {
+    /// The typed structure (validated against `Φ(σ)`).
+    pub typed: TypedGraph,
+    /// Text content per value vertex.
+    pub text: HashMap<NodeId, String>,
+    /// Element ids to class vertices.
+    pub ids: HashMap<String, NodeId>,
+}
+
+/// Loads `input` against the schema's type graph, producing a validated member of
+/// `U_f(σ)`.
+///
+/// Element tags are resolved to classes by matching the *entry field*
+/// names of `DBtype` for top-level elements; within an element, child
+/// tags and attribute names are matched against the class's record
+/// fields. `#id` references resolve across the document.
+pub fn load_typed_document(
+    input: &str,
+    type_graph: &TypeGraph,
+    labels: &mut LabelInterner,
+) -> Result<TypedDocument, TypedLoadError> {
+    let root_el = parse_xml(input)?;
+    // First load untyped to resolve ids (reusing the reference machinery).
+    let untyped = load_element_tree(&root_el, labels).map_err(TypedLoadError::Load)?;
+
+    let mut builder = Builder {
+        type_graph,
+        graph: Graph::new(),
+        types: vec![type_graph.db()],
+        text: HashMap::new(),
+        ids: HashMap::new(),
+        element_vertex: HashMap::new(),
+    };
+
+    // Pass 1: create class vertices for every element that sits under an
+    // entry field or a class-typed position. We walk top-down with the
+    // expected type in hand.
+    let db_kind = type_graph.kind(type_graph.db()).clone();
+    let TypeNodeKind::Record(entry_fields) = db_kind else {
+        return Err(TypedLoadError::Schema("DBtype must be a record".into()));
+    };
+
+    // Pre-create every element vertex by matching tags to entry/field
+    // names so that `#id` references can point anywhere.
+    builder.pre_create(&root_el, &entry_fields, labels)?;
+
+    // Pass 2: wire the root's entry fields.
+    let root_vertex = builder.graph.root();
+    for &(field_label, field_type) in &entry_fields {
+        let members: Vec<NodeId> = root_el
+            .children
+            .iter()
+            .filter(|c| labels.get(&c.name) == Some(field_label))
+            .map(|c| builder.element_vertex[&(c as *const _)])
+            .collect();
+        builder.attach_field(root_vertex, field_label, field_type, members, labels)?;
+    }
+
+    // Pass 3: wire every element's record fields.
+    builder.wire_elements(&root_el, labels, &untyped.ids)?;
+
+    // Restore extensionality (e.g. empty {int} sets merge), remapping the
+    // side tables through the quotient.
+    let (repaired, mapping) = extensionality_repair_mapped(
+        TypedGraph {
+            graph: builder.graph,
+            types: builder.types,
+        },
+        type_graph,
+    );
+    let violations = repaired.violations(type_graph);
+    if !violations.is_empty() {
+        return Err(TypedLoadError::Violations(violations));
+    }
+    let text = builder
+        .text
+        .into_iter()
+        .map(|(n, t)| (mapping[n.index()], t))
+        .collect();
+    let ids = builder
+        .ids
+        .into_iter()
+        .map(|(id, n)| (id, mapping[n.index()]))
+        .collect();
+    Ok(TypedDocument {
+        typed: repaired,
+        text,
+        ids,
+    })
+}
+
+struct Builder<'a> {
+    type_graph: &'a TypeGraph,
+    graph: Graph,
+    types: Vec<TypeNodeId>,
+    text: HashMap<NodeId, String>,
+    ids: HashMap<String, NodeId>,
+    element_vertex: HashMap<*const XmlElement, NodeId>,
+}
+
+impl Builder<'_> {
+    fn add_node(&mut self, ty: TypeNodeId) -> NodeId {
+        let n = self.graph.add_node();
+        self.types.push(ty);
+        n
+    }
+
+    /// Creates class vertices for the element tree, matching tags to the
+    /// expected class types.
+    fn pre_create(
+        &mut self,
+        root: &XmlElement,
+        entry_fields: &[(Label, TypeNodeId)],
+        labels: &mut LabelInterner,
+    ) -> Result<(), TypedLoadError> {
+        // Top-level elements: must match an entry field.
+        for child in &root.children {
+            let tag = labels.intern(&child.name);
+            let Some(&(_, field_type)) = entry_fields.iter().find(|&&(l, _)| l == tag) else {
+                return Err(TypedLoadError::Schema(format!(
+                    "top-level element <{}> matches no DBtype field",
+                    child.name
+                )));
+            };
+            let class_type = self.element_target_type(field_type);
+            self.create_element_vertex(child, class_type, labels)?;
+        }
+        Ok(())
+    }
+
+    /// The class type a field ultimately stores (unwrapping one set).
+    fn element_target_type(&self, field_type: TypeNodeId) -> TypeNodeId {
+        match self.type_graph.kind(field_type) {
+            TypeNodeKind::Set(elem) => *elem,
+            _ => field_type,
+        }
+    }
+
+    fn create_element_vertex(
+        &mut self,
+        el: &XmlElement,
+        class_type: TypeNodeId,
+        labels: &mut LabelInterner,
+    ) -> Result<NodeId, TypedLoadError> {
+        let vertex = self.add_node(class_type);
+        self.element_vertex.insert(el as *const _, vertex);
+        if let Some(id) = el.attribute("id") {
+            self.ids.insert(id.to_owned(), vertex);
+        }
+        // Recurse into children that are class-typed fields of this class.
+        let TypeNodeKind::Record(fields) = self.type_graph.kind(class_type).clone() else {
+            return Err(TypedLoadError::Schema(
+                "element mapped to a non-record type".into(),
+            ));
+        };
+        for child in &el.children {
+            let tag = labels.intern(&child.name);
+            if let Ok(pos) = fields.binary_search_by_key(&tag, |&(l, _)| l) {
+                let target = self.element_target_type(fields[pos].1);
+                if matches!(self.type_graph.kind(target), TypeNodeKind::Record(_)) {
+                    self.create_element_vertex(child, target, labels)?;
+                }
+            }
+        }
+        Ok(vertex)
+    }
+
+    /// Attaches one record field of `vertex`: a set vertex with the
+    /// members, a direct edge for single-valued class fields, or an atom
+    /// vertex.
+    fn attach_field(
+        &mut self,
+        vertex: NodeId,
+        field_label: Label,
+        field_type: TypeNodeId,
+        members: Vec<NodeId>,
+        _labels: &mut LabelInterner,
+    ) -> Result<(), TypedLoadError> {
+        match self.type_graph.kind(field_type).clone() {
+            TypeNodeKind::Set(_) => {
+                let star = self.type_graph.star_label().expect("set implies ∗");
+                let set_vertex = self.add_node(field_type);
+                self.graph.add_edge(vertex, field_label, set_vertex);
+                for m in members {
+                    self.graph.add_edge(set_vertex, star, m);
+                }
+                Ok(())
+            }
+            TypeNodeKind::Atom(_) => {
+                let value = self.add_node(field_type);
+                self.graph.add_edge(vertex, field_label, value);
+                Ok(())
+            }
+            TypeNodeKind::Record(_) => {
+                let mut it = members.into_iter();
+                let Some(target) = it.next() else {
+                    return Err(TypedLoadError::Schema(format!(
+                        "single-valued field #{} has no value",
+                        field_label.index()
+                    )));
+                };
+                if it.next().is_some() {
+                    return Err(TypedLoadError::Schema(format!(
+                        "single-valued field #{} has several values",
+                        field_label.index()
+                    )));
+                }
+                self.graph.add_edge(vertex, field_label, target);
+                Ok(())
+            }
+        }
+    }
+
+    /// Wires all record fields of every element vertex.
+    fn wire_elements(
+        &mut self,
+        root: &XmlElement,
+        labels: &mut LabelInterner,
+        _doc_ids: &HashMap<String, NodeId>,
+    ) -> Result<(), TypedLoadError> {
+        let mut stack: Vec<&XmlElement> = root.children.iter().collect();
+        while let Some(el) = stack.pop() {
+            let Some(&vertex) = self.element_vertex.get(&(el as *const _)) else {
+                continue; // atomic content elements are handled by parents
+            };
+            let class_type = self.types[vertex.index()];
+            let TypeNodeKind::Record(fields) = self.type_graph.kind(class_type).clone() else {
+                continue;
+            };
+            for (field_label, field_type) in fields {
+                // Members from child elements…
+                let mut members: Vec<NodeId> = el
+                    .children
+                    .iter()
+                    .filter(|c| labels.get(&c.name) == Some(field_label))
+                    .filter_map(|c| self.element_vertex.get(&(c as *const _)).copied())
+                    .collect();
+                // …and from reference attributes.
+                if let Some(value) = el
+                    .attributes
+                    .iter()
+                    .find(|(n, _)| labels.get(n) == Some(field_label))
+                    .map(|(_, v)| v.clone())
+                {
+                    if value.starts_with('#') {
+                        for reference in value.split_whitespace() {
+                            let id = reference.trim_start_matches('#');
+                            let target = self.ids.get(id).copied().ok_or_else(|| {
+                                TypedLoadError::Load(LoadError::DanglingReference {
+                                    id: id.to_owned(),
+                                })
+                            })?;
+                            members.push(target);
+                        }
+                    }
+                }
+                // Atomic fields sourced from text children or attributes
+                // are materialized by attach_field; record the text.
+                let target_type = self.element_target_type(field_type);
+                let is_atom_field =
+                    matches!(self.type_graph.kind(target_type), TypeNodeKind::Atom(_));
+                if is_atom_field {
+                    // Value text from a child element of that tag or an
+                    // attribute value.
+                    let text_value = el
+                        .children
+                        .iter()
+                        .find(|c| labels.get(&c.name) == Some(field_label))
+                        .map(|c| c.text.clone())
+                        .or_else(|| {
+                            el.attributes
+                                .iter()
+                                .find(|(n, _)| labels.get(n) == Some(field_label))
+                                .map(|(_, v)| v.clone())
+                        });
+                    match self.type_graph.kind(field_type) {
+                        TypeNodeKind::Set(_) => {
+                            let star =
+                                self.type_graph.star_label().expect("set implies ∗");
+                            let set_vertex = self.add_node(field_type);
+                            self.graph.add_edge(vertex, field_label, set_vertex);
+                            if let Some(text) = text_value {
+                                let value = self.add_node(target_type);
+                                self.graph.add_edge(set_vertex, star, value);
+                                self.text.insert(value, text);
+                            }
+                        }
+                        _ => {
+                            let value = self.add_node(target_type);
+                            self.graph.add_edge(vertex, field_label, value);
+                            if let Some(text) = text_value {
+                                self.text.insert(value, text);
+                            }
+                        }
+                    }
+                } else {
+                    self.attach_field(vertex, field_label, field_type, members, labels)?;
+                }
+            }
+            for child in &el.children {
+                stack.push(child);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_load::FIGURE1_XML;
+    use crate::schema_load::{load_schema, PAPER_SCHEMA_XML};
+    use pathcons_constraints::{holds, PathConstraint};
+
+    fn setup() -> (LabelInterner, TypeGraph) {
+        let mut labels = LabelInterner::new();
+        let schema = load_schema(PAPER_SCHEMA_XML, &mut labels).unwrap();
+        let tg = TypeGraph::build(&schema, &mut labels);
+        (labels, tg)
+    }
+
+    #[test]
+    fn figure1_loads_as_member_of_uf_sigma() {
+        let (mut labels, tg) = setup();
+        let doc = load_typed_document(FIGURE1_XML, &tg, &mut labels)
+            .expect("Figure 1 conforms to the paper's schema");
+        assert!(doc.typed.satisfies_type_constraint(&tg));
+        // 5 elements resolved.
+        assert_eq!(doc.ids.len(), 5);
+    }
+
+    #[test]
+    fn typed_figure1_satisfies_star_routed_constraints() {
+        let (mut labels, tg) = setup();
+        let doc = load_typed_document(FIGURE1_XML, &tg, &mut labels).unwrap();
+        let star = tg.star_label().unwrap();
+        let star_name = labels.name(star).to_owned();
+        // Constraints routed through ∗ vertices, e.g.
+        // book.∗.author.∗ ⊆ person.∗ (extent) and the inverse pair.
+        for text in [
+            format!("book.{star_name}.author.{star_name} -> person.{star_name}"),
+            format!("person.{star_name}.wrote.{star_name} -> book.{star_name}"),
+            format!("book.{star_name}: author.{star_name} <- wrote.{star_name}"),
+        ] {
+            let c = PathConstraint::parse(&text, &mut labels).unwrap();
+            assert!(holds(&doc.typed.graph, &c), "failed: {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_top_level_element_rejected() {
+        let (mut labels, tg) = setup();
+        let err = load_typed_document("<bib><journal/></bib>", &tg, &mut labels)
+            .unwrap_err();
+        assert!(matches!(err, TypedLoadError::Schema(m) if m.contains("journal")));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let (mut labels, tg) = setup();
+        let doc = r##"<bib><book id="b1" author="#ghost"><title>t</title><ISBN>i</ISBN></book></bib>"##;
+        let err = load_typed_document(doc, &tg, &mut labels).unwrap_err();
+        assert!(matches!(
+            err,
+            TypedLoadError::Load(LoadError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn optional_fields_become_empty_sets() {
+        let (mut labels, tg) = setup();
+        // A book with no year / ref / author: those set fields must exist
+        // as (possibly empty) set vertices, and the result may still need
+        // extensionality repair (empty {int} sets merge).
+        let doc = r##"<bib><book id="b1"><title>t</title><ISBN>i</ISBN></book></bib>"##;
+        let loaded = load_typed_document(doc, &tg, &mut labels).unwrap();
+        assert!(loaded.typed.satisfies_type_constraint(&tg));
+    }
+}

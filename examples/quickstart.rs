@@ -1,0 +1,78 @@
+//! Quickstart: build a graph, check constraints, decide implication.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pathcons::prelude::*;
+
+fn main() {
+    // --- 1. A semistructured database: a tiny bibliography graph. ------
+    let mut labels = LabelInterner::new();
+    let g = parse_graph(
+        "r -book-> b1\n\
+         r -person-> p1\n\
+         b1 -author-> p1\n\
+         p1 -wrote-> b1\n\
+         b1 -title-> t1\n",
+        &mut labels,
+    )
+    .expect("valid graph text");
+    println!("graph: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    // --- 2. Path constraints (the paper's Section 1 examples). ---------
+    let sigma = parse_constraints(
+        "# extent constraints (word constraints)\n\
+         book.author -> person\n\
+         person.wrote -> book\n\
+         # inverse constraints (P_c, not word constraints)\n\
+         book: author <- wrote\n\
+         person: wrote <- author\n",
+        &mut labels,
+    )
+    .expect("valid constraint text");
+
+    println!("\nconstraints on the data:");
+    for c in &sigma {
+        let status = if holds(&g, c) { "holds" } else { "FAILS" };
+        println!("  [{status}] {}", c.display_first_order(&labels));
+    }
+    assert!(all_hold(&g, &sigma));
+
+    // --- 3. Implication: what else must every model satisfy? -----------
+    let solver = Solver::new(DataContext::Semistructured);
+
+    // Word-constraint query: decided in PTIME by post* saturation.
+    let phi = PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
+    let answer = solver.implies(&sigma, &phi).unwrap();
+    println!(
+        "\nΣ ⊨ {}?  {:?} (method {:?})",
+        phi.display(&labels),
+        answer.outcome.is_implied(),
+        answer.method
+    );
+    assert!(answer.outcome.is_implied());
+
+    // A non-consequence: the engines produce a countermodel.
+    let psi = PathConstraint::parse("person -> book.author", &mut labels).unwrap();
+    let answer = solver.implies(&sigma, &psi).unwrap();
+    println!(
+        "Σ ⊨ {}?  implied={} (method {:?})",
+        psi.display(&labels),
+        answer.outcome.is_implied(),
+        answer.method
+    );
+    assert!(answer.outcome.is_not_implied());
+
+    // General P_c query: the chase semi-decider takes over.
+    let chi = PathConstraint::parse("book: author -> author.wrote.author", &mut labels).unwrap();
+    let answer = solver.implies(&sigma, &chi).unwrap();
+    println!(
+        "Σ ⊨ {}?  implied={} (method {:?})",
+        chi.display(&labels),
+        answer.outcome.is_implied(),
+        answer.method
+    );
+    assert!(answer.outcome.is_implied());
+
+    // --- 4. Render the graph for inspection. ---------------------------
+    println!("\nDOT output:\n{}", to_dot(&g, &labels, &DotOptions::default()));
+}

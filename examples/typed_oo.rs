@@ -1,0 +1,124 @@
+//! Path constraints under an object-oriented type system — the model `M`
+//! (Sections 3.3 and 4.2): the ODL-flavoured Book/Person schema, the
+//! cubic-time implication engine, and checkable `I_r` proofs.
+//!
+//! Run with `cargo run --example typed_oo`.
+
+use pathcons::core::{m_implies, Evidence, Outcome};
+use pathcons::prelude::*;
+
+fn main() {
+    let mut labels = LabelInterner::new();
+
+    // --- The ODL interface of Section 1, as an M schema. ---------------
+    // interface Book { attribute String title; attribute Person author; }
+    // interface Person { attribute String name; attribute Book wrote; }
+    // (Model M has no sets, so author/wrote are single-valued here.)
+    let schema = parse_schema(
+        "atoms string;\n\
+         class Person = [name: string, wrote: Book];\n\
+         class Book = [title: string, author: Person];\n\
+         db = [person: Person, book: Book];",
+        &mut labels,
+    )
+    .expect("valid DDL");
+    assert_eq!(schema.model(), Model::M);
+    let tg = TypeGraph::build(&schema, &mut labels);
+    println!(
+        "schema in model M: {} classes, DBtype = {}",
+        schema.class_count(),
+        schema.render_type(schema.db_type(), &labels)
+    );
+
+    // A concrete instance (a member of U_f(σ)).
+    let instance = canonical_instance(&tg);
+    assert!(instance.satisfies_type_constraint(&tg));
+    println!(
+        "canonical instance: {} vertices (one per type), satisfies Φ(σ)",
+        instance.graph.node_count()
+    );
+
+    // --- The ODL inverse declaration as a path constraint. -------------
+    // relationship author inverse Person::wrote, as Σ.
+    let sigma = parse_constraints("book: author <- wrote", &mut labels).unwrap();
+    println!("\nΣ = {{ {} }}", sigma[0].display_first_order(&labels));
+
+    // --- Implication under M: decidable in cubic time (Theorem 4.2). ---
+    let queries = [
+        // The word form of the inverse (Lemma 4.8 interchange).
+        "book.author.wrote -> book",
+        // Commutativity — sound in M, unsound over untyped data!
+        "book -> book.author.wrote",
+        // Right-congruence pushes equations to suffixes.
+        "book.author.wrote.title -> book.title",
+        // The inverse constraint itself, as a P_c query.
+        "book: author <- wrote",
+    ];
+    for text in queries {
+        let phi = PathConstraint::parse(text, &mut labels).unwrap();
+        let outcome = m_implies(&schema, &tg, &sigma, &phi).expect("schema is in M");
+        match outcome {
+            Outcome::Implied(Evidence::IrProof(proof)) => {
+                proof.check(&sigma).expect("proof must check");
+                println!(
+                    "Σ ⊨_σ {}   — proved in I_r ({} rule applications, independently checked)",
+                    phi.display(&labels),
+                    proof.size()
+                );
+                if text == "book: author <- wrote" {
+                    println!("  full derivation:");
+                    for line in proof.render(&labels).lines() {
+                        println!("    {line}");
+                    }
+                }
+            }
+            other => panic!("expected an I_r proof for {text}, got {other:?}"),
+        }
+    }
+
+    // --- Contrast with the untyped context (Theorem 4.1 territory). ----
+    // Over untyped data Σ does NOT imply commutativity; over M it does.
+    let phi = PathConstraint::parse("book -> book.author.wrote", &mut labels).unwrap();
+    let untyped = Solver::new(DataContext::Semistructured)
+        .implies(&sigma, &phi)
+        .unwrap();
+    println!(
+        "\nuntyped context: Σ ⊨ {}? implied={} (method {:?})",
+        phi.display(&labels),
+        untyped.outcome.is_implied(),
+        untyped.method
+    );
+    assert!(
+        !untyped.outcome.is_implied(),
+        "commutativity must fail over untyped data"
+    );
+
+    // --- Non-consequences come with typed countermodels. ----------------
+    let psi = PathConstraint::parse("person -> book.author", &mut labels).unwrap();
+    match m_implies(&schema, &tg, &sigma, &psi).unwrap() {
+        Outcome::NotImplied(refutation) => {
+            let cm = refutation.countermodel.expect("M engine materializes countermodels");
+            let typed = TypedGraph {
+                graph: cm.graph.clone(),
+                types: cm.types.clone().unwrap(),
+            };
+            assert!(typed.satisfies_type_constraint(&tg));
+            assert!(all_hold(&cm.graph, &sigma));
+            assert!(!holds(&cm.graph, &psi));
+            println!(
+                "Σ ⊭_σ {} — countermodel in U_f(σ) with {} vertices (re-verified)",
+                psi.display(&labels),
+                cm.graph.node_count()
+            );
+        }
+        other => panic!("expected NotImplied, got {other:?}"),
+    }
+
+    // --- The solver facade, with finite implication. ---------------------
+    let solver = Solver::new(DataContext::M(SchemaContext::new(schema, tg)));
+    let phi = PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
+    let imp = solver.implies(&sigma, &phi).unwrap();
+    let fin = solver.finitely_implies(&sigma, &phi).unwrap();
+    assert_eq!(imp.outcome.is_implied(), fin.outcome.is_implied());
+    println!("\nimplication and finite implication coincide in M (Theorem 4.9)");
+}

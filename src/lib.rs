@@ -1,0 +1,72 @@
+//! # pathcons
+//!
+//! A path-constraint reasoning toolkit for semistructured and typed data,
+//! reproducing **Buneman, Fan & Weinstein, “Interaction between Path and
+//! Type Constraints”, PODS 1999**.
+//!
+//! This facade re-exports the whole workspace; the individual crates are
+//! usable on their own:
+//!
+//! - [`graph`] — rooted edge-labeled graphs (σ-structures);
+//! - [`automata`] — NFAs/DFAs and prefix-rewriting `post*` saturation;
+//! - [`constraints`] — the language `P_c`: paths, constraints, parser,
+//!   satisfaction checking;
+//! - [`types`] — the object-oriented models `M` and `M⁺`: schemas,
+//!   `Φ(σ)` validation, `Paths(σ)`, instance generation;
+//! - [`monoid`] — finitely presented monoids and the word problem
+//!   (the source of the paper's undecidability results);
+//! - [`core`] — the implication engines: PTIME word-constraint and
+//!   local-extent deciders, the cubic `M` engine with `I_r` proofs,
+//!   chase/search semi-deciders, and the executable reductions;
+//! - [`xml`] — XML documents, XML-Data-style schemas and constraints in
+//!   XML.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pathcons::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let sigma = parse_constraints(
+//!     "book.author -> person\nperson.wrote -> book",
+//!     &mut labels,
+//! ).unwrap();
+//! let phi = PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
+//!
+//! let solver = Solver::new(DataContext::Semistructured);
+//! let answer = solver.implies(&sigma, &phi).unwrap();
+//! assert!(answer.outcome.is_implied());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pathcons_automata as automata;
+pub use pathcons_constraints as constraints;
+pub use pathcons_core as core;
+pub use pathcons_graph as graph;
+pub use pathcons_monoid as monoid;
+pub use pathcons_types as types;
+pub use pathcons_xml as xml;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use pathcons_constraints::{
+        all_hold, holds, parse_constraints, BoundedFamily, Path, PathConstraint,
+    };
+    pub use pathcons_core::{
+        chase_implication, local_extent_implies, m_implies, optimize_path, Answer, Budget,
+        DataContext, Evidence, Method, Outcome, Refutation, SchemaContext, Solver, WordEngine,
+    };
+    pub use pathcons_graph::{
+        parse_graph, render_graph, to_dot, DotOptions, Graph, Label, LabelInterner, NodeId,
+    };
+    pub use pathcons_monoid::{Presentation, WordProblemAnswer, WordProblemBudget};
+    pub use pathcons_types::{
+        canonical_instance, infer_typing, parse_schema, random_instance, Model, Schema,
+        TypeGraph, TypedGraph,
+    };
+    pub use pathcons_xml::{
+        load_constraints, load_document, load_schema, load_typed_document, FIGURE1_XML,
+    };
+}

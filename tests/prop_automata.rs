@@ -1,0 +1,170 @@
+//! Property tests for the automata substrate: determinization and
+//! minimization preserve languages; canonical keys characterize language
+//! equality; regex compilation agrees with a reference matcher.
+
+use pathcons::automata::{canonical_key, determinize, dfa_equivalent, minimize, Nfa, Regex};
+use pathcons::graph::{Label, LabelInterner};
+use proptest::prelude::*;
+
+fn alphabet(n: usize) -> Vec<Label> {
+    LabelInterner::with_labels((0..n).map(|i| format!("l{i}")).collect::<Vec<_>>())
+        .labels()
+        .collect()
+}
+
+/// A random NFA described by transition triples and accepting flags.
+#[derive(Clone, Debug)]
+struct NfaSpec {
+    states: usize,
+    transitions: Vec<(usize, usize, usize)>, // (from, label, to)
+    epsilons: Vec<(usize, usize)>,
+    accepting: Vec<usize>,
+}
+
+fn arb_nfa(alphabet_size: usize) -> impl Strategy<Value = NfaSpec> {
+    (2usize..6).prop_flat_map(move |states| {
+        (
+            prop::collection::vec(
+                (0..states, 0..alphabet_size, 0..states),
+                0..=states * 3,
+            ),
+            prop::collection::vec((0..states, 0..states), 0..=2),
+            prop::collection::vec(0..states, 1..=states),
+        )
+            .prop_map(move |(transitions, epsilons, accepting)| NfaSpec {
+                states,
+                transitions,
+                epsilons,
+                accepting,
+            })
+    })
+}
+
+fn build(spec: &NfaSpec, alphabet: &[Label]) -> Nfa {
+    let mut nfa = Nfa::new();
+    let mut ids = vec![nfa.start()];
+    for _ in 1..spec.states {
+        ids.push(nfa.add_state());
+    }
+    for &(f, l, t) in &spec.transitions {
+        nfa.add_transition(ids[f], alphabet[l], ids[t]);
+    }
+    for &(f, t) in &spec.epsilons {
+        if f != t {
+            nfa.add_epsilon(ids[f], ids[t]);
+        }
+    }
+    for &a in &spec.accepting {
+        nfa.set_accepting(ids[a], true);
+    }
+    nfa
+}
+
+fn all_words(alphabet: &[Label], max_len: usize) -> Vec<Vec<Label>> {
+    let mut out = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &l in alphabet {
+                let mut w2 = w.clone();
+                w2.push(l);
+                out.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn determinize_preserves_language(spec in arb_nfa(2)) {
+        let sigma = alphabet(2);
+        let nfa = build(&spec, &sigma);
+        let dfa = determinize(&nfa, &sigma);
+        for word in all_words(&sigma, 4) {
+            prop_assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "word {:?}", word);
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language_and_never_grows(spec in arb_nfa(2)) {
+        let sigma = alphabet(2);
+        let nfa = build(&spec, &sigma);
+        let dfa = determinize(&nfa, &sigma);
+        let min = minimize(&dfa, &sigma);
+        prop_assert!(min.state_count() <= dfa.state_count());
+        for word in all_words(&sigma, 4) {
+            prop_assert_eq!(dfa.accepts(&word), min.accepts(&word));
+        }
+        // Minimization is idempotent in size.
+        let min2 = minimize(&min, &sigma);
+        prop_assert_eq!(min2.state_count(), min.state_count());
+    }
+
+    #[test]
+    fn canonical_keys_decide_equivalence(spec_a in arb_nfa(2), spec_b in arb_nfa(2)) {
+        let sigma = alphabet(2);
+        let a = determinize(&build(&spec_a, &sigma), &sigma);
+        let b = determinize(&build(&spec_b, &sigma), &sigma);
+        let same_key = canonical_key(&a, &sigma) == canonical_key(&b, &sigma);
+        prop_assert_eq!(same_key, dfa_equivalent(&a, &b, &sigma));
+        // Keys must be sound on bounded words: equal keys ⇒ equal
+        // acceptance behaviour everywhere we can afford to check.
+        if same_key {
+            for word in all_words(&sigma, 4) {
+                prop_assert_eq!(a.accepts(&word), b.accepts(&word));
+            }
+        }
+    }
+
+    #[test]
+    fn regex_nfa_agrees_with_reference_matcher(
+        text in "[ab.()|*+?]{0,12}",
+    ) {
+        let mut labels = LabelInterner::new();
+        labels.intern("a");
+        labels.intern("b");
+        if let Ok(regex) = Regex::parse(&text, &mut labels) {
+            let sigma: Vec<Label> = labels.labels().take(2).collect();
+            for word in all_words(&sigma, 3) {
+                prop_assert_eq!(
+                    regex.matches(&word, &sigma),
+                    reference_match(&regex, &word, &sigma),
+                    "regex {:?} on {:?}", text, word
+                );
+            }
+        }
+    }
+}
+
+/// Naive structural matcher, independent of the NFA compiler.
+fn reference_match(regex: &Regex, word: &[Label], alphabet: &[Label]) -> bool {
+    match regex {
+        Regex::Epsilon => word.is_empty(),
+        Regex::Label(l) => word == [*l],
+        Regex::AnyLabel => word.len() == 1 && alphabet.contains(&word[0]),
+        Regex::Alt(parts) => parts.iter().any(|p| reference_match(p, word, alphabet)),
+        Regex::Concat(parts) => match parts.split_first() {
+            None => word.is_empty(),
+            Some((head, rest)) => {
+                let rest_regex = Regex::Concat(rest.to_vec());
+                (0..=word.len()).any(|split| {
+                    reference_match(head, &word[..split], alphabet)
+                        && reference_match(&rest_regex, &word[split..], alphabet)
+                })
+            }
+        },
+        Regex::Star(inner) => {
+            word.is_empty()
+                || (1..=word.len()).any(|split| {
+                    reference_match(inner, &word[..split], alphabet)
+                        && reference_match(regex, &word[split..], alphabet)
+                })
+        }
+    }
+}

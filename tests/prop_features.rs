@@ -1,0 +1,118 @@
+//! Property tests for the feature-structure operations (subsumption,
+//! unification) and for query optimization over random `M` instances.
+
+use pathcons::constraints::{Path, PathConstraint};
+use pathcons::core::optimize_path;
+use pathcons::graph::{Label, LabelInterner};
+use pathcons::types::{
+    canonical_instance, random_instance, subsumes, unify, InstanceConfig, Schema, SchemaBuilder,
+    TypeExpr, TypeGraph, TypedGraph,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> (LabelInterner, Schema, TypeGraph) {
+    let mut labels = LabelInterner::new();
+    let f = labels.intern("f");
+    let g = labels.intern("g");
+    let start = labels.intern("start");
+    let mut b = SchemaBuilder::new();
+    let a = b.declare_class("A");
+    let c = b.declare_class("C");
+    b.define_class(
+        a,
+        TypeExpr::Record(vec![(f, TypeExpr::Class(c)), (g, TypeExpr::Class(a))]),
+    );
+    b.define_class(
+        c,
+        TypeExpr::Record(vec![(f, TypeExpr::Class(a)), (g, TypeExpr::Class(c))]),
+    );
+    let schema = b
+        .finish(TypeExpr::Record(vec![(start, TypeExpr::Class(a))]))
+        .unwrap();
+    let tg = TypeGraph::build(&schema, &mut labels);
+    (labels, schema, tg)
+}
+
+fn instance_from_seed(tg: &TypeGraph, seed: u64, size: usize) -> TypedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_instance(
+        &mut rng,
+        tg,
+        &InstanceConfig {
+            target_nodes: size,
+            reuse_probability: 0.6,
+            set_max: 0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ⊑ is reflexive; the canonical instance is the top element.
+    #[test]
+    fn subsumption_laws(seed in 0u64..3_000, size in 2usize..12) {
+        let (_l, _s, tg) = fixture();
+        let a = instance_from_seed(&tg, seed, size);
+        prop_assert!(subsumes(&a, &a), "reflexivity");
+        let canon = canonical_instance(&tg);
+        prop_assert!(subsumes(&a, &canon), "canonical instance is top");
+    }
+
+    /// unify(a, b) is an upper bound of both and idempotent up to mutual
+    /// subsumption.
+    #[test]
+    fn unification_laws(
+        seed_a in 0u64..1_000,
+        seed_b in 0u64..1_000,
+        size in 2usize..10,
+    ) {
+        let (_l, _s, tg) = fixture();
+        let a = instance_from_seed(&tg, seed_a, size);
+        let b = instance_from_seed(&tg, seed_b, size);
+        let u = unify(&a, &b, &tg).expect("same-schema M instances unify");
+        prop_assert!(subsumes(&a, &u), "a ⊑ a⊔b");
+        prop_assert!(subsumes(&b, &u), "b ⊑ a⊔b");
+        prop_assert_eq!(u.violations(&tg), vec![], "a⊔b stays in U_f(σ)");
+        // Commutativity up to mutual subsumption.
+        let u2 = unify(&b, &a, &tg).unwrap();
+        prop_assert!(subsumes(&u, &u2) && subsumes(&u2, &u));
+        // Self-unification is a no-op up to mutual subsumption.
+        let ua = unify(&a, &a, &tg).unwrap();
+        prop_assert!(subsumes(&a, &ua) && subsumes(&ua, &a));
+    }
+
+    /// Query optimization: the result is never longer, always congruent
+    /// (certified by checked proofs), and idempotent.
+    #[test]
+    fn optimization_laws(
+        eq_walks in prop::collection::vec(
+            (prop::collection::vec(0..2usize, 0..=4),
+             prop::collection::vec(0..2usize, 0..=4)),
+            0..=3,
+        ),
+        query_walk in prop::collection::vec(0..2usize, 0..=5),
+    ) {
+        let (_l, schema, tg) = fixture();
+        let to_path = |walk: &[usize]| {
+            let mut labels = vec![Label::from_index(2)]; // start
+            labels.extend(walk.iter().map(|&i| Label::from_index(i)));
+            Path::from_labels(labels)
+        };
+        let sigma: Vec<PathConstraint> = eq_walks
+            .iter()
+            .map(|(x, y)| PathConstraint::word(to_path(x), to_path(y)))
+            .filter(|c| tg.type_of_path(c.lhs()) == tg.type_of_path(c.rhs()))
+            .collect();
+        let query = to_path(&query_walk);
+        let result = optimize_path(&schema, &tg, &sigma, &query, 2_000).unwrap();
+        prop_assert!(result.path.len() <= query.len());
+        result.forward_proof.check(&sigma).unwrap();
+        result.backward_proof.check(&sigma).unwrap();
+        // Idempotence: optimizing the optimum is a fixpoint.
+        let again = optimize_path(&schema, &tg, &sigma, &result.path, 2_000).unwrap();
+        prop_assert_eq!(again.path, result.path);
+    }
+}

@@ -1,0 +1,70 @@
+//! Robustness: no parser in the workspace may panic on arbitrary input —
+//! they must return `Ok` or a structured error. (Failure injection for
+//! the whole input surface of the library.)
+
+use pathcons::automata::Regex;
+use pathcons::constraints::{parse_constraints, Path, PathConstraint, RegularConstraint};
+use pathcons::graph::{parse_graph, LabelInterner};
+use pathcons::types::parse_schema;
+use pathcons::xml::{load_constraints, load_document, load_schema, parse_xml};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn graph_parser_never_panics(input in ".{0,200}") {
+        let mut labels = LabelInterner::new();
+        let _ = parse_graph(&input, &mut labels);
+    }
+
+    #[test]
+    fn constraint_parser_never_panics(input in ".{0,200}") {
+        let mut labels = LabelInterner::new();
+        let _ = parse_constraints(&input, &mut labels);
+        let _ = PathConstraint::parse(&input, &mut labels);
+        let _ = Path::parse(&input, &mut labels);
+    }
+
+    #[test]
+    fn schema_parser_never_panics(input in ".{0,200}") {
+        let mut labels = LabelInterner::new();
+        let _ = parse_schema(&input, &mut labels);
+    }
+
+    #[test]
+    fn xml_parsers_never_panic(input in ".{0,300}") {
+        let _ = parse_xml(&input);
+        let mut labels = LabelInterner::new();
+        let _ = load_document(&input, &mut labels);
+        let _ = load_schema(&input, &mut labels);
+        let _ = load_constraints(&input, &mut labels);
+    }
+
+    #[test]
+    fn xmlish_inputs_never_panic(input in "<[a-z<>/&;\"'() =#*.|]{0,120}") {
+        // Bias toward XML-shaped garbage to hit the tag machinery.
+        let _ = parse_xml(&input);
+        let mut labels = LabelInterner::new();
+        let _ = load_document(&input, &mut labels);
+    }
+
+    #[test]
+    fn regex_parser_never_panics(input in "[a-z().|*+?_ ]{0,60}") {
+        let mut labels = LabelInterner::new();
+        let _ = Regex::parse(&input, &mut labels);
+        let _ = RegularConstraint::parse(&input, &mut labels);
+    }
+
+    #[test]
+    fn ddlish_inputs_never_panic(input in "[a-zA-Z{}\\[\\]:,;= ]{0,120}") {
+        let mut labels = LabelInterner::new();
+        let _ = parse_schema(&input, &mut labels);
+    }
+
+    #[test]
+    fn graphish_inputs_never_panic(input in "[a-z0-9>\\- \n]{0,120}") {
+        let mut labels = LabelInterner::new();
+        let _ = parse_graph(&input, &mut labels);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the undecidability reductions (Lemmas 4.5 and 5.4):
+//! on randomly generated monoid presentations, the Figure 2 / Figure 4
+//! constructions must model Σ and track `h(α) = h(β)` exactly, and the
+//! chase must never contradict the congruence oracle.
+
+use pathcons::constraints::{all_hold, holds};
+use pathcons::core::reductions::typed::TypedEncoding;
+use pathcons::core::reductions::untyped::UntypedEncoding;
+use pathcons::core::{chase_implication, Budget, Outcome};
+use pathcons::monoid::{
+    bounded_congruence_search, FiniteMonoid, Homomorphism, Presentation,
+};
+use proptest::prelude::*;
+
+fn arb_presentation() -> impl Strategy<Value = Presentation> {
+    // Up to 2 generators, up to 2 short equations.
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u32..2, 0..=3),
+            prop::collection::vec(0u32..2, 0..=3),
+        ),
+        0..=2,
+    )
+    .prop_map(|eqs| {
+        let mut p = Presentation::free(["g0", "g1"]);
+        for (l, r) in eqs {
+            p.add_equation(l, r);
+        }
+        p
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..2, 0..=3)
+}
+
+fn arb_hom(k: usize) -> impl Strategy<Value = Homomorphism> {
+    prop::collection::vec(0u32..(k as u32), 2).prop_map(move |images| Homomorphism {
+        monoid: FiniteMonoid::cyclic(k),
+        images,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Figure 2 from any satisfying homomorphism models Σ, and its
+    /// satisfaction of the query pair tracks h(α) = h(β) exactly.
+    #[test]
+    fn figure2_tracks_homomorphism(
+        presentation in arb_presentation(),
+        hom in arb_hom(4),
+        alpha in arb_word(),
+        beta in arb_word(),
+    ) {
+        prop_assume!(hom.satisfies(&presentation));
+        let enc = UntypedEncoding::new(&presentation);
+        let fig = enc.figure2_structure(&hom);
+        prop_assert!(all_hold(&fig.graph, &enc.sigma), "Figure 2 violates Σ");
+        let (phi_ab, phi_ba) = enc.queries(&alpha, &beta);
+        let same = hom.eval(&alpha) == hom.eval(&beta);
+        prop_assert_eq!(holds(&fig.graph, &phi_ab), same);
+        prop_assert_eq!(holds(&fig.graph, &phi_ba), same);
+    }
+
+    /// Figure 4 likewise, and it is always a member of U_f(σ₁).
+    #[test]
+    fn figure4_tracks_homomorphism(
+        presentation in arb_presentation(),
+        hom in arb_hom(3),
+        alpha in arb_word(),
+        beta in arb_word(),
+    ) {
+        prop_assume!(hom.satisfies(&presentation));
+        let enc = TypedEncoding::new(&presentation);
+        let fig = enc.figure4_structure(&hom);
+        prop_assert_eq!(fig.typed.violations(&enc.type_graph), vec![]);
+        prop_assert!(all_hold(&fig.typed.graph, &enc.sigma), "Figure 4 violates Σ");
+        let phi = enc.query(&alpha, &beta);
+        let same = hom.eval(&alpha) == hom.eval(&beta);
+        prop_assert_eq!(holds(&fig.typed.graph, &phi), same);
+    }
+
+    /// The chase on the §4.1.2 encoding never contradicts the congruence:
+    /// a chase proof of both query directions means α ≡ β is derivable
+    /// from Δ (checked by bounded congruence search with generous slack).
+    #[test]
+    fn chase_proofs_respect_the_congruence(
+        presentation in arb_presentation(),
+        alpha in arb_word(),
+        beta in arb_word(),
+    ) {
+        let enc = UntypedEncoding::new(&presentation);
+        let (phi_ab, phi_ba) = enc.queries(&alpha, &beta);
+        let budget = Budget::small();
+        let ab = chase_implication(&enc.sigma, &phi_ab, &budget);
+        let ba = chase_implication(&enc.sigma, &phi_ba, &budget);
+        if ab.is_implied() && ba.is_implied() {
+            prop_assert!(
+                bounded_congruence_search(&presentation, &alpha, &beta, 16, 200_000),
+                "chase proved an equation the congruence does not derive"
+            );
+        }
+        // Chase countermodels must genuinely model Σ ∧ ¬φ.
+        for outcome in [&ab, &ba] {
+            if let Outcome::NotImplied(r) = outcome {
+                if let Some(cm) = &r.countermodel {
+                    prop_assert!(all_hold(&cm.graph, &enc.sigma));
+                }
+            }
+        }
+    }
+
+    /// Homomorphism evaluation is multiplicative: h(uv) = h(u)h(v).
+    #[test]
+    fn homomorphism_is_multiplicative(
+        hom in arb_hom(5),
+        u in arb_word(),
+        v in arb_word(),
+    ) {
+        let mut uv = u.clone();
+        uv.extend_from_slice(&v);
+        prop_assert_eq!(
+            hom.eval(&uv),
+            hom.monoid.mul(hom.eval(&u), hom.eval(&v))
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the `M` engine over *random schemas* (not just a
+//! fixed fixture): ring-shaped recursive schemas of varying size, with
+//! constraint paths sampled by walking the type DFA.
+
+use pathcons::constraints::{all_hold, holds, Path, PathConstraint};
+use pathcons::core::{m_implies, Evidence, Outcome};
+use pathcons::graph::{Label, LabelInterner};
+use pathcons::types::{Schema, SchemaBuilder, TypeExpr, TypeGraph, TypedGraph};
+use proptest::prelude::*;
+
+/// A ring schema with `classes` classes: `C_i = [f: C_{i+1 mod k},
+/// g: C_{(i·3+1) mod k}, v: string]`, `db = [start: C_0]`.
+fn ring_schema(classes: usize) -> (LabelInterner, Schema, TypeGraph) {
+    let mut labels = LabelInterner::new();
+    let f = labels.intern("f");
+    let g = labels.intern("g");
+    let v = labels.intern("v");
+    let start = labels.intern("start");
+    let mut b = SchemaBuilder::new();
+    let string = b.atom("string");
+    let ids: Vec<_> = (0..classes)
+        .map(|i| b.declare_class(&format!("C{i}")))
+        .collect();
+    for (i, &class) in ids.iter().enumerate() {
+        b.define_class(
+            class,
+            TypeExpr::Record(vec![
+                (f, TypeExpr::Class(ids[(i + 1) % classes])),
+                (g, TypeExpr::Class(ids[(i * 3 + 1) % classes])),
+                (v, TypeExpr::Atom(string)),
+            ]),
+        );
+    }
+    let schema = b
+        .finish(TypeExpr::Record(vec![(start, TypeExpr::Class(ids[0]))]))
+        .unwrap();
+    let tg = TypeGraph::build(&schema, &mut labels);
+    (labels, schema, tg)
+}
+
+/// A random class-typed path: `start` followed by f/g steps.
+fn arb_walk() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..2usize, 0..=5)
+}
+
+fn walk_to_path(walk: &[usize]) -> Path {
+    // Interning order in ring_schema: f = 0, g = 1, v = 2, start = 3.
+    let mut labels = vec![Label::from_index(3)];
+    labels.extend(walk.iter().map(|&i| Label::from_index(i)));
+    Path::from_labels(labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_ring_schemas_decide_soundly(
+        classes in 1usize..5,
+        eq_walks in prop::collection::vec((arb_walk(), arb_walk()), 0..=4),
+        query in (arb_walk(), arb_walk()),
+    ) {
+        let (_labels, schema, tg) = ring_schema(classes);
+        // Keep only type-compatible equations (others would make Σ
+        // unsatisfiable, a separate code path tested below).
+        let sigma: Vec<PathConstraint> = eq_walks
+            .iter()
+            .map(|(a, b)| PathConstraint::word(walk_to_path(a), walk_to_path(b)))
+            .filter(|c| tg.type_of_path(c.lhs()) == tg.type_of_path(c.rhs()))
+            .collect();
+        let phi = PathConstraint::word(walk_to_path(&query.0), walk_to_path(&query.1));
+
+        match m_implies(&schema, &tg, &sigma, &phi).unwrap() {
+            Outcome::Implied(Evidence::IrProof(proof)) => {
+                proof.check(&sigma).unwrap();
+                prop_assert_eq!(&proof.conclusion, &phi);
+            }
+            Outcome::Implied(_) => {}
+            Outcome::NotImplied(r) => {
+                let cm = r.countermodel.expect("materialized");
+                let typed = TypedGraph {
+                    graph: cm.graph.clone(),
+                    types: cm.types.clone().unwrap(),
+                };
+                prop_assert_eq!(typed.violations(&tg), vec![]);
+                prop_assert!(all_hold(&cm.graph, &sigma));
+                prop_assert!(!holds(&cm.graph, &phi));
+            }
+            Outcome::Unknown(reason) => prop_assert!(false, "Unknown: {reason}"),
+        }
+    }
+
+    #[test]
+    fn type_incompatible_sigma_is_inconsistent(
+        classes in 2usize..5,
+        walk in arb_walk(),
+    ) {
+        let (_labels, schema, tg) = ring_schema(classes);
+        // start·walk vs start·walk·v have different types (class vs atom):
+        // the equation is unsatisfiable over U(σ).
+        let x = walk_to_path(&walk);
+        let y = x.push(Label::from_index(2)); // v
+        prop_assert_ne!(tg.type_of_path(&x), tg.type_of_path(&y));
+        let sigma = vec![PathConstraint::word(x, y)];
+        let phi = PathConstraint::word(walk_to_path(&[]), walk_to_path(&[0]));
+        match m_implies(&schema, &tg, &sigma, &phi).unwrap() {
+            Outcome::Implied(Evidence::InconsistentTheory { index: 0 }) => {}
+            other => prop_assert!(false, "expected InconsistentTheory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_periodicity_is_derived(
+        classes in 1usize..5,
+    ) {
+        // Σ: start·f^k ≡ start closes the f-ring; then start·f^(2k) ≡
+        // start follows by congruence + transitivity.
+        let (_labels, schema, tg) = ring_schema(classes);
+        let f = Label::from_index(0);
+        let start = Label::from_index(3);
+        let fk = |n: usize| {
+            let mut l = vec![start];
+            l.extend(std::iter::repeat(f).take(n));
+            Path::from_labels(l)
+        };
+        let sigma = vec![PathConstraint::word(fk(classes), fk(0))];
+        let phi = PathConstraint::word(fk(2 * classes), fk(0));
+        let outcome = m_implies(&schema, &tg, &sigma, &phi).unwrap();
+        match outcome {
+            Outcome::Implied(Evidence::IrProof(proof)) => proof.check(&sigma).unwrap(),
+            other => prop_assert!(false, "expected proof, got {other:?}"),
+        }
+        // And a non-multiple offset is refuted (for rings with k ≥ 2).
+        if classes >= 2 {
+            let psi = PathConstraint::word(fk(classes + 1), fk(0));
+            let outcome = m_implies(&schema, &tg, &sigma, &psi).unwrap();
+            prop_assert!(outcome.is_not_implied());
+        }
+    }
+}
