@@ -193,8 +193,12 @@ pub fn determinize(nfa: &Nfa, alphabet: &[Label]) -> Dfa {
             .map(|(i, _)| i as u32)
             .collect()
     };
-    let is_accepting =
-        |bitmap: &[bool]| -> bool { bitmap.iter().enumerate().any(|(i, &b)| b && nfa.is_accepting(StateId::from_index(i))) };
+    let is_accepting = |bitmap: &[bool]| -> bool {
+        bitmap
+            .iter()
+            .enumerate()
+            .any(|(i, &b)| b && nfa.is_accepting(StateId::from_index(i)))
+    };
 
     let start_closure = nfa.epsilon_closure(&[nfa.start()]);
     let start_key = encode(&start_closure);

@@ -48,9 +48,7 @@ pub fn minimize(dfa: &Dfa, alphabet: &[Label]) -> Dfa {
         loop {
             let mut changed = false;
             for &s in &reachable {
-                if !live[s.index()]
-                    && dfa.transitions(s).any(|(_, t)| live[t.index()])
-                {
+                if !live[s.index()] && dfa.transitions(s).any(|(_, t)| live[t.index()]) {
                     live[s.index()] = true;
                     changed = true;
                 }
@@ -60,10 +58,7 @@ pub fn minimize(dfa: &Dfa, alphabet: &[Label]) -> Dfa {
             }
         }
     }
-    let reachable: Vec<StateId> = reachable
-        .into_iter()
-        .filter(|s| live[s.index()])
-        .collect();
+    let reachable: Vec<StateId> = reachable.into_iter().filter(|s| live[s.index()]).collect();
     if reachable.is_empty() {
         // Empty language: the canonical automaton is a lone rejecting
         // start state.

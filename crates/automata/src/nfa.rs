@@ -475,10 +475,7 @@ mod tests {
         nfa.add_transition(nfa.start(), b, s1);
         nfa.set_accepting(s1, true);
         let words = nfa.accepted_up_to(&[a, b], 3);
-        assert_eq!(
-            words,
-            vec![vec![b], vec![a, b], vec![a, a, b]]
-        );
+        assert_eq!(words, vec![vec![b], vec![a, b], vec![a, a, b]]);
     }
 
     #[test]

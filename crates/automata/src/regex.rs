@@ -103,12 +103,20 @@ impl Regex {
 
     /// Renders the expression back to the textual syntax.
     pub fn display<'a>(&'a self, labels: &'a LabelInterner) -> RegexDisplay<'a> {
-        RegexDisplay { regex: self, labels }
+        RegexDisplay {
+            regex: self,
+            labels,
+        }
     }
 }
 
 /// Builds `regex` into `nfa` starting at `from`; returns the final state.
-fn build(regex: &Regex, nfa: &mut Nfa, from: crate::nfa::StateId, alphabet: &[Label]) -> crate::nfa::StateId {
+fn build(
+    regex: &Regex,
+    nfa: &mut Nfa,
+    from: crate::nfa::StateId,
+    alphabet: &[Label],
+) -> crate::nfa::StateId {
     match regex {
         Regex::Epsilon => from,
         Regex::Label(l) => {

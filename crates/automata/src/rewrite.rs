@@ -165,7 +165,12 @@ impl PrefixRewriteSystem {
     /// This under-approximates `post*` (derivations may need to pass
     /// through longer intermediate words); it exists as a test oracle for
     /// the saturation algorithm and as the "naive BFS" ablation baseline.
-    pub fn bounded_post(&self, initial: &[Label], max_len: usize, max_words: usize) -> HashSet<Vec<Label>> {
+    pub fn bounded_post(
+        &self,
+        initial: &[Label],
+        max_len: usize,
+        max_words: usize,
+    ) -> HashSet<Vec<Label>> {
         let mut seen: HashSet<Vec<Label>> = HashSet::new();
         let mut queue: Vec<Vec<Label>> = Vec::new();
         if initial.len() <= max_len {
@@ -537,7 +542,12 @@ mod worklist_tests {
 
     /// Deterministic pseudo-random system generator (no rand dependency
     /// in this crate).
-    fn pseudo_system(seed: u64, alphabet: &[Label], rules: usize, max_len: usize) -> PrefixRewriteSystem {
+    fn pseudo_system(
+        seed: u64,
+        alphabet: &[Label],
+        rules: usize,
+        max_len: usize,
+    ) -> PrefixRewriteSystem {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = || {
             state ^= state << 13;
@@ -571,10 +581,16 @@ mod worklist_tests {
             let fast = system.post_star(&initial);
             let slow = system.post_star_rounds(&initial);
             for word in slow.accepted_up_to(&ab, 5) {
-                assert!(fast.accepts(&word), "worklist missing {word:?} (seed {seed})");
+                assert!(
+                    fast.accepts(&word),
+                    "worklist missing {word:?} (seed {seed})"
+                );
             }
             for word in fast.accepted_up_to(&ab, 5) {
-                assert!(slow.accepts(&word), "worklist over-accepts {word:?} (seed {seed})");
+                assert!(
+                    slow.accepts(&word),
+                    "worklist over-accepts {word:?} (seed {seed})"
+                );
             }
         }
     }

@@ -18,7 +18,12 @@ fn alphabet(n: usize) -> Vec<Label> {
 }
 
 /// Deterministic xorshift-based system generator (no rand dependency).
-fn pseudo_system(seed: u64, alphabet: &[Label], rules: usize, max_len: usize) -> PrefixRewriteSystem {
+fn pseudo_system(
+    seed: u64,
+    alphabet: &[Label],
+    rules: usize,
+    max_len: usize,
+) -> PrefixRewriteSystem {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
     let mut next = || {
         state ^= state << 13;

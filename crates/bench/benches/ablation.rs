@@ -43,7 +43,9 @@ fn ablation_worklist_vs_rounds(c: &mut Criterion) {
     use pathcons_automata::PrefixRewriteSystem;
     let mut group = c.benchmark_group("ablation/saturation");
     for &n in &[16usize, 32, 64, 128] {
-        let instances: Vec<_> = (0..4).map(|s| gen_word_instance(n, 4, 6, 900 + s)).collect();
+        let instances: Vec<_> = (0..4)
+            .map(|s| gen_word_instance(n, 4, 6, 900 + s))
+            .collect();
         let systems: Vec<(PrefixRewriteSystem, Vec<_>)> = instances
             .iter()
             .map(|inst| {
@@ -76,15 +78,21 @@ fn ablation_word_engine_vs_chase(c: &mut Criterion) {
     let budget = Budget::default();
     let mut group = c.benchmark_group("ablation/dispatch");
     for &n in &[4usize, 8, 16] {
-        let instances: Vec<_> = (0..4).map(|s| gen_word_instance(n, 3, 4, 700 + s)).collect();
-        group.bench_with_input(BenchmarkId::new("word_engine", n), &instances, |b, insts| {
-            b.iter(|| {
-                for inst in insts {
-                    let engine = WordEngine::new(&inst.sigma).unwrap();
-                    std::hint::black_box(engine.implies(&inst.phi).unwrap());
-                }
-            })
-        });
+        let instances: Vec<_> = (0..4)
+            .map(|s| gen_word_instance(n, 3, 4, 700 + s))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("word_engine", n),
+            &instances,
+            |b, insts| {
+                b.iter(|| {
+                    for inst in insts {
+                        let engine = WordEngine::new(&inst.sigma).unwrap();
+                        std::hint::black_box(engine.implies(&inst.phi).unwrap());
+                    }
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("chase", n), &instances, |b, insts| {
             b.iter(|| {
                 for inst in insts {
@@ -118,13 +126,17 @@ fn ablation_m_engine_vs_chase(c: &mut Criterion) {
         // The chase answers the *untyped* question on the same input —
         // a different (weaker) theory, but the relevant baseline for
         // someone without the typed engine.
-        group.bench_with_input(BenchmarkId::new("untyped_chase", n), &instances, |b, insts| {
-            b.iter(|| {
-                for inst in insts {
-                    std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &budget));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("untyped_chase", n),
+            &instances,
+            |b, insts| {
+                b.iter(|| {
+                    for inst in insts {
+                        std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &budget));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,91 @@
+//! Batch engine throughput: repeated / alpha-renamed workloads through
+//! `pathcons-engine`, contrasting cold solves with cache-warm batches
+//! and 1-thread with N-thread executors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathcons_engine::{BatchEngine, EngineConfig, Job};
+
+/// A workload of `n` jobs over a handful of decidable-fragment shapes,
+/// with rotating label alphabets so most repeats are alpha-variants.
+fn workload(n: usize) -> Vec<Job> {
+    let templates: &[(&[&str], &str)] = &[
+        (&["A -> B", "B -> C"], "A -> C"),
+        (&["A -> B"], "B -> A"),
+        (&["A -> B", "B -> A"], "A -> A"),
+        (&["A: B -> C"], "A: B -> C"),
+        (&["A -> A.B"], "A.B -> A"),
+        (&["B -> A", "C -> B"], "C -> A"),
+    ];
+    let alphabets: &[[&str; 3]] = &[
+        ["a", "b", "c"],
+        ["x", "y", "z"],
+        ["foo", "bar", "baz"],
+        ["p", "q", "r"],
+    ];
+    (0..n)
+        .map(|i| {
+            let (sigma, phi) = templates[i % templates.len()];
+            let names = alphabets[(i / templates.len()) % alphabets.len()];
+            let instantiate = |text: &str| {
+                text.replace('A', names[0])
+                    .replace('B', names[1])
+                    .replace('C', names[2])
+            };
+            Job {
+                id: format!("job-{i}"),
+                context: String::new(),
+                sigma: sigma.iter().map(|s| instantiate(s)).collect(),
+                phi: instantiate(phi),
+                deadline_ms: None,
+            }
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/cache");
+    let jobs = workload(256);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // Capacity 0 disables the cache: every job is a fresh solve.
+            let engine = BatchEngine::new(EngineConfig {
+                threads: 1,
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            });
+            std::hint::black_box(engine.run_batch(jobs.clone()))
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            });
+            std::hint::black_box(engine.run_batch(jobs.clone()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/threads");
+    let jobs = workload(256);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let engine = BatchEngine::new(EngineConfig {
+                    threads: t,
+                    ..EngineConfig::default()
+                });
+                std::hint::black_box(engine.run_batch(jobs.clone()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_threads);
+criterion_main!(benches);

@@ -40,5 +40,9 @@ fn bench_naive_vs_optimized_checker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_satisfaction_scaling, bench_naive_vs_optimized_checker);
+criterion_group!(
+    benches,
+    bench_satisfaction_scaling,
+    bench_naive_vs_optimized_checker
+);
 criterion_main!(benches);

@@ -18,7 +18,9 @@ fn bench_bounded_count(c: &mut Criterion) {
             b.iter(|| {
                 for inst in insts {
                     std::hint::black_box(
-                        local_extent_implies(&inst.sigma, &inst.phi).unwrap().outcome,
+                        local_extent_implies(&inst.sigma, &inst.phi)
+                            .unwrap()
+                            .outcome,
                     );
                 }
             })
@@ -40,7 +42,9 @@ fn bench_foreign_count(c: &mut Criterion) {
             b.iter(|| {
                 for inst in insts {
                     std::hint::black_box(
-                        local_extent_implies(&inst.sigma, &inst.phi).unwrap().outcome,
+                        local_extent_implies(&inst.sigma, &inst.phi)
+                            .unwrap()
+                            .outcome,
                     );
                 }
             })

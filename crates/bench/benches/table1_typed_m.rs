@@ -16,8 +16,7 @@ fn bench_constraint_count(c: &mut Criterion) {
             b.iter(|| {
                 for inst in insts {
                     std::hint::black_box(
-                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
-                            .unwrap(),
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap(),
                     );
                 }
             })
@@ -29,14 +28,15 @@ fn bench_constraint_count(c: &mut Criterion) {
 fn bench_path_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/typed_m/path_length");
     for &len in &[3usize, 4, 5, 6, 7] {
-        let instances: Vec<_> = (0..8).map(|s| gen_m_instance(6, 32, len, 400 + s)).collect();
+        let instances: Vec<_> = (0..8)
+            .map(|s| gen_m_instance(6, 32, len, 400 + s))
+            .collect();
         group.throughput(Throughput::Elements(len as u64));
         group.bench_with_input(BenchmarkId::from_parameter(len), &instances, |b, insts| {
             b.iter(|| {
                 for inst in insts {
                     std::hint::black_box(
-                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
-                            .unwrap(),
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap(),
                     );
                 }
             })
@@ -53,8 +53,7 @@ fn bench_schema_size(c: &mut Criterion) {
             b.iter(|| {
                 for inst in insts {
                     std::hint::black_box(
-                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
-                            .unwrap(),
+                        m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap(),
                     );
                 }
             })

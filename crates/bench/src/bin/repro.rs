@@ -51,7 +51,10 @@ fn figure1() {
     )
     .unwrap();
     for c in &constraints {
-        assert!(holds(&doc.graph, c), "Figure 1 violates a Section 1 constraint");
+        assert!(
+            holds(&doc.graph, c),
+            "Figure 1 violates a Section 1 constraint"
+        );
     }
     println!(
         "all {} Section 1 constraints (extent + inverse) hold on the document ✓\n",
@@ -73,8 +76,7 @@ fn figure2() {
             if tc.finitely_equal {
                 continue;
             }
-            let Some(witness) =
-                find_separating_witness(&case.presentation, &tc.alpha, &tc.beta, 3)
+            let Some(witness) = find_separating_witness(&case.presentation, &tc.alpha, &tc.beta, 3)
             else {
                 continue; // not finitely separable within the bound
             };
@@ -98,7 +100,9 @@ fn figure2() {
         "built {built} Figure 2 structures from separating witnesses across {} presentations;",
         corpus.len()
     );
-    println!("every one models Σ and refutes both query directions ✓ ({checked} machine-checked)\n");
+    println!(
+        "every one models Σ and refutes both query directions ✓ ({checked} machine-checked)\n"
+    );
 }
 
 // ---------------------------------------------------------------- Figure 3
@@ -226,8 +230,7 @@ fn table1_decidable_cells() {
         let mut proofs = 0usize;
         let ms = median_time_ms(5, || {
             for inst in &instances {
-                let _ =
-                    m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap();
+                let _ = m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi).unwrap();
             }
         });
         for inst in &instances {
@@ -268,12 +271,12 @@ fn table1_undecidable_cells() {
         let enc = UntypedEncoding::new(&case.presentation);
         for tc in &case.cases {
             total += 1;
-            let oracle =
-                match decide_word_problem(&case.presentation, &tc.alpha, &tc.beta, &budget) {
-                    WordProblemAnswer::Equal(_) => "equal",
-                    WordProblemAnswer::NotEqual(_) => "not-equal",
-                    WordProblemAnswer::Unknown => "unknown",
-                };
+            let oracle = match decide_word_problem(&case.presentation, &tc.alpha, &tc.beta, &budget)
+            {
+                WordProblemAnswer::Equal(_) => "equal",
+                WordProblemAnswer::NotEqual(_) => "not-equal",
+                WordProblemAnswer::Unknown => "unknown",
+            };
             let (phi_ab, phi_ba) = enc.queries(&tc.alpha, &tc.beta);
             let ab = chase_implication(&enc.sigma, &phi_ab, &Budget::default());
             let ba = chase_implication(&enc.sigma, &phi_ba, &Budget::default());
@@ -330,12 +333,11 @@ fn table1_undecidable_cells() {
         let renamed = rename_generators(&case.presentation);
         let enc = TypedEncoding::new(&renamed);
         for tc in &case.cases {
-            let oracle =
-                match decide_finite_word_problem(&renamed, &tc.alpha, &tc.beta, &budget) {
-                    WordProblemAnswer::Equal(_) => "f-equal",
-                    WordProblemAnswer::NotEqual(_) => "f-not-equal",
-                    WordProblemAnswer::Unknown => "unknown",
-                };
+            let oracle = match decide_finite_word_problem(&renamed, &tc.alpha, &tc.beta, &budget) {
+                WordProblemAnswer::Equal(_) => "f-equal",
+                WordProblemAnswer::NotEqual(_) => "f-not-equal",
+                WordProblemAnswer::Unknown => "unknown",
+            };
             let phi = enc.query(&tc.alpha, &tc.beta);
             // Lemma 5.4(b): Δ ⊭_f (α,β) iff some member of U_f(σ₁)
             // refutes φ; the Figure 4 structures are those members.
@@ -365,7 +367,8 @@ fn table1_undecidable_cells() {
                         if hom.satisfies(&renamed) {
                             let fig = enc.figure4_structure(&hom);
                             assert!(
-                                holds(&fig.typed.graph, &phi) == (hom.eval(&tc.alpha) == hom.eval(&tc.beta)),
+                                holds(&fig.typed.graph, &phi)
+                                    == (hom.eval(&tc.alpha) == hom.eval(&tc.beta)),
                                 "Figure 4 satisfaction must track h(α) = h(β)"
                             );
                         }
@@ -391,7 +394,11 @@ fn table1_undecidable_cells() {
     let untyped = local_extent_implies(&enc.sigma, &phi).unwrap();
     println!(
         "untyped (PTIME, Thm 5.1): Σ ⊨ φ_(g1g2,g2g1)? {}",
-        if untyped.outcome.is_implied() { "YES" } else { "NO" }
+        if untyped.outcome.is_implied() {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     assert!(untyped.outcome.is_not_implied());
     use pathcons_monoid::{FiniteMonoid, Homomorphism};

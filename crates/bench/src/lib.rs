@@ -462,15 +462,17 @@ mod tests {
                 implied += 1;
             }
         }
-        assert!(implied >= 10, "only {implied}/40 implied — generator drifted");
+        assert!(
+            implied >= 10,
+            "only {implied}/40 implied — generator drifted"
+        );
     }
 
     #[test]
     fn local_extent_instances_are_valid_families() {
         for seed in 0..10 {
             let inst = gen_local_extent_instance(5, 5, 3, 4, seed);
-            let answer =
-                pathcons_core::local_extent_implies(&inst.sigma, &inst.phi).unwrap();
+            let answer = pathcons_core::local_extent_implies(&inst.sigma, &inst.phi).unwrap();
             assert!(!answer.outcome.is_unknown());
         }
     }
@@ -480,13 +482,9 @@ mod tests {
         for seed in 0..5 {
             let inst = gen_m_instance(4, 6, 4, seed);
             assert_eq!(inst.schema.model(), Model::M);
-            let outcome = pathcons_core::m_implies(
-                &inst.schema,
-                &inst.type_graph,
-                &inst.sigma,
-                &inst.phi,
-            )
-            .unwrap();
+            let outcome =
+                pathcons_core::m_implies(&inst.schema, &inst.type_graph, &inst.sigma, &inst.phi)
+                    .unwrap();
             assert!(!outcome.is_unknown());
         }
     }
@@ -494,8 +492,7 @@ mod tests {
     #[test]
     fn corpus_answers_match_knuth_bendix() {
         use pathcons_monoid::{
-            decide_finite_word_problem, decide_word_problem, WordProblemAnswer,
-            WordProblemBudget,
+            decide_finite_word_problem, decide_word_problem, WordProblemAnswer, WordProblemBudget,
         };
         let budget = WordProblemBudget::default();
         for case in monoid_corpus() {
@@ -515,17 +512,16 @@ mod tests {
                 // ground truth (it may be inconclusive, e.g. bicyclic
                 // qp ≟ ε where no finite witness exists and equality is
                 // not congruence-provable).
-                match decide_finite_word_problem(
-                    &case.presentation,
-                    &tc.alpha,
-                    &tc.beta,
-                    &budget,
-                ) {
+                match decide_finite_word_problem(&case.presentation, &tc.alpha, &tc.beta, &budget) {
                     WordProblemAnswer::Equal(_) => {
                         assert!(tc.finitely_equal, "{}: unsound finite-equal", case.name)
                     }
                     WordProblemAnswer::NotEqual(_) => {
-                        assert!(!tc.finitely_equal, "{}: unsound finite-not-equal", case.name)
+                        assert!(
+                            !tc.finitely_equal,
+                            "{}: unsound finite-not-equal",
+                            case.name
+                        )
                     }
                     WordProblemAnswer::Unknown => {}
                 }

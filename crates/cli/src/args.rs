@@ -78,8 +78,10 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_flags() {
-        let args = Args::parse(&argv(&["--graph", "g.txt", "--finite", "--query", "a -> b"]))
-            .unwrap();
+        let args = Args::parse(&argv(&[
+            "--graph", "g.txt", "--finite", "--query", "a -> b",
+        ]))
+        .unwrap();
         assert_eq!(args.optional("graph").as_deref(), Some("g.txt"));
         assert_eq!(args.optional("query").as_deref(), Some("a -> b"));
         assert!(args.flag("finite"));

@@ -8,6 +8,10 @@
 //! pathcons dot      --graph G [--schema S]           render a graph as GraphViz DOT
 //! pathcons optimize --schema S --constraints C       rewrite a path query to the
 //!                   --query PATH                      shortest congruent path (model M)
+//! pathcons batch    [--jobs F.jsonl] [--threads N]   run a JSONL batch of implication
+//!                   [--cache-size N] [--deadline-ms N] jobs through the caching engine
+//!                   [--chase-rounds N] [--chase-max-nodes N]
+//!                   [--search-samples N] [--verify] [--quiet]
 //! ```
 //!
 //! Graphs are read from the line format of `pathcons-graph` or, when the
@@ -16,10 +20,11 @@
 //! for `.xml` files. Schemas use the DDL of `pathcons-types`, or
 //! XML-Data syntax for `.xml` files.
 
-use pathcons_constraints::{holds, violations, parse_constraints, PathConstraint, RegularConstraint};
-use pathcons_core::{
-    DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver,
+use pathcons_constraints::{
+    holds, parse_constraints, violations, PathConstraint, RegularConstraint,
 };
+use pathcons_core::{DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver};
+use pathcons_engine::{BatchEngine, EngineConfig, Job};
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
 use std::fmt::Write as _;
@@ -68,7 +73,12 @@ usage:
   pathcons implies  --constraints FILE --query CONSTRAINT
                     [--schema FILE --context m|mplus] [--finite]
   pathcons optimize --schema FILE --constraints FILE --query PATH
-  pathcons dot      --graph FILE";
+  pathcons dot      --graph FILE
+  pathcons batch    [--jobs FILE.jsonl] [--threads N] [--cache-size N]
+                    [--deadline-ms N] [--chase-rounds N] [--chase-max-nodes N]
+                    [--search-samples N] [--verify] [--quiet]
+                    (jobs from stdin when --jobs is `-` or absent;
+                     JSONL results + a stats line on stdout)";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -99,6 +109,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "implies" => cmd_implies(&args),
         "dot" => cmd_dot(&args),
         "optimize" => cmd_optimize(&args),
+        "batch" => cmd_batch(&args),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -162,13 +173,15 @@ fn cmd_check(args: &Args) -> Result<String, CliError> {
                 continue;
             }
             if line.contains("<=") {
-                regular.push(RegularConstraint::parse(line, &mut labels).map_err(|e| {
-                    CliError::Failed(format!("line {}: {e}", idx + 1))
-                })?);
+                regular.push(
+                    RegularConstraint::parse(line, &mut labels)
+                        .map_err(|e| CliError::Failed(format!("line {}: {e}", idx + 1)))?,
+                );
             } else {
-                path_constraints.push(PathConstraint::parse(line, &mut labels).map_err(
-                    |e| CliError::Failed(format!("line {}: {e}", idx + 1)),
-                )?);
+                path_constraints.push(
+                    PathConstraint::parse(line, &mut labels)
+                        .map_err(|e| CliError::Failed(format!("line {}: {e}", idx + 1)))?,
+                );
             }
         }
     }
@@ -324,9 +337,7 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
                     Model::M => DataContext::M(bundle),
                     Model::MPlus => DataContext::MPlus(bundle),
                 },
-                Some(other) => {
-                    return Err(CliError::Usage(format!("unknown context `{other}`")))
-                }
+                Some(other) => return Err(CliError::Usage(format!("unknown context `{other}`"))),
             }
         }
     };
@@ -372,12 +383,12 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
                 }
             }
             if let Some(cm) = &refutation.countermodel {
-                let _ = writeln!(
+                let _ = writeln!(out, "countermodel ({} vertices):", cm.graph.node_count());
+                let _ = write!(
                     out,
-                    "countermodel ({} vertices):",
-                    cm.graph.node_count()
+                    "{}",
+                    to_dot(&cm.graph, &labels, &DotOptions::default())
                 );
-                let _ = write!(out, "{}", to_dot(&cm.graph, &labels, &DotOptions::default()));
             }
             Err(CliError::CheckFailed(out))
         }
@@ -398,9 +409,7 @@ fn bundle_model(bundle: &SchemaContext) -> Model {
 
 fn describe_evidence(evidence: &Evidence) -> String {
     match evidence {
-        Evidence::WordDerivation => {
-            "PTIME word-constraint procedure (β ∈ post*(α))".to_owned()
-        }
+        Evidence::WordDerivation => "PTIME word-constraint procedure (β ∈ post*(α))".to_owned(),
         Evidence::LocalExtentReduction(inner) => format!(
             "Theorem 5.1 reduction to word constraints; inner: {}",
             describe_evidence(inner)
@@ -425,6 +434,95 @@ fn describe_evidence(evidence: &Evidence) -> String {
     }
 }
 
+/// `pathcons batch`: JSONL implication jobs in, JSONL results plus a
+/// stats summary out.
+///
+/// Each input line is a job object: `{"id": "...", "sigma": ["a -> b"],
+/// "phi": "b -> a", "context": "semistructured", "deadline_ms": 50}`
+/// (`context` and `deadline_ms` optional; blank and `#` lines skipped).
+/// Per-job failures (parse errors, deadline `unknown`s, even panics)
+/// become error/unknown *results*; the process only fails when the
+/// batch itself cannot run. The final stdout line is a `{"stats": …}`
+/// object; a human-readable summary goes to stderr unless `--quiet`.
+fn cmd_batch(args: &Args) -> Result<String, CliError> {
+    let jobs_path = args.optional("jobs");
+    let threads = parse_numeric(args, "threads")?.unwrap_or(0);
+    let cache_size = parse_numeric(args, "cache-size")?.unwrap_or(4096);
+    let deadline_ms = parse_numeric(args, "deadline-ms")?;
+    let chase_rounds = parse_numeric(args, "chase-rounds")?;
+    let chase_max_nodes = parse_numeric(args, "chase-max-nodes")?;
+    let search_samples = parse_numeric(args, "search-samples")?;
+    let verify = args.flag("verify");
+    let quiet = args.flag("quiet");
+    args.finish(&[
+        "jobs",
+        "threads",
+        "cache-size",
+        "deadline-ms",
+        "chase-rounds",
+        "chase-max-nodes",
+        "search-samples",
+        "verify",
+        "quiet",
+    ])?;
+
+    let text = match jobs_path.as_deref() {
+        None | Some("-") => {
+            use std::io::Read as _;
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| CliError::Failed(format!("cannot read stdin: {e}")))?;
+            buffer
+        }
+        Some(path) => read_file(path)?,
+    };
+    let mut jobs = Job::parse_jobs(&text).map_err(CliError::Failed)?;
+    if let Some(ms) = deadline_ms {
+        // A batch-wide default deadline; per-job deadlines win.
+        for job in &mut jobs {
+            job.deadline_ms.get_or_insert(ms as u64);
+        }
+    }
+
+    let mut budget = pathcons_core::Budget::default();
+    if let Some(rounds) = chase_rounds {
+        budget.chase_rounds = rounds;
+    }
+    if let Some(nodes) = chase_max_nodes {
+        budget.chase_max_nodes = nodes;
+    }
+    if let Some(samples) = search_samples {
+        budget.search_samples = samples;
+    }
+    let engine = BatchEngine::new(EngineConfig {
+        threads,
+        cache_capacity: cache_size,
+        verify,
+        budget,
+    });
+    let report = engine.run_batch(jobs);
+
+    let mut out = String::new();
+    for result in &report.results {
+        let _ = writeln!(out, "{}", result.to_json());
+    }
+    let _ = writeln!(out, "{}", report.stats.to_json());
+    if !quiet {
+        write_stderr(&format!("{}\n", report.stats.render()));
+    }
+    Ok(out)
+}
+
+fn parse_numeric(args: &Args, key: &str) -> Result<Option<usize>, CliError> {
+    args.optional(key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("--{key} must be a non-negative integer")))
+        })
+        .transpose()
+}
+
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
     let graph_path = args.required("graph")?;
     args.finish(&["graph"])?;
@@ -439,7 +537,10 @@ fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     let query_text = args.required("query")?;
     let fuel: usize = args
         .optional("fuel")
-        .map(|f| f.parse().map_err(|_| CliError::Usage("--fuel must be a number".into())))
+        .map(|f| {
+            f.parse()
+                .map_err(|_| CliError::Usage("--fuel must be a number".into()))
+        })
         .transpose()?
         .unwrap_or(10_000);
     args.finish(&["schema", "constraints", "query", "fuel"])?;
@@ -448,8 +549,8 @@ fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     let schema = load_schema_file(&schema_path, &mut labels)?;
     let type_graph = TypeGraph::build(&schema, &mut labels);
     let sigma = load_constraints_file(&constraints_path, &mut labels)?;
-    let query = pathcons_constraints::Path::parse(&query_text, &mut labels)
-        .map_err(CliError::failed)?;
+    let query =
+        pathcons_constraints::Path::parse(&query_text, &mut labels).map_err(CliError::failed)?;
 
     let result = pathcons_core::optimize_path(&schema, &type_graph, &sigma, &query, fuel)
         .map_err(CliError::failed)?;

@@ -35,7 +35,13 @@ fn check_passes_on_conforming_graph() {
     let dir = tempdir("check");
     let g = write(&dir, "g.txt", GRAPH);
     let c = write(&dir, "c.txt", CONSTRAINTS);
-    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    let out = run(&[
+        "check",
+        "--graph",
+        g.to_str().unwrap(),
+        "--constraints",
+        c.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("3 constraints checked, 0 failed"));
@@ -46,7 +52,13 @@ fn check_fails_with_exit_1_and_violations() {
     let dir = tempdir("check-fail");
     let g = write(&dir, "g.txt", "r -book-> b1\nb1 -author-> p1\n");
     let c = write(&dir, "c.txt", "book.author -> person\n");
-    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    let out = run(&[
+        "check",
+        "--graph",
+        g.to_str().unwrap(),
+        "--constraints",
+        c.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FAIL"));
@@ -56,7 +68,13 @@ fn check_fails_with_exit_1_and_violations() {
 fn implies_word_fragment() {
     let dir = tempdir("implies");
     let c = write(&dir, "c.txt", "a -> b\nb -> c\n");
-    let out = run(&["implies", "--constraints", c.to_str().unwrap(), "--query", "a -> c"]);
+    let out = run(&[
+        "implies",
+        "--constraints",
+        c.to_str().unwrap(),
+        "--query",
+        "a -> c",
+    ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("YES"));
@@ -67,7 +85,13 @@ fn implies_word_fragment() {
 fn implies_refutation_prints_countermodel() {
     let dir = tempdir("implies-no");
     let c = write(&dir, "c.txt", "a -> b\n");
-    let out = run(&["implies", "--constraints", c.to_str().unwrap(), "--query", "b -> a"]);
+    let out = run(&[
+        "implies",
+        "--constraints",
+        c.to_str().unwrap(),
+        "--query",
+        "b -> a",
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("NO"));
@@ -106,11 +130,23 @@ fn validate_conforming_and_violating() {
         "good.txt",
         "r -book-> b1\nr -person-> p1\nb1 -author-> p1\nb1 -title-> t1\np1 -wrote-> b1\np1 -name-> n1\n",
     );
-    let out = run(&["validate", "--doc", good.to_str().unwrap(), "--schema", s.to_str().unwrap()]);
+    let out = run(&[
+        "validate",
+        "--doc",
+        good.to_str().unwrap(),
+        "--schema",
+        s.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
 
     let bad = write(&dir, "bad.txt", GRAPH); // missing title/name fields
-    let out = run(&["validate", "--doc", bad.to_str().unwrap(), "--schema", s.to_str().unwrap()]);
+    let out = run(&[
+        "validate",
+        "--doc",
+        bad.to_str().unwrap(),
+        "--schema",
+        s.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("missing field `title`"));
@@ -129,7 +165,13 @@ fn validate_xml_document_against_xml_schema() {
         </schema>"##,
     );
     let doc = write(&dir, "d.xml", "<bib><item><t>hello</t></item></bib>");
-    let out = run(&["validate", "--doc", doc.to_str().unwrap(), "--schema", schema.to_str().unwrap()]);
+    let out = run(&[
+        "validate",
+        "--doc",
+        doc.to_str().unwrap(),
+        "--schema",
+        schema.to_str().unwrap(),
+    ]);
     // The schema-directed loader materializes the set vertex DBtype
     // demands, so the document conforms.
     assert!(out.status.success(), "{out:?}");
@@ -138,7 +180,13 @@ fn validate_xml_document_against_xml_schema() {
 
     // A document with an unknown top-level element fails cleanly.
     let bad = write(&dir, "bad.xml", "<bib><mystery/></bib>");
-    let out = run(&["validate", "--doc", bad.to_str().unwrap(), "--schema", schema.to_str().unwrap()]);
+    let out = run(&[
+        "validate",
+        "--doc",
+        bad.to_str().unwrap(),
+        "--schema",
+        schema.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("schema-directed load failed"));
 }
@@ -160,7 +208,15 @@ fn usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["implies", "--query", "a -> b"]);
     assert_eq!(out.status.code(), Some(2));
-    let out = run(&["check", "--graph", "g", "--constraints", "c", "--bogus", "x"]);
+    let out = run(&[
+        "check",
+        "--graph",
+        "g",
+        "--constraints",
+        "c",
+        "--bogus",
+        "x",
+    ]);
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -185,14 +241,29 @@ fn check_mixed_regular_constraints() {
         "c.txt",
         "book.author -> person\nbook.(ref)*.author <= person\n",
     );
-    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c.to_str().unwrap()]);
+    let out = run(&[
+        "check",
+        "--graph",
+        g.to_str().unwrap(),
+        "--constraints",
+        c.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("2 constraints checked, 0 failed"), "{stdout}");
+    assert!(
+        stdout.contains("2 constraints checked, 0 failed"),
+        "{stdout}"
+    );
 
     // A failing regular constraint.
     let c2 = write(&dir, "c2.txt", "book.(ref)+ <= book\n");
-    let out = run(&["check", "--graph", g.to_str().unwrap(), "--constraints", c2.to_str().unwrap()]);
+    let out = run(&[
+        "check",
+        "--graph",
+        g.to_str().unwrap(),
+        "--constraints",
+        c2.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("violating vertex"));
 }
@@ -215,4 +286,83 @@ fn optimize_rewrites_queries() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("optimized: book.author.name"));
     assert!(stdout.contains("hypothesis #0"));
+}
+
+#[test]
+fn batch_runs_jobs_from_file_with_stats() {
+    let dir = tempdir("batch");
+    let jobs = write(
+        &dir,
+        "jobs.jsonl",
+        r#"{"id":"j1","sigma":["a -> b","b -> c"],"phi":"a -> c"}
+{"id":"j2","sigma":["x -> y","y -> z"],"phi":"x -> z"}
+{"id":"j3","sigma":["a -> b"],"phi":"b -> a"}
+{"id":"bad","sigma":["a -> "],"phi":"a -> a"}
+"#,
+    );
+    let out = run(&["batch", "--jobs", jobs.to_str().unwrap(), "--threads", "2"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "4 results + 1 stats line: {stdout}");
+    assert!(lines[0].contains(r#""id":"j1""#) && lines[0].contains(r#""verdict":"implied""#));
+    // j2 is an alpha-variant of j1: served from the cache.
+    assert!(lines[1].contains(r#""cache":"hit""#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""verdict":"not-implied""#));
+    assert!(lines[3].contains(r#""verdict":"error""#));
+    assert!(lines[4].contains(r#""stats""#) && lines[4].contains(r#""hits":1"#));
+    // Human summary goes to stderr (suppressed by --quiet).
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hit rate"));
+    let quiet = run(&["batch", "--jobs", jobs.to_str().unwrap(), "--quiet"]);
+    assert!(quiet.status.success());
+    assert!(String::from_utf8_lossy(&quiet.stderr).is_empty());
+}
+
+#[test]
+fn batch_deadline_bounds_hard_jobs() {
+    let dir = tempdir("batch-deadline");
+    // A general-P_c job whose chase diverges and whose countermodel
+    // search never hits (probed across seeds); under a huge explicit
+    // budget the batch-wide default deadline is the only way out and
+    // turns it into a prompt `unknown`.
+    let jobs = write(
+        &dir,
+        "jobs.jsonl",
+        r#"{"id":"hard","sigma":["p: a -> a.b.c.d","p: d <- e"],"phi":"p: a -> e"}
+{"id":"easy","sigma":["a -> b"],"phi":"a -> b"}
+"#,
+    );
+    let out = run(&[
+        "batch",
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--deadline-ms",
+        "50",
+        "--chase-rounds",
+        "1000000",
+        "--chase-max-nodes",
+        "1000000",
+        "--search-samples",
+        "1000000000",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[0].contains(r#""verdict":"unknown""#) && lines[0].contains("deadline exceeded"),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains(r#""verdict":"implied""#));
+    assert!(lines[2].contains(r#""unknown":1"#));
+}
+
+#[test]
+fn batch_rejects_malformed_jsonl() {
+    let dir = tempdir("batch-bad");
+    let jobs = write(&dir, "jobs.jsonl", "{\"id\":\"x\" no-json\n");
+    let out = run(&["batch", "--jobs", jobs.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
 }

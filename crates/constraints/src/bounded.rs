@@ -83,9 +83,7 @@ impl BoundedFamily {
                 // with a K self-loop) only models such constraints when
                 // their hypothesis cannot re-enter the local database;
                 // every use in the paper has α = ε.
-                let ok = c.is_forward()
-                    && c.rhs().labels() == [k]
-                    && c.lhs().first() != Some(k);
+                let ok = c.is_forward() && c.rhs().labels() == [k] && c.lhs().first() != Some(k);
                 if !ok {
                     return Err(BoundedFamilyError {
                         index,
@@ -188,8 +186,7 @@ mod tests {
         let mut labels = LabelInterner::new();
         // pf = MIT.sub, which is π·K·… with π = ε, K = MIT, but the
         // constraint is not bounded by (ε, MIT) — Definition 2.3 excludes it.
-        let sigma =
-            parse_constraints("MIT.sub: a -> b", &mut labels).unwrap();
+        let sigma = parse_constraints("MIT.sub: a -> b", &mut labels).unwrap();
         let mit = labels.get("MIT").unwrap();
         let err = BoundedFamily::classify(&sigma, &Path::empty(), mit).unwrap_err();
         assert_eq!(err.index, 0);

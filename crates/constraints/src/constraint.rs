@@ -107,8 +107,7 @@ impl PathConstraint {
     /// word constraint, or of the form
     /// `∀x (K(r,x) → ∀y (α(x,y) → β(x,y)))` for the given label `K`.
     pub fn in_pw_k(&self, k: Label) -> bool {
-        self.is_word()
-            || (self.is_forward() && self.prefix.labels() == [k])
+        self.is_word() || (self.is_forward() && self.prefix.labels() == [k])
     }
 
     /// Whether this constraint belongs to `P_w(π)` (Section 6): either a
@@ -159,7 +158,10 @@ impl PathConstraint {
     ///
     /// Without the `path ":"` part the prefix is the empty path, so
     /// `a.b -> c` is the word constraint `∀x (a.b(r,x) → c(r,x))`.
-    pub fn parse(text: &str, labels: &mut LabelInterner) -> Result<PathConstraint, ConstraintParseError> {
+    pub fn parse(
+        text: &str,
+        labels: &mut LabelInterner,
+    ) -> Result<PathConstraint, ConstraintParseError> {
         let err = |message: String| ConstraintParseError { message };
         let (prefix_text, body) = match text.split_once(':') {
             Some((p, b)) => (Some(p), b),
@@ -213,7 +215,11 @@ impl fmt::Debug for PathConstraint {
             Kind::Forward => "->",
             Kind::Backward => "<-",
         };
-        write!(f, "{:?}: {:?} {} {:?}", self.prefix, self.lhs, arrow, self.rhs)
+        write!(
+            f,
+            "{:?}: {:?} {} {:?}",
+            self.prefix, self.lhs, arrow, self.rhs
+        )
     }
 }
 
@@ -298,9 +304,11 @@ pub fn parse_constraints(
         if line.is_empty() {
             continue;
         }
-        out.push(PathConstraint::parse(line, labels).map_err(|e| ConstraintParseError {
-            message: format!("line {}: {}", idx + 1, e.message),
-        })?);
+        out.push(
+            PathConstraint::parse(line, labels).map_err(|e| ConstraintParseError {
+                message: format!("line {}: {}", idx + 1, e.message),
+            })?,
+        );
     }
     Ok(out)
 }

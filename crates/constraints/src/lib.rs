@@ -26,9 +26,9 @@
 #![warn(missing_docs)]
 
 mod bounded;
-mod regular;
 mod constraint;
 mod path;
+mod regular;
 mod sat;
 
 pub use bounded::{BoundedFamily, BoundedFamilyError};

@@ -194,8 +194,7 @@ mod tests {
         assert!(!c.holds(&g));
         assert_eq!(c.violations(&g).len(), 2);
         // But with ref* on the right it holds.
-        let c2 =
-            RegularConstraint::parse("book.(ref)+ <= book.(ref)*", &mut labels).unwrap();
+        let c2 = RegularConstraint::parse("book.(ref)+ <= book.(ref)*", &mut labels).unwrap();
         assert!(c2.holds(&g));
     }
 

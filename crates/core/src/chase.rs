@@ -36,10 +36,14 @@ pub fn chase_implication(
 ) -> Outcome {
     let mut state = ChaseState::new(phi);
     let mut steps = 0usize;
+    let armed = budget.deadline.is_armed();
 
     for _round in 0..budget.chase_rounds {
         if state.goal_holds(phi) {
             return Outcome::Implied(Evidence::ChaseForced { steps });
+        }
+        if armed && budget.deadline.expired() {
+            return Outcome::Unknown(UnknownReason::DeadlineExceeded);
         }
         match state.first_violation(sigma) {
             None => {
@@ -63,6 +67,13 @@ pub fn chase_implication(
                     steps += 1;
                     if state.graph.node_count() > budget.chase_max_nodes {
                         return Outcome::Unknown(UnknownReason::ChaseBudgetExhausted);
+                    }
+                    // A single round can apply arbitrarily many repairs,
+                    // so the deadline is also a per-step cancellation
+                    // point (one `Instant::now()` per repair — noise next
+                    // to the violation scan).
+                    if armed && budget.deadline.expired() {
+                        return Outcome::Unknown(UnknownReason::DeadlineExceeded);
                     }
                     if merged {
                         // Node ids of the remaining batch refer to the
@@ -190,13 +201,9 @@ mod tests {
     #[test]
     fn word_implication_via_chase() {
         let mut labels = LabelInterner::new();
-        let sigma = parse_constraints(
-            "book.author -> person\nperson.wrote -> book",
-            &mut labels,
-        )
-        .unwrap();
-        let phi =
-            PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
+        let sigma =
+            parse_constraints("book.author -> person\nperson.wrote -> book", &mut labels).unwrap();
+        let phi = PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
         match chase_implication(&sigma, &phi, &budget()) {
             Outcome::Implied(Evidence::ChaseForced { .. }) => {}
             other => panic!("expected Implied, got {other:?}"),
@@ -231,8 +238,8 @@ mod tests {
         // φ: ∀x(book(r,x) → ∀y(author.wrote… — express the roundtrip as a
         // forward constraint: from a book, author·wrote leads back to it…
         // as a path this needs the inverse edge the chase must add.
-        let phi = PathConstraint::parse("book: author -> author.wrote.author", &mut labels)
-            .unwrap();
+        let phi =
+            PathConstraint::parse("book: author -> author.wrote.author", &mut labels).unwrap();
         // author(x,y) implies wrote(y,x) (inverse), and then author(x,y)
         // again: so author.wrote.author(x, y) holds via y-x-y.
         match chase_implication(&sigma, &phi, &budget()) {
@@ -259,11 +266,8 @@ mod tests {
     fn backward_constraints_chase() {
         let mut labels = LabelInterner::new();
         let sigma = parse_constraints("MIT.book: author <- wrote", &mut labels).unwrap();
-        let phi = PathConstraint::parse(
-            "MIT.book: author -> author.wrote.author",
-            &mut labels,
-        )
-        .unwrap();
+        let phi =
+            PathConstraint::parse("MIT.book: author -> author.wrote.author", &mut labels).unwrap();
         match chase_implication(&sigma, &phi, &budget()) {
             Outcome::Implied(_) => {}
             other => panic!("expected Implied, got {other:?}"),
@@ -309,8 +313,7 @@ mod tests {
         // Local-extent flavored: with only the MIT-local constraint, the
         // Warner query is not implied.
         let sigma = parse_constraints("MIT: book.author -> person", &mut labels).unwrap();
-        let phi =
-            PathConstraint::parse("Warner: book.author -> person", &mut labels).unwrap();
+        let phi = PathConstraint::parse("Warner: book.author -> person", &mut labels).unwrap();
         match chase_implication(&sigma, &phi, &budget()) {
             Outcome::NotImplied(r) => {
                 let cm = r.countermodel.unwrap();

@@ -105,9 +105,7 @@ impl Proof {
         match &self.step {
             ProofStep::Hypothesis { index } => match sigma.get(*index) {
                 Some(h) if *h == self.conclusion => Ok(()),
-                Some(_) => fail(format!(
-                    "hypothesis #{index} does not match the conclusion"
-                )),
+                Some(_) => fail(format!("hypothesis #{index} does not match the conclusion")),
                 None => fail(format!("hypothesis index {index} out of range")),
             },
             ProofStep::Reflexivity => {
@@ -220,12 +218,7 @@ impl Proof {
         out
     }
 
-    fn render_into(
-        &self,
-        labels: &pathcons_graph::LabelInterner,
-        depth: usize,
-        out: &mut String,
-    ) {
+    fn render_into(&self, labels: &pathcons_graph::LabelInterner, depth: usize, out: &mut String) {
         use std::fmt::Write as _;
         let indent = "  ".repeat(depth);
         let rule = match &self.step {
@@ -336,10 +329,8 @@ impl Proof {
     /// Converts a forward-constraint proof into its word form.
     pub fn forward_to_word(premise: Proof) -> Proof {
         let c = &premise.conclusion;
-        let conclusion = PathConstraint::word(
-            c.prefix().concat(c.lhs()),
-            c.prefix().concat(c.rhs()),
-        );
+        let conclusion =
+            PathConstraint::word(c.prefix().concat(c.lhs()), c.prefix().concat(c.rhs()));
         Proof {
             conclusion,
             step: ProofStep::ForwardToWord {
@@ -441,10 +432,8 @@ mod tests {
         let mut labels = LabelInterner::new();
         let sigma = vec![c("a -> b", &mut labels), c("b.g -> d", &mut labels)];
         // a·g → b·g (right-congruence on #0), then → d (trans with #1).
-        let step1 = Proof::right_congruence(
-            Proof::hypothesis(0, sigma[0].clone()),
-            p("g", &mut labels),
-        );
+        let step1 =
+            Proof::right_congruence(Proof::hypothesis(0, sigma[0].clone()), p("g", &mut labels));
         let proof = Proof::transitivity(step1, Proof::hypothesis(1, sigma[1].clone()));
         assert_eq!(proof.conclusion, c("a.g -> d", &mut labels));
         assert!(proof.check(&sigma).is_ok());
@@ -479,11 +468,7 @@ mod tests {
         let word = Proof::backward_to_word(Proof::hypothesis(0, sigma[0].clone()));
         assert_eq!(word.conclusion, c("book -> book.author.wrote", &mut labels));
         assert!(word.check(&sigma).is_ok());
-        let back = Proof::word_to_backward(
-            word,
-            p("book", &mut labels),
-            p("author", &mut labels),
-        );
+        let back = Proof::word_to_backward(word, p("book", &mut labels), p("author", &mut labels));
         assert_eq!(back.conclusion, sigma[0]);
         assert!(back.check(&sigma).is_ok());
     }

@@ -34,21 +34,18 @@ mod word;
 pub use chase::chase_implication;
 pub use ir::{Proof, ProofError, ProofStep};
 pub use local_extent::{
-    figure3_structure, lift_countermodel, local_extent_implies, LocalExtentAnswer,
-    LocalExtentError,
+    figure3_structure, lift_countermodel, local_extent_implies, LocalExtentAnswer, LocalExtentError,
 };
 pub use outcome::{
-    Budget, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation,
+    Budget, CounterModel, CounterModelProvenance, Deadline, Evidence, Outcome, Refutation,
     RefutationBasis, UnknownReason,
 };
-pub use search::{
-    exhaustive_search_countermodel, is_countermodel, mentioned_labels, search_countermodel,
-    search_typed_countermodel,
-};
-pub use solver::{
-    Answer, DataContext, Method, Problem, SchemaContext, Solver, SolverError,
-};
 pub use query_opt::{optimize_path, OptimizeError, OptimizedPath};
+pub use search::{
+    exhaustive_search_countermodel, exhaustive_search_countermodel_within, is_countermodel,
+    mentioned_labels, search_countermodel, search_typed_countermodel,
+};
+pub use solver::{Answer, DataContext, Method, Problem, SchemaContext, Solver, SolverError};
 pub use typed_m::{m_implies, m_satisfiable, MSatisfiability, NotAnMSchema};
 pub use word::{word_implication_naive, NotAWordConstraint, WordEngine};
 

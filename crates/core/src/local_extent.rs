@@ -16,9 +16,7 @@
 //! self-loop and a `K`-edge to `G`'s root — `H ⊨ Σ¹_K ∧ Σ¹_r ∧ ¬φ¹` —
 //! and prepending a fresh `π`-path undoes `g₁`.
 
-use crate::outcome::{
-    CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation,
-};
+use crate::outcome::{CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation};
 use crate::word::WordEngine;
 use pathcons_constraints::{BoundedFamily, BoundedFamilyError, Path, PathConstraint};
 use pathcons_graph::{Graph, Label};
@@ -76,8 +74,11 @@ impl LocalExtentAnswer {
             return None;
         }
         let max_len = (self.word_phi.lhs().len().max(self.word_phi.rhs().len()) + 2).min(6);
-        let word_cm =
-            crate::word_evidence::canonical_countermodel(&self.word_sigma, &self.word_phi, max_len)?;
+        let word_cm = crate::word_evidence::canonical_countermodel(
+            &self.word_sigma,
+            &self.word_phi,
+            max_len,
+        )?;
         Some(lift_countermodel(&word_cm, &self.pi, self.k))
     }
 }
@@ -91,8 +92,7 @@ pub fn local_extent_implies(
     phi: &PathConstraint,
 ) -> Result<LocalExtentAnswer, LocalExtentError> {
     let (pi, k) = BoundedFamily::detect(phi).ok_or(LocalExtentError::QueryNotBounded)?;
-    let family =
-        BoundedFamily::classify(sigma, &pi, k).map_err(LocalExtentError::BadFamily)?;
+    let family = BoundedFamily::classify(sigma, &pi, k).map_err(LocalExtentError::BadFamily)?;
 
     // g₁ then g₂: strip π·K from Σ_K and φ (Σ_r is discarded, Lemma 5.3).
     let pi_k = pi.push(k);
@@ -108,8 +108,8 @@ pub fn local_extent_implies(
         .strip_prefix(&pi_k)
         .expect("query is bounded, so its prefix is π·K");
 
-    let engine = WordEngine::new(&word_sigma)
-        .expect("stripped bounded constraints are word constraints");
+    let engine =
+        WordEngine::new(&word_sigma).expect("stripped bounded constraints are word constraints");
     let outcome = if engine
         .implies(&word_phi)
         .expect("stripped query is a word constraint")
@@ -213,8 +213,7 @@ mod tests {
         .unwrap();
         // Authors' written books are books — follows from the two MIT
         // extent constraints.
-        let phi =
-            PathConstraint::parse("MIT: book.author.wrote -> book", &mut labels).unwrap();
+        let phi = PathConstraint::parse("MIT: book.author.wrote -> book", &mut labels).unwrap();
         let answer = local_extent_implies(&sigma, &phi).unwrap();
         match answer.outcome {
             Outcome::Implied(Evidence::LocalExtentReduction(_)) => {}
@@ -230,8 +229,7 @@ mod tests {
             &mut labels,
         )
         .unwrap();
-        let phi = PathConstraint::parse("lib.MIT: book.author -> person", &mut labels)
-            .unwrap();
+        let phi = PathConstraint::parse("lib.MIT: book.author -> person", &mut labels).unwrap();
         let answer = local_extent_implies(&sigma, &phi).unwrap();
         assert!(answer.outcome.is_implied());
         assert_eq!(answer.pi.display(&labels).to_string(), "lib");

@@ -10,6 +10,71 @@ use crate::ir::Proof;
 use pathcons_graph::Graph;
 use pathcons_types::TypeNodeId;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cooperative cancellation for the semi-decision procedures: an optional
+/// wall-clock deadline and/or a shared kill flag, checked inside the
+/// chase and search loops.
+///
+/// Both parts compose: the procedure stops at whichever fires first. The
+/// default value never cancels, so plain budgets behave as before.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    instant: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl Deadline {
+    /// A deadline that never fires.
+    pub fn none() -> Deadline {
+        Deadline::default()
+    }
+
+    /// A deadline `duration` from now.
+    pub fn within(duration: Duration) -> Deadline {
+        Deadline {
+            instant: Some(Instant::now() + duration),
+            flag: None,
+        }
+    }
+
+    /// A deadline at an absolute instant (useful to give every job of a
+    /// batch the same cut-off).
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline {
+            instant: Some(instant),
+            flag: None,
+        }
+    }
+
+    /// Attaches a shared cancellation flag; setting it to `true` (with
+    /// any store ordering) stops the procedure at the next check.
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Deadline {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// Whether the procedure should stop now.
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.instant {
+            Some(instant) => Instant::now() >= instant,
+            None => false,
+        }
+    }
+
+    /// Whether this deadline can ever fire (lets hot loops skip the
+    /// `Instant::now()` call entirely for plain budgets).
+    pub fn is_armed(&self) -> bool {
+        self.instant.is_some() || self.flag.is_some()
+    }
+}
 
 /// Resource budget for the semi-decision procedures.
 #[derive(Clone, Debug)]
@@ -24,6 +89,8 @@ pub struct Budget {
     pub search_max_nodes: usize,
     /// RNG seed for reproducible searches.
     pub seed: u64,
+    /// Wall-clock deadline / cancellation, checked cooperatively.
+    pub deadline: Deadline,
 }
 
 impl Default for Budget {
@@ -34,6 +101,7 @@ impl Default for Budget {
             search_samples: 200,
             search_max_nodes: 8,
             seed: 0x9E3779B97F4A7C15,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -47,7 +115,29 @@ impl Budget {
             search_samples: 50,
             search_max_nodes: 5,
             seed: 7,
+            deadline: Deadline::none(),
         }
+    }
+
+    /// Caps the wall-clock time of the budgeted procedures: once
+    /// `duration` has elapsed they stop at the next cancellation point
+    /// and answer [`Outcome::Unknown`] with
+    /// [`UnknownReason::DeadlineExceeded`].
+    pub fn with_deadline(mut self, duration: Duration) -> Budget {
+        self.deadline = Deadline::within(duration);
+        self
+    }
+
+    /// Installs a prebuilt [`Deadline`] (absolute instant and/or shared
+    /// cancellation flag).
+    pub fn with_deadline_at(mut self, deadline: Deadline) -> Budget {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Whether the deadline or cancellation flag has fired.
+    pub fn expired(&self) -> bool {
+        self.deadline.expired()
     }
 }
 
@@ -204,6 +294,9 @@ pub enum UnknownReason {
     /// need not satisfy `Φ(σ)`, so it transfers nothing to the typed
     /// context.
     UntypedCounterModelNotTyped,
+    /// The wall-clock deadline (or a cancellation flag) fired before any
+    /// semi-decider reached a verdict.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for UnknownReason {
@@ -213,8 +306,51 @@ impl fmt::Display for UnknownReason {
             UnknownReason::SearchBudgetExhausted => write!(f, "search budget exhausted"),
             UnknownReason::AllBudgetsExhausted => write!(f, "all budgets exhausted"),
             UnknownReason::UntypedCounterModelNotTyped => {
-                write!(f, "untyped countermodel does not satisfy the type constraint")
+                write!(
+                    f,
+                    "untyped countermodel does not satisfy the type constraint"
+                )
             }
+            UnknownReason::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_deadline_never_fires() {
+        let d = Deadline::none();
+        assert!(!d.is_armed());
+        assert!(!d.expired());
+        assert!(!Budget::default().expired());
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.is_armed());
+        assert!(d.expired());
+        let budget = Budget::default().with_deadline(Duration::ZERO);
+        assert!(budget.expired());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_yet() {
+        let budget = Budget::default().with_deadline(Duration::from_secs(3600));
+        assert!(budget.deadline.is_armed());
+        assert!(!budget.expired());
+    }
+
+    #[test]
+    fn cancellation_flag_fires_when_set() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::none().with_flag(Arc::clone(&flag));
+        assert!(d.is_armed());
+        assert!(!d.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(d.expired());
     }
 }

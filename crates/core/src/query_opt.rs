@@ -190,10 +190,7 @@ mod tests {
         let sigma = parse_constraints("book: author <- wrote", &mut labels).unwrap();
         let query = Path::parse("book.author.wrote.author.name", &mut labels).unwrap();
         let result = optimize_path(&schema, &tg, &sigma, &query, 10_000).unwrap();
-        assert_eq!(
-            result.path.display(&labels).to_string(),
-            "book.author.name"
-        );
+        assert_eq!(result.path.display(&labels).to_string(), "book.author.name");
         result.forward_proof.check(&sigma).unwrap();
         result.backward_proof.check(&sigma).unwrap();
         assert!(result.class_size_explored >= 2);
@@ -213,11 +210,8 @@ mod tests {
         let (mut labels, schema, tg) = setup();
         // book.author ≡ person and person.wrote ≡ book: the query
         // book.author.wrote.title collapses to book.title.
-        let sigma = parse_constraints(
-            "book.author -> person\nperson.wrote -> book",
-            &mut labels,
-        )
-        .unwrap();
+        let sigma =
+            parse_constraints("book.author -> person\nperson.wrote -> book", &mut labels).unwrap();
         let query = Path::parse("book.author.wrote.title", &mut labels).unwrap();
         let result = optimize_path(&schema, &tg, &sigma, &query, 10_000).unwrap();
         assert_eq!(result.path.display(&labels).to_string(), "book.title");

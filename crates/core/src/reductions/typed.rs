@@ -35,9 +35,7 @@
 use pathcons_constraints::{BoundedFamily, Path, PathConstraint};
 use pathcons_graph::{Graph, Label, LabelInterner, NodeId};
 use pathcons_monoid::{Homomorphism, Presentation};
-use pathcons_types::{
-    ClassId, Schema, SchemaBuilder, TypeExpr, TypeGraph, TypedGraph,
-};
+use pathcons_types::{ClassId, Schema, SchemaBuilder, TypeExpr, TypeGraph, TypedGraph};
 use std::collections::HashMap;
 
 /// The encoding of a monoid presentation over the schema `σ₁`.
@@ -339,15 +337,17 @@ mod tests {
             p
         }));
         let fig = enc.figure4_structure(&hom);
-        assert!(all_hold(&fig.typed.graph, &enc.sigma), "Figure 4 violates Σ");
+        assert!(
+            all_hold(&fig.typed.graph, &enc.sigma),
+            "Figure 4 violates Σ"
+        );
     }
 
     #[test]
     fn figure4_refutes_separated_query() {
         let p = commutative_presentation();
         let enc = TypedEncoding::new(&p);
-        let witness =
-            find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
+        let witness = find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
         let fig = enc.figure4_structure(&witness.hom);
         let phi = enc.query(&[0, 1], &[0, 0, 1]);
         assert!(all_hold(&fig.typed.graph, &enc.sigma));

@@ -81,7 +81,11 @@ impl UntypedEncoding {
         for eq in presentation.equations() {
             let gamma = word_path(&letter_label, &eq.lhs);
             let delta = word_path(&letter_label, &eq.rhs);
-            sigma.push(PathConstraint::forward(pi.clone(), gamma.clone(), delta.clone()));
+            sigma.push(PathConstraint::forward(
+                pi.clone(),
+                gamma.clone(),
+                delta.clone(),
+            ));
             sigma.push(PathConstraint::forward(pi.clone(), delta, gamma));
         }
         UntypedEncoding {
@@ -166,7 +170,12 @@ impl UntypedEncoding {
 
     /// Evaluates a monoid word to the vertex it reaches from the root in
     /// a Figure 2 structure.
-    pub fn word_vertex(&self, fig: &Figure2, hom: &Homomorphism, word: &Word) -> pathcons_graph::NodeId {
+    pub fn word_vertex(
+        &self,
+        fig: &Figure2,
+        hom: &Homomorphism,
+        word: &Word,
+    ) -> pathcons_graph::NodeId {
         fig.element_node[&hom.eval(word)]
     }
 }
@@ -280,8 +289,8 @@ mod tests {
         // structure is a checked countermodel — exactly Lemma 4.5(b).
         let p = commutative_presentation();
         let enc = UntypedEncoding::new(&p);
-        let witness = find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3)
-            .expect("separable by counting");
+        let witness =
+            find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable by counting");
         let fig = enc.figure2_structure(&witness.hom);
         let (phi_ab, _) = enc.queries(&[0, 1], &[0, 0, 1]);
         assert!(all_hold(&fig.graph, &enc.sigma));
@@ -335,8 +344,7 @@ mod pw_pi_tests {
     fn figure2_generalizes_to_longer_prefixes() {
         let p = commutative();
         let enc = UntypedEncoding::with_prefix(&p, &["p1", "p2"]);
-        let witness =
-            find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
+        let witness = find_separating_witness(&p, &[0, 1], &[0, 0, 1], 3).expect("separable");
         let fig = enc.figure2_structure(&witness.hom);
         assert!(all_hold(&fig.graph, &enc.sigma), "Figure 2(π) violates Σ");
         let (phi_ab, phi_ba) = enc.queries(&[0, 1], &[0, 0, 1]);

@@ -49,7 +49,11 @@ pub fn search_countermodel(
         return None;
     }
     let mut rng = StdRng::seed_from_u64(budget.seed);
+    let armed = budget.deadline.is_armed();
     for _ in 0..budget.search_samples {
+        if armed && budget.deadline.expired() {
+            return None;
+        }
         let nodes = rng.gen_range(1..=budget.search_max_nodes.max(1));
         let config = RandomGraphConfig {
             mean_out_degree: rng.gen_range(1.0..3.0),
@@ -79,7 +83,11 @@ pub fn search_typed_countermodel(
     budget: &Budget,
 ) -> Option<CounterModel> {
     let mut rng = StdRng::seed_from_u64(budget.seed);
+    let armed = budget.deadline.is_armed();
     for attempt in 0..budget.search_samples {
+        if armed && budget.deadline.expired() {
+            return None;
+        }
         let config = InstanceConfig {
             target_nodes: 4 + (attempt % budget.search_max_nodes.max(1)) * 4,
             reuse_probability: rng.gen_range(0.2..0.9),
@@ -117,12 +125,25 @@ pub fn exhaustive_search_countermodel(
     phi: &PathConstraint,
     max_nodes: usize,
 ) -> Option<CounterModel> {
+    exhaustive_search_countermodel_within(sigma, phi, max_nodes, &crate::outcome::Deadline::none())
+}
+
+/// [`exhaustive_search_countermodel`] with a cooperative deadline,
+/// checked every 1024 candidates. An expired deadline returns `None`
+/// (no countermodel *found*; the bound is then not exhausted).
+pub fn exhaustive_search_countermodel_within(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    max_nodes: usize,
+    deadline: &crate::outcome::Deadline,
+) -> Option<CounterModel> {
     let mut refs: Vec<&PathConstraint> = sigma.iter().collect();
     refs.push(phi);
     let labels = mentioned_labels(&refs);
     if labels.is_empty() {
         return None;
     }
+    let armed = deadline.is_armed();
     for n in 1..=max_nodes {
         let slots = labels.len() * n * n;
         if slots > 20 {
@@ -130,6 +151,9 @@ pub fn exhaustive_search_countermodel(
             return None;
         }
         for mask in 0u64..(1u64 << slots) {
+            if armed && mask % 1024 == 0 && deadline.expired() {
+                return None;
+            }
             let mut graph = Graph::new();
             for _ in 1..n {
                 graph.add_node();

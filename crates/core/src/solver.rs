@@ -18,7 +18,9 @@
 
 use crate::chase::chase_implication;
 use crate::local_extent::{local_extent_implies, LocalExtentError};
-use crate::outcome::{Budget, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation, UnknownReason};
+use crate::outcome::{
+    Budget, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation, UnknownReason,
+};
 use crate::search::{search_countermodel, search_typed_countermodel};
 use crate::typed_m::{m_implies, NotAnMSchema};
 use crate::word::WordEngine;
@@ -148,7 +150,11 @@ impl Solver {
     }
 
     /// Decides (or semi-decides) `Σ ⊨ φ`.
-    pub fn implies(&self, sigma: &[PathConstraint], phi: &PathConstraint) -> Result<Answer, SolverError> {
+    pub fn implies(
+        &self,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+    ) -> Result<Answer, SolverError> {
         self.solve(sigma, phi, Problem::Implication)
     }
 
@@ -251,16 +257,26 @@ impl Solver {
                 method: Method::Chase,
             };
         }
-        if let Some(cm) = crate::search::exhaustive_search_countermodel(sigma, phi, 3)
-            .or_else(|| search_countermodel(sigma, phi, &self.budget))
+        if let Some(cm) = crate::search::exhaustive_search_countermodel_within(
+            sigma,
+            phi,
+            3,
+            &self.budget.deadline,
+        )
+        .or_else(|| search_countermodel(sigma, phi, &self.budget))
         {
             return Answer {
                 outcome: Outcome::NotImplied(Refutation::with_countermodel(cm)),
                 method: Method::CounterModelSearch,
             };
         }
+        let reason = if self.budget.expired() {
+            UnknownReason::DeadlineExceeded
+        } else {
+            UnknownReason::AllBudgetsExhausted
+        };
         Answer {
-            outcome: Outcome::Unknown(UnknownReason::AllBudgetsExhausted),
+            outcome: Outcome::Unknown(reason),
             method: Method::Chase,
         }
     }
@@ -288,8 +304,13 @@ impl Solver {
                 method: Method::CounterModelSearch,
             };
         }
+        let reason = if self.budget.expired() {
+            UnknownReason::DeadlineExceeded
+        } else {
+            UnknownReason::UntypedCounterModelNotTyped
+        };
         Answer {
-            outcome: Outcome::Unknown(UnknownReason::UntypedCounterModelNotTyped),
+            outcome: Outcome::Unknown(reason),
             method: Method::CounterModelSearch,
         }
     }
@@ -334,11 +355,8 @@ mod tests {
     fn untyped_general_pc_falls_back_to_chase() {
         let mut labels = LabelInterner::new();
         let sigma = parse_constraints("book: author <- wrote", &mut labels).unwrap();
-        let phi = PathConstraint::parse(
-            "book: author -> author.wrote.author",
-            &mut labels,
-        )
-        .unwrap();
+        let phi =
+            PathConstraint::parse("book: author -> author.wrote.author", &mut labels).unwrap();
         let solver = Solver::new(DataContext::Semistructured);
         let answer = solver.implies(&sigma, &phi).unwrap();
         assert_eq!(answer.method, Method::Chase);

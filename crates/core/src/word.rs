@@ -165,9 +165,7 @@ pub fn word_implication_naive(
     if !phi.is_word() {
         return Err(NotAWordConstraint { index: usize::MAX });
     }
-    let reached = engine
-        .system
-        .bounded_post(phi.lhs(), max_len, max_words);
+    let reached = engine.system.bounded_post(phi.lhs(), max_len, max_words);
     if reached.contains(&phi.rhs().to_vec()) {
         Ok(Some(true))
     } else {
@@ -190,9 +188,7 @@ mod tests {
     fn reflexivity_and_simple_rules() {
         let mut labels = LabelInterner::new();
         let e = engine("a -> b", &mut labels);
-        let q = |t: &str, labels: &mut LabelInterner| {
-            PathConstraint::parse(t, labels).unwrap()
-        };
+        let q = |t: &str, labels: &mut LabelInterner| PathConstraint::parse(t, labels).unwrap();
         assert!(e.implies(&q("a -> a", &mut labels)).unwrap());
         assert!(e.implies(&q("a -> b", &mut labels)).unwrap());
         assert!(!e.implies(&q("b -> a", &mut labels)).unwrap());
@@ -206,9 +202,7 @@ mod tests {
             "book.author -> person\nperson.wrote -> book\nbook.ref -> book",
             &mut labels,
         );
-        let q = |t: &str, labels: &mut LabelInterner| {
-            PathConstraint::parse(t, labels).unwrap()
-        };
+        let q = |t: &str, labels: &mut LabelInterner| PathConstraint::parse(t, labels).unwrap();
         // Authors of referenced books are persons:
         assert!(e
             .implies(&q("book.ref.author -> person", &mut labels))
@@ -253,9 +247,7 @@ mod tests {
         let mut labels = LabelInterner::new();
         // () -> K : the root is K-reachable; then K.a -> a etc.
         let e = engine("() -> K\nK.a -> K", &mut labels);
-        let q = |t: &str, labels: &mut LabelInterner| {
-            PathConstraint::parse(t, labels).unwrap()
-        };
+        let q = |t: &str, labels: &mut LabelInterner| PathConstraint::parse(t, labels).unwrap();
         assert!(e.implies(&q("() -> K", &mut labels)).unwrap());
         assert!(e.implies(&q("a -> K.a", &mut labels)).unwrap());
         assert!(e.implies(&q("a -> K", &mut labels)).unwrap());
@@ -265,13 +257,9 @@ mod tests {
     #[test]
     fn naive_baseline_agrees_when_conclusive() {
         let mut labels = LabelInterner::new();
-        let sigma = parse_constraints(
-            "book.author -> person\nperson.wrote -> book",
-            &mut labels,
-        )
-        .unwrap();
-        let phi =
-            PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
+        let sigma =
+            parse_constraints("book.author -> person\nperson.wrote -> book", &mut labels).unwrap();
+        let phi = PathConstraint::parse("book.author.wrote -> book", &mut labels).unwrap();
         let naive = word_implication_naive(&sigma, &phi, 12, 100_000).unwrap();
         assert_eq!(naive, Some(true));
         let e = WordEngine::new(&sigma).unwrap();

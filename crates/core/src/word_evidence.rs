@@ -202,8 +202,7 @@ pub fn canonical_countermodel(
 
     // Grow the truncation length until a candidate verifies — smaller
     // universes give smaller (more readable) countermodels.
-    (1..=max_len)
-        .find_map(|len| canonical_truncation(&system, sigma, phi, &alphabet, len))
+    (1..=max_len).find_map(|len| canonical_truncation(&system, sigma, phi, &alphabet, len))
 }
 
 /// One truncation attempt at a fixed word length.

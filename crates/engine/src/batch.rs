@@ -1,0 +1,801 @@
+//! The batch engine: cached, parallel, deadline-bounded implication.
+
+use crate::cache::{AnswerCache, CacheStats, CachedEntry};
+use crate::canon::{self, CanonicalQuery, Renaming};
+use crate::executor;
+use crate::json::Json;
+use pathcons_constraints::PathConstraint;
+use pathcons_core::{
+    Answer, Budget, DataContext, Evidence, Outcome, SchemaContext, Solver, SolverError,
+    UnknownReason,
+};
+use pathcons_graph::LabelInterner;
+use pathcons_types::{example_bibliography_schema, example_bibliography_schema_m, TypeGraph};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`BatchEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for batches; 0 means one per available core.
+    pub threads: usize,
+    /// Answer-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Correctness mode: re-solve every cache hit and compare against
+    /// the cached answer, counting mismatches.
+    pub verify: bool,
+    /// Base budget for every job (per-job deadlines are layered on top).
+    pub budget: Budget,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 0,
+            cache_capacity: 4096,
+            verify: false,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// Whether an answer came from the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache (possibly adapted across a renaming).
+    Hit,
+    /// Solved fresh (and stored, if cacheable).
+    Miss,
+}
+
+/// A shareable batch implication service: answer cache + executor.
+///
+/// `solve` may be called concurrently from any number of threads; the
+/// cache is internally synchronized (solving itself runs outside the
+/// lock, so a slow miss never blocks hits).
+pub struct BatchEngine {
+    config: EngineConfig,
+    cache: Mutex<AnswerCache>,
+}
+
+impl BatchEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> BatchEngine {
+        let cache = Mutex::new(AnswerCache::new(config.cache_capacity));
+        BatchEngine { config, cache }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Solves `Σ ⊨ φ` through the cache with the engine's base budget.
+    pub fn solve(
+        &self,
+        context: &DataContext,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+    ) -> Result<(Answer, CacheOutcome), SolverError> {
+        self.solve_with_budget(context, sigma, phi, self.config.budget.clone())
+    }
+
+    /// Solves `Σ ⊨ φ` through the cache with an explicit budget.
+    ///
+    /// On a miss the *original* query is solved (so the first answer for
+    /// any query is exactly `Solver::implies`) and stored under its
+    /// canonical key. On a hit the stored answer is adapted into the
+    /// query's label space (countermodel edges are renamed through the
+    /// composed bijection). Deadline `Unknown`s are never cached — a
+    /// job that ran out of time must not poison richer-budget retries.
+    pub fn solve_with_budget(
+        &self,
+        context: &DataContext,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+        budget: Budget,
+    ) -> Result<(Answer, CacheOutcome), SolverError> {
+        let canon = canon::canonicalize(context, sigma, phi);
+        let cached = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .lookup(&canon.key);
+        if let Some(entry) = cached {
+            let answer = adapt_answer(entry, &canon);
+            if self.config.verify {
+                let fresh = Solver::new(context.clone())
+                    .with_budget(budget)
+                    .implies(sigma, phi)?;
+                let agreed = same_answer_shape(&answer, &fresh);
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .note_verification(agreed);
+                if !agreed {
+                    // Trust the fresh answer; the mismatch counter is
+                    // the alarm bell.
+                    return Ok((fresh, CacheOutcome::Hit));
+                }
+            }
+            return Ok((answer, CacheOutcome::Hit));
+        }
+
+        let answer = Solver::new(context.clone())
+            .with_budget(budget)
+            .implies(sigma, phi)?;
+        if cacheable(&answer) {
+            self.cache.lock().expect("cache poisoned").insert(
+                canon.key,
+                CachedEntry {
+                    answer: answer.clone(),
+                    renaming: canon.renaming,
+                },
+            );
+        }
+        Ok((answer, CacheOutcome::Miss))
+    }
+
+    /// Runs a batch of JSONL jobs across the worker pool and reports
+    /// per-job results plus batch statistics.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> BatchReport {
+        let wall_start = Instant::now();
+        let stats_before = self.cache_stats();
+        let ids: Vec<String> = jobs.iter().map(|job| job.id.clone()).collect();
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.threads
+        };
+
+        let outcomes = executor::run_jobs(threads, jobs, &|_, job: Job| self.run_one(job));
+
+        let results: Vec<JobResult> = outcomes
+            .into_iter()
+            .zip(ids)
+            .map(|(outcome, id)| {
+                outcome.unwrap_or(JobResult {
+                    id,
+                    verdict: Verdict::Error,
+                    method: None,
+                    detail: Some("job panicked; see stderr for the payload".to_owned()),
+                    cache: None,
+                    micros: 0,
+                })
+            })
+            .collect();
+
+        let stats = BatchStats::collect(
+            &results,
+            self.cache_stats(),
+            stats_before,
+            wall_start.elapsed(),
+        );
+        BatchReport { results, stats }
+    }
+
+    fn run_one(&self, job: Job) -> JobResult {
+        let start = Instant::now();
+        let fail = |detail: String| JobResult {
+            id: job.id.clone(),
+            verdict: Verdict::Error,
+            method: None,
+            detail: Some(detail),
+            cache: None,
+            micros: start.elapsed().as_micros() as u64,
+        };
+
+        let mut labels = LabelInterner::new();
+        let context = match build_context(&job.context, &mut labels) {
+            Ok(context) => context,
+            Err(e) => return fail(e),
+        };
+        let mut sigma = Vec::with_capacity(job.sigma.len());
+        for text in &job.sigma {
+            match PathConstraint::parse(text, &mut labels) {
+                Ok(c) => sigma.push(c),
+                Err(e) => return fail(format!("bad constraint `{text}`: {e}")),
+            }
+        }
+        let phi = match PathConstraint::parse(&job.phi, &mut labels) {
+            Ok(phi) => phi,
+            Err(e) => return fail(format!("bad query `{}`: {e}", job.phi)),
+        };
+
+        let mut budget = self.config.budget.clone();
+        if let Some(ms) = job.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+
+        match self.solve_with_budget(&context, &sigma, &phi, budget) {
+            Err(e) => fail(e.to_string()),
+            Ok((answer, cache)) => {
+                let (verdict, detail) = match &answer.outcome {
+                    Outcome::Implied(_) => (Verdict::Implied, None),
+                    Outcome::NotImplied(_) => (Verdict::NotImplied, None),
+                    Outcome::Unknown(reason) => (Verdict::Unknown, Some(reason.to_string())),
+                };
+                JobResult {
+                    id: job.id,
+                    verdict,
+                    method: Some(format!("{:?}", answer.method)),
+                    detail,
+                    cache: Some(cache),
+                    micros: start.elapsed().as_micros() as u64,
+                }
+            }
+        }
+    }
+}
+
+/// Maps a cached answer into the label space of the querying variant.
+///
+/// The stored answer lives in the label space of the query that
+/// inserted it; `entry.renaming` maps that space into the canonical
+/// one, and `canon.renaming` maps the current query's. Composing the
+/// first with the inverse of the second renames countermodel edges.
+/// Proof-style evidence is kept as-is: its *kind* is
+/// renaming-invariant, and its embedded paths are correct up to the
+/// alpha-renaming that the cache key equates.
+fn adapt_answer(entry: CachedEntry, canon: &CanonicalQuery) -> Answer {
+    let mut answer = entry.answer;
+    if entry.renaming == canon.renaming {
+        return answer;
+    }
+    let inverse = canon::invert(&canon.renaming);
+    let translation: Renaming = entry
+        .renaming
+        .iter()
+        .filter_map(|(stored, canonical)| inverse.get(canonical).map(|q| (*stored, *q)))
+        .collect();
+    if let Outcome::NotImplied(refutation) = &mut answer.outcome {
+        if let Some(cm) = &mut refutation.countermodel {
+            match canon::rename_graph(&cm.graph, &translation) {
+                Some(graph) => cm.graph = graph,
+                // Unreachable for countermodels produced by the solver
+                // (they only use mentioned labels), but never return a
+                // graph in the wrong label space.
+                None => refutation.countermodel = None,
+            }
+        }
+    }
+    answer
+}
+
+/// Whether an answer may be stored: everything except deadline-induced
+/// `Unknown`s (those depend on the per-job deadline, not the query).
+fn cacheable(answer: &Answer) -> bool {
+    !matches!(
+        answer.outcome,
+        Outcome::Unknown(UnknownReason::DeadlineExceeded)
+    )
+}
+
+/// Structural agreement for verify mode: same verdict, and for positive
+/// answers the same evidence kind.
+fn same_answer_shape(a: &Answer, b: &Answer) -> bool {
+    match (&a.outcome, &b.outcome) {
+        (Outcome::Implied(ea), Outcome::Implied(eb)) => evidence_kind(ea) == evidence_kind(eb),
+        (Outcome::NotImplied(_), Outcome::NotImplied(_)) => true,
+        (Outcome::Unknown(ra), Outcome::Unknown(rb)) => ra == rb,
+        _ => false,
+    }
+}
+
+/// A stable name for an evidence constructor.
+pub fn evidence_kind(evidence: &Evidence) -> &'static str {
+    match evidence {
+        Evidence::WordDerivation => "word-derivation",
+        Evidence::LocalExtentReduction(_) => "local-extent-reduction",
+        Evidence::IrProof(_) => "ir-proof",
+        Evidence::VacuousOverSchema => "vacuous-over-schema",
+        Evidence::InconsistentTheory { .. } => "inconsistent-theory",
+        Evidence::ChaseForced { .. } => "chase-forced",
+        Evidence::UntypedImplication(_) => "untyped-implication",
+    }
+}
+
+/// Builds the solver context named by a job's `context` field.
+///
+/// Schema contexts are limited to the named example schemas (the JSONL
+/// format has no schema syntax); the CLI's `implies` subcommand remains
+/// the way to query arbitrary schema files.
+fn build_context(name: &str, labels: &mut LabelInterner) -> Result<DataContext, String> {
+    match name {
+        "" | "semistructured" | "untyped" => Ok(DataContext::Semistructured),
+        "m-bibliography" => {
+            let schema = example_bibliography_schema_m(labels);
+            let tg = TypeGraph::build(&schema, labels);
+            Ok(DataContext::M(SchemaContext::new(schema, tg)))
+        }
+        "mplus-bibliography" => {
+            let schema = example_bibliography_schema(labels);
+            let tg = TypeGraph::build(&schema, labels);
+            Ok(DataContext::MPlus(SchemaContext::new(schema, tg)))
+        }
+        other => Err(format!(
+            "unknown context `{other}` (expected semistructured, m-bibliography or mplus-bibliography)"
+        )),
+    }
+}
+
+/// One implication job, as read from a JSONL line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Caller-chosen identifier, echoed in the result.
+    pub id: String,
+    /// Context name ("" / "semistructured" / "m-bibliography" / …).
+    pub context: String,
+    /// Constraint texts (compact syntax, e.g. `book: author <- wrote`).
+    pub sigma: Vec<String>,
+    /// The query constraint text.
+    pub phi: String,
+    /// Optional per-job wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Job {
+    /// Parses one JSONL line.
+    pub fn from_json_line(line: &str) -> Result<Job, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `id`")?
+            .to_owned();
+        let phi = v
+            .get("phi")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `phi`")?
+            .to_owned();
+        let context = match v.get("context") {
+            None => String::new(),
+            Some(c) => c
+                .as_str()
+                .ok_or("field `context` must be a string")?
+                .to_owned(),
+        };
+        let sigma = match v.get("sigma") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_array()
+                .ok_or("field `sigma` must be an array of strings")?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "field `sigma` must be an array of strings".to_owned())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(
+                d.as_u64()
+                    .ok_or("field `deadline_ms` must be a non-negative integer")?,
+            ),
+        };
+        Ok(Job {
+            id,
+            context,
+            sigma,
+            phi,
+            deadline_ms,
+        })
+    }
+
+    /// Parses a whole JSONL document (blank lines and `#` comment lines
+    /// are skipped); errors carry the 1-based line number.
+    pub fn parse_jobs(text: &str) -> Result<Vec<Job>, String> {
+        let mut jobs = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            jobs.push(Job::from_json_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(jobs)
+    }
+
+    /// Serializes the job back to one JSONL line.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            (
+                "sigma".to_owned(),
+                Json::Arr(self.sigma.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("phi".to_owned(), Json::Str(self.phi.clone())),
+        ];
+        if !self.context.is_empty() {
+            members.insert(1, ("context".to_owned(), Json::Str(self.context.clone())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            members.push(("deadline_ms".to_owned(), Json::Num(ms as f64)));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// A job's three-valued verdict (or a job-level failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Verdict {
+    /// `Σ ⊨ φ`.
+    Implied,
+    /// `Σ ⊭ φ`.
+    NotImplied,
+    /// Budget or deadline ran out (undecidable context).
+    Unknown,
+    /// The job itself failed (parse error, bad context, panic).
+    Error,
+}
+
+impl Verdict {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Implied => "implied",
+            Verdict::NotImplied => "not-implied",
+            Verdict::Unknown => "unknown",
+            Verdict::Error => "error",
+        }
+    }
+}
+
+/// The per-job outcome written to the result stream.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub id: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Solver method (absent for failed jobs).
+    pub method: Option<String>,
+    /// Unknown reason or error message.
+    pub detail: Option<String>,
+    /// Cache hit/miss (absent for jobs that never reached the solver).
+    pub cache: Option<CacheOutcome>,
+    /// Wall-clock latency of the job, in microseconds.
+    pub micros: u64,
+}
+
+impl JobResult {
+    /// Serializes to one JSONL line.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            (
+                "verdict".to_owned(),
+                Json::Str(self.verdict.as_str().to_owned()),
+            ),
+        ];
+        if let Some(method) = &self.method {
+            members.push(("method".to_owned(), Json::Str(method.clone())));
+        }
+        if let Some(detail) = &self.detail {
+            members.push(("detail".to_owned(), Json::Str(detail.clone())));
+        }
+        if let Some(cache) = self.cache {
+            let text = match cache {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+            };
+            members.push(("cache".to_owned(), Json::Str(text.to_owned())));
+        }
+        members.push(("micros".to_owned(), Json::Num(self.micros as f64)));
+        Json::Obj(members)
+    }
+}
+
+/// Batch-level statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Cache hits during the batch.
+    pub hits: u64,
+    /// Cache misses during the batch.
+    pub misses: u64,
+    /// Cache evictions during the batch.
+    pub evictions: u64,
+    /// Jobs answered `implied`.
+    pub implied: usize,
+    /// Jobs answered `not-implied`.
+    pub not_implied: usize,
+    /// Jobs answered `unknown`.
+    pub unknown: usize,
+    /// Failed jobs (parse errors, panics).
+    pub errors: usize,
+    /// Median per-job latency, µs.
+    pub p50_micros: u64,
+    /// 99th-percentile per-job latency, µs.
+    pub p99_micros: u64,
+    /// Slowest job, µs.
+    pub max_micros: u64,
+    /// Wall-clock time of the whole batch, µs.
+    pub wall_micros: u64,
+    /// Verify-mode disagreements observed during the batch.
+    pub verify_mismatches: u64,
+}
+
+impl BatchStats {
+    fn collect(
+        results: &[JobResult],
+        after: CacheStats,
+        before: CacheStats,
+        wall: Duration,
+    ) -> BatchStats {
+        let mut latencies: Vec<u64> = results.iter().map(|r| r.micros).collect();
+        latencies.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let rank = (p * (latencies.len() - 1) as f64).round() as usize;
+            latencies[rank.min(latencies.len() - 1)]
+        };
+        let count = |v: Verdict| results.iter().filter(|r| r.verdict == v).count();
+        BatchStats {
+            jobs: results.len(),
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+            implied: count(Verdict::Implied),
+            not_implied: count(Verdict::NotImplied),
+            unknown: count(Verdict::Unknown),
+            errors: count(Verdict::Error),
+            p50_micros: percentile(0.50),
+            p99_micros: percentile(0.99),
+            max_micros: latencies.last().copied().unwrap_or(0),
+            wall_micros: wall.as_micros() as u64,
+            verify_mismatches: after.verify_mismatches - before.verify_mismatches,
+        }
+    }
+
+    /// The fraction of solver-reaching lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes to a JSON object (the batch's trailing summary line).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "stats".to_owned(),
+            Json::Obj(vec![
+                ("jobs".to_owned(), Json::Num(self.jobs as f64)),
+                ("hits".to_owned(), Json::Num(self.hits as f64)),
+                ("misses".to_owned(), Json::Num(self.misses as f64)),
+                ("evictions".to_owned(), Json::Num(self.evictions as f64)),
+                ("implied".to_owned(), Json::Num(self.implied as f64)),
+                ("not_implied".to_owned(), Json::Num(self.not_implied as f64)),
+                ("unknown".to_owned(), Json::Num(self.unknown as f64)),
+                ("errors".to_owned(), Json::Num(self.errors as f64)),
+                ("p50_micros".to_owned(), Json::Num(self.p50_micros as f64)),
+                ("p99_micros".to_owned(), Json::Num(self.p99_micros as f64)),
+                ("max_micros".to_owned(), Json::Num(self.max_micros as f64)),
+                ("wall_micros".to_owned(), Json::Num(self.wall_micros as f64)),
+                (
+                    "verify_mismatches".to_owned(),
+                    Json::Num(self.verify_mismatches as f64),
+                ),
+            ]),
+        )])
+    }
+
+    /// A one-paragraph human-readable summary (for stderr).
+    pub fn render(&self) -> String {
+        format!(
+            "{} jobs in {:.1} ms: {} implied, {} not implied, {} unknown, {} errors; \
+             cache {} hits / {} misses ({:.0}% hit rate, {} evictions); \
+             latency p50 {} µs, p99 {} µs, max {} µs{}",
+            self.jobs,
+            self.wall_micros as f64 / 1000.0,
+            self.implied,
+            self.not_implied,
+            self.unknown,
+            self.errors,
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.p50_micros,
+            self.p99_micros,
+            self.max_micros,
+            if self.verify_mismatches > 0 {
+                format!("; {} VERIFY MISMATCHES", self.verify_mismatches)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Results plus statistics for one batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// Batch statistics.
+    pub stats: BatchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_constraints::parse_constraints;
+
+    fn solve_text(
+        engine: &BatchEngine,
+        sigma_text: &str,
+        phi_text: &str,
+    ) -> (Answer, CacheOutcome) {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints(sigma_text, &mut labels).unwrap();
+        let phi = PathConstraint::parse(phi_text, &mut labels).unwrap();
+        engine
+            .solve(&DataContext::Semistructured, &sigma, &phi)
+            .unwrap()
+    }
+
+    #[test]
+    fn repeat_queries_hit() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let (a1, c1) = solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        let (a2, c2) = solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        assert_eq!(c1, CacheOutcome::Miss);
+        assert_eq!(c2, CacheOutcome::Hit);
+        assert!(a1.outcome.is_implied() && a2.outcome.is_implied());
+    }
+
+    #[test]
+    fn alpha_variants_hit_and_countermodels_are_renamed() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let (a1, c1) = solve_text(&engine, "a -> b", "b -> a");
+        assert_eq!(c1, CacheOutcome::Miss);
+        assert!(a1.outcome.is_not_implied());
+
+        // Same query with different label names: x ↔ a, y ↔ b.
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("x -> y", &mut labels).unwrap();
+        let phi = PathConstraint::parse("y -> x", &mut labels).unwrap();
+        let (a2, c2) = engine
+            .solve(&DataContext::Semistructured, &sigma, &phi)
+            .unwrap();
+        assert_eq!(c2, CacheOutcome::Hit);
+        // The adapted countermodel must refute *this* query, i.e. be in
+        // this query's label space.
+        let cm = a2.outcome.countermodel().expect("countermodel survives");
+        assert!(pathcons_core::is_countermodel(&cm.graph, &sigma, &phi));
+    }
+
+    #[test]
+    fn verify_mode_counts_and_agrees() {
+        let engine = BatchEngine::new(EngineConfig {
+            verify: true,
+            ..EngineConfig::default()
+        });
+        solve_text(&engine, "a -> b", "a -> b");
+        solve_text(&engine, "a -> b", "a -> b");
+        solve_text(&engine, "c -> d", "c -> d"); // alpha-variant hit
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.verifications, 2);
+        assert_eq!(stats.verify_mismatches, 0);
+    }
+
+    #[test]
+    fn deadline_unknowns_are_not_cached() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let mut labels = LabelInterner::new();
+        // A general-P_c instance (growing forward constraint plus a
+        // backward one, under a prefix): routed to the chase/search
+        // semi-deciders, where an already-expired deadline yields
+        // DeadlineExceeded immediately.
+        let sigma = parse_constraints("p: a -> a.b\np: b <- c", &mut labels).unwrap();
+        let phi = PathConstraint::parse("p: a -> c", &mut labels).unwrap();
+        let budget = Budget::small().with_deadline(Duration::ZERO);
+        let (answer, _) = engine
+            .solve_with_budget(&DataContext::Semistructured, &sigma, &phi, budget)
+            .unwrap();
+        assert!(matches!(
+            answer.outcome,
+            Outcome::Unknown(UnknownReason::DeadlineExceeded)
+        ));
+        assert_eq!(engine.cache_len(), 0, "deadline Unknown must not be cached");
+    }
+
+    #[test]
+    fn jobs_parse_and_round_trip() {
+        let text = r#"
+            {"id":"j1","sigma":["a -> b"],"phi":"b -> a","deadline_ms":50}
+            # a comment
+            {"id":"j2","context":"m-bibliography","phi":"book -> book"}
+        "#;
+        let jobs = Job::parse_jobs(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].deadline_ms, Some(50));
+        assert_eq!(jobs[1].context, "m-bibliography");
+        for job in &jobs {
+            let reparsed = Job::from_json_line(&job.to_json().to_string()).unwrap();
+            assert_eq!(&reparsed, job);
+        }
+        assert!(Job::parse_jobs(r#"{"id":"x"}"#).is_err(), "phi is required");
+    }
+
+    #[test]
+    fn batch_reports_stats_and_isolates_bad_jobs() {
+        let engine = BatchEngine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let jobs = vec![
+            Job {
+                id: "good".into(),
+                context: String::new(),
+                sigma: vec!["a -> b".into(), "b -> c".into()],
+                phi: "a -> c".into(),
+                deadline_ms: None,
+            },
+            Job {
+                id: "bad-syntax".into(),
+                context: String::new(),
+                sigma: vec!["a -> ".into()],
+                phi: "a -> a".into(),
+                deadline_ms: None,
+            },
+            Job {
+                id: "bad-context".into(),
+                context: "no-such-context".into(),
+                sigma: vec![],
+                phi: "a -> a".into(),
+                deadline_ms: None,
+            },
+        ];
+        let report = engine.run_batch(jobs);
+        assert_eq!(report.stats.jobs, 3);
+        assert_eq!(report.stats.implied, 1);
+        assert_eq!(report.stats.errors, 2);
+        assert_eq!(report.results[0].verdict, Verdict::Implied);
+        assert_eq!(report.results[1].verdict, Verdict::Error);
+        assert!(report.results[2]
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("unknown context"));
+        // Stats serialize and render without panicking.
+        let _ = report.stats.to_json().to_string();
+        let _ = report.stats.render();
+    }
+
+    #[test]
+    fn schema_contexts_cache_by_fingerprint() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let job = Job {
+            id: "m".into(),
+            context: "m-bibliography".into(),
+            sigma: vec!["book.author.wrote -> book".into()],
+            phi: "book -> book.author.wrote".into(),
+            deadline_ms: None,
+        };
+        let report = engine.run_batch(vec![job.clone(), job]);
+        assert_eq!(report.stats.hits, 1);
+        assert_eq!(report.stats.misses, 1);
+        assert_eq!(report.stats.implied, 2);
+    }
+}

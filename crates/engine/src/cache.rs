@@ -1,0 +1,290 @@
+//! The canonicalizing answer cache: a bounded LRU from [`QueryKey`] to
+//! solved [`Answer`]s, with hit/miss/eviction counters.
+//!
+//! Entries store the answer *in the label space of the query that
+//! inserted it*, together with that query's renaming into the canonical
+//! space. A later alpha-variant hit composes the two renamings to map
+//! evidence (countermodel graphs) into its own label space — see
+//! [`crate::BatchEngine`] for the adaptation step.
+
+use crate::canon::{QueryKey, Renaming};
+use pathcons_core::Answer;
+use std::collections::HashMap;
+
+/// Monotonic counters describing cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries stored (including overwrites of the same key).
+    pub insertions: u64,
+    /// Verify-mode re-solves performed on hits.
+    pub verifications: u64,
+    /// Verify-mode re-solves that disagreed with the cached answer.
+    pub verify_mismatches: u64,
+}
+
+/// A cached answer plus the inserting query's renaming into the
+/// canonical label space.
+#[derive(Clone, Debug)]
+pub struct CachedEntry {
+    /// The answer, in the inserting query's label space.
+    pub answer: Answer,
+    /// Inserting query's labels → canonical labels.
+    pub renaming: Renaming,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: QueryKey,
+    entry: CachedEntry,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU cache over canonical query keys.
+///
+/// Capacity 0 disables caching: every lookup misses and inserts are
+/// dropped (counters still run, so a disabled cache is observable).
+pub struct AnswerCache {
+    capacity: usize,
+    map: HashMap<QueryKey, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a canonical key, counting a hit or miss and refreshing
+    /// recency on hit. Returns a clone (entries stay owned by the cache).
+    pub fn lookup(&mut self, key: &QueryKey) -> Option<CachedEntry> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(
+                    self.slots[idx]
+                        .as_ref()
+                        .expect("mapped slot is live")
+                        .entry
+                        .clone(),
+                )
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an entry, evicting the least-recently-used one if full.
+    pub fn insert(&mut self, key: QueryKey, entry: CachedEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stats.insertions += 1;
+        if let Some(idx) = self.map.get(&key).copied() {
+            // Overwrite in place (a concurrent miss may have re-solved).
+            let slot = self.slots[idx].as_mut().expect("mapped slot is live");
+            slot.entry = entry;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let slot = self.slots[lru].take().expect("tail slot is live");
+            self.map.remove(&slot.key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[idx] = Some(Slot {
+            key: key.clone(),
+            entry,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Records a verify-mode re-solve and whether it agreed.
+    pub fn note_verification(&mut self, agreed: bool) {
+        self.stats.verifications += 1;
+        if !agreed {
+            self.stats.verify_mismatches += 1;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let slot = self.slots[idx].as_ref().expect("unlink of live slot");
+            (slot.prev, slot.next)
+        };
+        match prev {
+            NIL => {
+                if self.head == idx {
+                    self.head = next;
+                }
+            }
+            p => self.slots[p].as_mut().expect("prev is live").next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == idx {
+                    self.tail = prev;
+                }
+            }
+            n => self.slots[n].as_mut().expect("next is live").prev = prev,
+        }
+        let slot = self.slots[idx].as_mut().expect("unlink of live slot");
+        slot.prev = NIL;
+        slot.next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let slot = self.slots[idx].as_mut().expect("push of live slot");
+            slot.prev = NIL;
+            slot.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head].as_mut().expect("head is live").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::ContextKey;
+    use pathcons_constraints::{Path, PathConstraint};
+    use pathcons_core::{Answer, Evidence, Method, Outcome};
+    use pathcons_graph::Label;
+
+    fn key(n: usize) -> QueryKey {
+        let l = Label::from_index(n);
+        QueryKey {
+            context: ContextKey::Semistructured,
+            sigma: vec![],
+            phi: PathConstraint::forward(Path::empty(), Path::single(l), Path::single(l)),
+        }
+    }
+
+    fn entry() -> CachedEntry {
+        CachedEntry {
+            answer: Answer {
+                outcome: Outcome::Implied(Evidence::WordDerivation),
+                method: Method::WordAutomaton,
+            },
+            renaming: Renaming::new(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut cache = AnswerCache::new(2);
+        assert!(cache.lookup(&key(0)).is_none());
+        cache.insert(key(0), entry());
+        cache.insert(key(1), entry());
+        assert!(cache.lookup(&key(0)).is_some());
+        cache.insert(key(2), entry()); // evicts key(1), the LRU
+        assert!(cache.lookup(&key(1)).is_none());
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(2)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_order_tracks_recency_across_churn() {
+        let mut cache = AnswerCache::new(3);
+        for i in 0..3 {
+            cache.insert(key(i), entry());
+        }
+        // Touch 0 and 1; 2 becomes LRU.
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), entry());
+        assert!(cache.lookup(&key(2)).is_none());
+        // Slot reuse: keep churning well past capacity.
+        for i in 4..40 {
+            cache.insert(key(i), entry());
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.lookup(&key(39)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = AnswerCache::new(0);
+        cache.insert(key(0), entry());
+        assert!(cache.lookup(&key(0)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let mut cache = AnswerCache::new(2);
+        cache.insert(key(0), entry());
+        cache.insert(key(0), entry());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Canonical query keys — the normal form the answer cache is keyed by.
+//!
+//! Implication `Σ ⊨ φ` is invariant under bijective renaming of labels:
+//! a structure witnesses (or refutes) the renamed query iff its renamed
+//! copy witnesses the original. The cache exploits this by keying
+//! entries on an *alpha-renamed normal form* of `(context, Σ, φ)`:
+//!
+//! 1. Σ is de-duplicated (it denotes a set of constraints, not a list).
+//! 2. Labels are renamed to `0, 1, 2, …` — first by order of occurrence
+//!    in φ, then constraint by constraint, greedily choosing at each
+//!    step the constraint whose renamed form is smallest.
+//! 3. The renamed Σ is sorted.
+//!
+//! The key **is** the renamed query, so a collision between two queries
+//! proves they are alpha-equivalent (the renamings are injective by
+//! construction) — cache hits are sound by construction, never by
+//! hash-fingerprint luck. The converse is best-effort: symmetric ties
+//! in step 2 are broken by input order, so some exotic alpha-variants
+//! hash apart and merely miss. That costs a re-solve, never an answer.
+//!
+//! Schema contexts (`M`, `M⁺`, `M⁺_f`) pin label identities to the
+//! schema, so their queries keep their labels (identity renaming) and
+//! the key carries a structural fingerprint of the schema instead.
+
+use pathcons_constraints::{Kind, Path, PathConstraint};
+use pathcons_core::DataContext;
+use pathcons_graph::{Graph, Label};
+use std::collections::{BTreeMap, HashSet};
+
+/// An injective label renaming, as a total map on the labels it covers.
+pub type Renaming = BTreeMap<Label, Label>;
+
+/// The context part of a cache key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ContextKey {
+    /// All semistructured structures (alpha-renaming applies).
+    Semistructured,
+    /// Model `M` over a schema with the given structural fingerprint.
+    M(u64),
+    /// `M⁺` over a fingerprinted schema.
+    MPlus(u64),
+    /// `M⁺_f` over a fingerprinted schema.
+    MPlusFinite(u64),
+}
+
+impl ContextKey {
+    /// The key of a solver context.
+    pub fn of(context: &DataContext) -> ContextKey {
+        match context {
+            DataContext::Semistructured => ContextKey::Semistructured,
+            DataContext::M(ctx) => ContextKey::M(schema_fingerprint(&format!("{:?}", ctx.schema))),
+            DataContext::MPlus(ctx) => {
+                ContextKey::MPlus(schema_fingerprint(&format!("{:?}", ctx.schema)))
+            }
+            DataContext::MPlusFinite(ctx) => {
+                ContextKey::MPlusFinite(schema_fingerprint(&format!("{:?}", ctx.schema)))
+            }
+        }
+    }
+
+    /// Whether queries in this context may be alpha-renamed (labels not
+    /// pinned by a schema).
+    pub fn renames_labels(&self) -> bool {
+        matches!(self, ContextKey::Semistructured)
+    }
+}
+
+/// FNV-1a over the schema's structural debug rendering. Only used to
+/// separate *different* schemas into different cache keys; the
+/// constraints themselves are stored structurally, so a (vanishingly
+/// unlikely) fingerprint collision between two distinct schemas could
+/// at worst conflate their contexts — acceptable for a cache whose
+/// verify mode re-checks, and irrelevant for the single-schema batches
+/// the service front-end produces.
+fn schema_fingerprint(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The cache key: the alpha-renamed normal form itself.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Context discriminant (plus schema fingerprint where applicable).
+    pub context: ContextKey,
+    /// Renamed, de-duplicated, sorted Σ.
+    pub sigma: Vec<PathConstraint>,
+    /// Renamed φ.
+    pub phi: PathConstraint,
+}
+
+/// A canonicalized query: the key plus the renaming that produced it.
+#[derive(Clone, Debug)]
+pub struct CanonicalQuery {
+    /// The cache key.
+    pub key: QueryKey,
+    /// Query labels → canonical labels (identity for schema contexts).
+    pub renaming: Renaming,
+}
+
+/// Computes the canonical form of a query.
+pub fn canonicalize(
+    context: &DataContext,
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+) -> CanonicalQuery {
+    let context_key = ContextKey::of(context);
+
+    // Σ denotes a set: drop duplicates, keeping first occurrences.
+    let mut seen: HashSet<&PathConstraint> = HashSet::new();
+    let mut uniq: Vec<&PathConstraint> = Vec::new();
+    for c in sigma {
+        if seen.insert(c) {
+            uniq.push(c);
+        }
+    }
+
+    if !context_key.renames_labels() {
+        // Identity renaming over every mentioned label.
+        let mut renaming = Renaming::new();
+        for c in uniq.iter().copied().chain(std::iter::once(phi)) {
+            for l in constraint_labels(c) {
+                renaming.insert(l, l);
+            }
+        }
+        let mut sigma: Vec<PathConstraint> = uniq.into_iter().cloned().collect();
+        sigma.sort_by_key(sort_key);
+        return CanonicalQuery {
+            key: QueryKey {
+                context: context_key,
+                sigma,
+                phi: phi.clone(),
+            },
+            renaming,
+        };
+    }
+
+    // Alpha-renaming, anchored at φ: φ's labels get the smallest ids in
+    // order of occurrence, then constraints are placed greedily.
+    let mut renaming = Renaming::new();
+    let mut next = 0usize;
+    assign_first_occurrence(&mut renaming, &mut next, phi);
+
+    // Presort by each constraint's *self-canonical* shape (renamed in
+    // isolation), which is independent of the caller's label names and
+    // of Σ's order — so greedy tie-breaks don't depend on either.
+    let mut remaining = uniq;
+    remaining.sort_by_cached_key(|c| self_key(c));
+
+    let mut renamed_sigma: Vec<PathConstraint> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, PathConstraint, Renaming, usize)> = None;
+        for (i, c) in remaining.iter().enumerate() {
+            let mut trial = renaming.clone();
+            let mut trial_next = next;
+            assign_first_occurrence(&mut trial, &mut trial_next, c);
+            let rc = rename_constraint(c, &trial).expect("trial renaming is total");
+            let better = match &best {
+                None => true,
+                Some((_, bc, _, _)) => sort_key(&rc) < sort_key(bc),
+            };
+            if better {
+                best = Some((i, rc, trial, trial_next));
+            }
+        }
+        let (i, rc, committed, committed_next) = best.expect("remaining is non-empty");
+        renaming = committed;
+        next = committed_next;
+        renamed_sigma.push(rc);
+        remaining.remove(i);
+    }
+    renamed_sigma.sort_by_key(sort_key);
+    renamed_sigma.dedup();
+
+    let phi = rename_constraint(phi, &renaming).expect("φ labels assigned first");
+    CanonicalQuery {
+        key: QueryKey {
+            context: context_key,
+            sigma: renamed_sigma,
+            phi,
+        },
+        renaming,
+    }
+}
+
+/// All labels of a constraint, in scan order (prefix, lhs, rhs).
+fn constraint_labels(c: &PathConstraint) -> impl Iterator<Item = Label> + '_ {
+    c.prefix()
+        .labels()
+        .iter()
+        .chain(c.lhs().labels())
+        .chain(c.rhs().labels())
+        .copied()
+}
+
+/// Extends `map` with canonical ids for `c`'s yet-unmapped labels, in
+/// first-occurrence order.
+fn assign_first_occurrence(map: &mut Renaming, next: &mut usize, c: &PathConstraint) {
+    for l in constraint_labels(c) {
+        if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(l) {
+            slot.insert(Label::from_index(*next));
+            *next += 1;
+        }
+    }
+}
+
+/// Applies a renaming to a constraint; `None` if a label is uncovered.
+pub fn rename_constraint(c: &PathConstraint, map: &Renaming) -> Option<PathConstraint> {
+    let prefix = rename_path(c.prefix(), map)?;
+    let lhs = rename_path(c.lhs(), map)?;
+    let rhs = rename_path(c.rhs(), map)?;
+    Some(match c.kind() {
+        Kind::Forward => PathConstraint::forward(prefix, lhs, rhs),
+        Kind::Backward => PathConstraint::backward(prefix, lhs, rhs),
+    })
+}
+
+fn rename_path(path: &Path, map: &Renaming) -> Option<Path> {
+    let labels: Option<Vec<Label>> = path.labels().iter().map(|l| map.get(l).copied()).collect();
+    Some(Path::from_labels(labels?))
+}
+
+/// Applies a renaming to a graph's edge labels, preserving nodes and
+/// root; `None` if an edge label is uncovered.
+pub fn rename_graph(graph: &Graph, map: &Renaming) -> Option<Graph> {
+    let mut out = Graph::with_capacity(graph.node_count());
+    for _ in 1..graph.node_count() {
+        out.add_node();
+    }
+    out.set_root(graph.root());
+    for (from, label, to) in graph.edges() {
+        out.add_edge(from, *map.get(&label)?, to);
+    }
+    Some(out)
+}
+
+/// Inverts an injective renaming.
+pub fn invert(map: &Renaming) -> Renaming {
+    map.iter().map(|(k, v)| (*v, *k)).collect()
+}
+
+/// Total order on constraints used for canonical sorting.
+fn sort_key(c: &PathConstraint) -> (u8, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let kind = match c.kind() {
+        Kind::Forward => 0u8,
+        Kind::Backward => 1u8,
+    };
+    (
+        kind,
+        path_key(c.prefix()),
+        path_key(c.lhs()),
+        path_key(c.rhs()),
+    )
+}
+
+fn path_key(path: &Path) -> Vec<u32> {
+    path.labels().iter().map(|l| l.index() as u32).collect()
+}
+
+/// A constraint's shape with its own labels renamed in isolation —
+/// identical for alpha-equivalent constraints regardless of the
+/// caller's label numbering.
+fn self_key(c: &PathConstraint) -> (u8, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut map = Renaming::new();
+    let mut next = 0usize;
+    assign_first_occurrence(&mut map, &mut next, c);
+    sort_key(&rename_constraint(c, &map).expect("self renaming is total"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathcons_constraints::parse_constraints;
+    use pathcons_graph::LabelInterner;
+
+    fn canon(sigma_text: &str, phi_text: &str) -> QueryKey {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints(sigma_text, &mut labels).unwrap();
+        let phi = PathConstraint::parse(phi_text, &mut labels).unwrap();
+        canonicalize(&DataContext::Semistructured, &sigma, &phi).key
+    }
+
+    #[test]
+    fn renamed_variants_share_a_key() {
+        // Same query up to label names and Σ order.
+        let a = canon("a -> b\nb -> c", "a -> c");
+        let b = canon("y -> z\nx -> y", "x -> z");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicates_and_order_are_normalized() {
+        let a = canon("a -> b\na -> b\nb -> a", "a -> a");
+        let b = canon("b -> a\na -> b", "a -> a");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_shapes_get_different_keys() {
+        let a = canon("a -> b", "b -> a");
+        let b = canon("a -> b", "a -> b");
+        assert_ne!(a, b);
+        let fwd = canon("p: a -> b", "a -> b");
+        let bwd = canon("p: a <- b", "a -> b");
+        assert_ne!(fwd, bwd);
+    }
+
+    #[test]
+    fn renaming_is_injective_and_total() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("q: a.b -> c\nc -> a", &mut labels).unwrap();
+        let phi = PathConstraint::parse("a -> c", &mut labels).unwrap();
+        let canon = canonicalize(&DataContext::Semistructured, &sigma, &phi);
+        let images: HashSet<Label> = canon.renaming.values().copied().collect();
+        assert_eq!(images.len(), canon.renaming.len(), "injective");
+        assert_eq!(canon.renaming.len(), 4, "covers a, b, c, q");
+    }
+
+    #[test]
+    fn phi_anchors_the_smallest_ids() {
+        let mut labels = LabelInterner::new();
+        let z = labels.intern("z");
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let phi = PathConstraint::parse("z -> z", &mut labels).unwrap();
+        let canon = canonicalize(&DataContext::Semistructured, &sigma, &phi);
+        assert_eq!(canon.renaming[&z], Label::from_index(0));
+    }
+
+    #[test]
+    fn graph_renaming_round_trips() {
+        let mut g = Graph::new();
+        let n = g.add_node();
+        let (a, b) = (Label::from_index(0), Label::from_index(1));
+        g.add_edge(g.root(), a, n);
+        g.add_edge(n, b, g.root());
+        let map: Renaming = [(a, b), (b, a)].into_iter().collect();
+        let renamed = rename_graph(&g, &map).unwrap();
+        assert!(renamed.has_edge(g.root(), b, n));
+        assert!(renamed.has_edge(n, a, g.root()));
+        let back = rename_graph(&renamed, &invert(&map)).unwrap();
+        assert!(back.has_edge(g.root(), a, n));
+        // Uncovered labels are detected, not dropped.
+        let partial: Renaming = [(a, a)].into_iter().collect();
+        assert!(rename_graph(&g, &partial).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! The work-stealing batch executor.
+//!
+//! A fixed pool of `std::thread` workers, each with its own deque:
+//! jobs are dealt round-robin, a worker pops from the front of its own
+//! deque and, when that runs dry, steals from the *back* of a
+//! neighbour's — the classic split that keeps owners and thieves on
+//! opposite ends. Because a batch is a closed set of jobs (nothing is
+//! spawned mid-flight), a worker that finds every deque empty can
+//! retire immediately.
+//!
+//! Every job runs under `catch_unwind`: a panicking job yields `None`
+//! in its result slot and the rest of the batch is unaffected. With one
+//! worker, jobs run in submission order — the determinism baseline the
+//! tests compare multi-threaded runs against.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Runs `worker` over `items` on `threads` workers (clamped to at least
+/// one and at most one per item). Returns one slot per item, in input
+/// order; a slot is `None` iff that item's worker call panicked.
+pub fn run_jobs<T, R, F>(threads: usize, items: Vec<T>, worker: &F) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % threads]
+            .lock()
+            .expect("deque poisoned while dealing")
+            .push_back((i, item));
+    }
+
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let deques = &deques;
+            let results = &results;
+            scope.spawn(move || loop {
+                let job = pop_own(&deques[me]).or_else(|| steal(deques, me));
+                let Some((idx, item)) = job else {
+                    break;
+                };
+                if let Ok(r) = catch_unwind(AssertUnwindSafe(|| worker(idx, item))) {
+                    *results[idx].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned"))
+        .collect()
+}
+
+fn pop_own<T>(deque: &Mutex<VecDeque<T>>) -> Option<T> {
+    deque.lock().expect("deque poisoned").pop_front()
+}
+
+fn steal<T>(deques: &[Mutex<VecDeque<T>>], me: usize) -> Option<T> {
+    let n = deques.len();
+    (1..n)
+        .map(|offset| &deques[(me + offset) % n])
+        .find_map(|victim| victim.lock().expect("deque poisoned").pop_back())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_items_are_processed_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_jobs(4, (0..100).collect(), &|_, x: i32| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, Some(i as i32 * 2));
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let results = run_jobs(3, (0..10).collect(), &|_, x: i32| {
+            if x % 4 == 1 {
+                panic!("job {x} exploded");
+            }
+            x
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i % 4 == 1 {
+                assert!(r.is_none(), "panicked job {i} must yield None");
+            } else {
+                assert_eq!(*r, Some(i as i32));
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_in_order() {
+        let log = Mutex::new(Vec::new());
+        run_jobs(1, (0..20).collect(), &|idx, _: i32| {
+            log.lock().unwrap().push(idx);
+        });
+        assert_eq!(*log.lock().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_ones() {
+        // One slow job pins a worker; the other worker must drain the
+        // rest (including those dealt to the pinned worker's deque).
+        let slow_done = AtomicUsize::new(0);
+        let results = run_jobs(2, (0..8).collect(), &|_, x: i32| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                slow_done.store(1, Ordering::Relaxed);
+            }
+            x
+        });
+        assert!(results.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let results: Vec<Option<i32>> = run_jobs(4, Vec::<i32>::new(), &|_, x| x);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # pathcons-engine
+//!
+//! A concurrent batch implication service on top of [`pathcons_core`]:
+//! many `Σ ⊨ φ` questions, answered once each.
+//!
+//! Three pieces compose:
+//!
+//! - **Canonicalizing answer cache** ([`canon`], [`cache`]): queries
+//!   are keyed by an alpha-renamed normal form of `(context, Σ, φ)` —
+//!   Σ sorted and de-duplicated, labels renamed to first-occurrence
+//!   order anchored at φ — so `{a→b} ⊨ b→a` and `{x→y} ⊨ y→x` share one
+//!   cache entry. The key *is* the normal form (not a hash digest), so
+//!   hits are sound by construction; countermodels are renamed back
+//!   into the asking query's label space. A bounded LRU with
+//!   hit/miss/eviction counters, plus a verify mode that re-solves
+//!   every hit and counts disagreements.
+//! - **Work-stealing executor** ([`executor`]): a small `std::thread`
+//!   pool fans a `Vec<Job>` across cores; each job runs under
+//!   `catch_unwind`, so a panicking job becomes an error result and
+//!   never takes the batch down.
+//! - **Deadline budgets** (in `pathcons_core`): `Budget::with_deadline`
+//!   arms a wall-clock cut-off (plus optional cancellation flag)
+//!   checked inside the chase and search loops; an out-of-time job
+//!   answers `Unknown(DeadlineExceeded)` without delaying its
+//!   neighbours. The undecidable cells of the paper's Table 1 make
+//!   this load-bearing: some jobs *cannot* terminate with a verdict.
+//!
+//! The `pathcons batch` CLI subcommand is a thin front-end: JSONL jobs
+//! in, JSONL results plus a stats summary (hit rate, p50/p99 latency,
+//! unknowns) out. See [`Job`] for the wire format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod cache;
+pub mod canon;
+pub mod executor;
+pub mod json;
+
+pub use batch::{
+    evidence_kind, BatchEngine, BatchReport, BatchStats, CacheOutcome, EngineConfig, Job,
+    JobResult, Verdict,
+};
+pub use cache::{AnswerCache, CacheStats, CachedEntry};
+pub use canon::{canonicalize, CanonicalQuery, ContextKey, QueryKey, Renaming};
+pub use json::{Json, JsonError};

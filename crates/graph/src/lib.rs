@@ -33,9 +33,7 @@ mod label;
 mod text;
 
 pub use dot::{to_dot, DotOptions};
-pub use eval::{
-    eval_from_root, eval_word, eval_word_set, word_holds, word_realized, NodeSet,
-};
+pub use eval::{eval_from_root, eval_word, eval_word_set, word_holds, word_realized, NodeSet};
 #[cfg(feature = "gen")]
 pub use generate::{random_graph, random_node, random_word, RandomGraphConfig};
 pub use graph::{Graph, NodeId};

@@ -160,9 +160,7 @@ pub fn find_separating_witness(
         loop {
             // Build the transformation-monoid homomorphism for this
             // assignment and test it.
-            if let Some(w) =
-                try_assignment(presentation, alpha, beta, k, &functions, &assignment)
-            {
+            if let Some(w) = try_assignment(presentation, alpha, beta, k, &functions, &assignment) {
                 return Some(w);
             }
             // Next assignment (odometer).
@@ -239,10 +237,7 @@ fn try_assignment(
     let mut elements: Vec<Vec<u8>> = vec![identity.clone()];
     let mut index: HashMap<Vec<u8>, u32> = HashMap::new();
     index.insert(identity, 0);
-    let gen_images: Vec<Vec<u8>> = assignment
-        .iter()
-        .map(|&i| functions[i].clone())
-        .collect();
+    let gen_images: Vec<Vec<u8>> = assignment.iter().map(|&i| functions[i].clone()).collect();
     let mut frontier = vec![0usize];
     while let Some(e) = frontier.pop() {
         for g in &gen_images {

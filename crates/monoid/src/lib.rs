@@ -42,9 +42,7 @@ mod presentation;
 mod rewriting;
 mod word_problem;
 
-pub use finite::{
-    find_separating_witness, FiniteMonoid, Homomorphism, SeparatingWitness,
-};
+pub use finite::{find_separating_witness, FiniteMonoid, Homomorphism, SeparatingWitness};
 pub use presentation::{Equation, Letter, Presentation, Word, WordParseError};
 pub use rewriting::{
     bounded_congruence_search, shortlex, CompletionBudget, CompletionStatus, KnuthBendix,

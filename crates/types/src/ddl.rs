@@ -85,9 +85,12 @@ pub fn parse_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, D
             builder.declare_class(name);
             class_bodies.push((name.to_owned(), body.trim()));
         } else if let Some(rest) = stmt.strip_prefix("db") {
-            let body = rest.trim_start().strip_prefix('=').ok_or_else(|| DdlError {
-                message: format!("expected `db = type`, got `{stmt}`"),
-            })?;
+            let body = rest
+                .trim_start()
+                .strip_prefix('=')
+                .ok_or_else(|| DdlError {
+                    message: format!("expected `db = type`, got `{stmt}`"),
+                })?;
             if db_body.replace(body.trim()).is_some() {
                 return Err(DdlError {
                     message: "duplicate `db` declaration".into(),
@@ -110,9 +113,9 @@ pub fn parse_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, D
         message: "missing `db = type;` declaration".into(),
     })?;
     let db_type = parse_type(db_body, &mut builder, labels)?;
-    builder.finish(db_type).map_err(|e| DdlError {
-        message: e.message,
-    })
+    builder
+        .finish(db_type)
+        .map_err(|e| DdlError { message: e.message })
 }
 
 fn parse_type(
@@ -157,10 +160,7 @@ impl TypeParser<'_> {
             Ok(())
         } else {
             Err(DdlError {
-                message: format!(
-                    "expected `{}` at offset {} in type",
-                    byte as char, self.pos
-                ),
+                message: format!("expected `{}` at offset {} in type", byte as char, self.pos),
             })
         }
     }
@@ -313,8 +313,7 @@ mod tests {
     #[test]
     fn comments_are_stripped() {
         let mut labels = LabelInterner::new();
-        let schema =
-            parse_schema("# a schema\ndb = []; # entry point", &mut labels).unwrap();
+        let schema = parse_schema("# a schema\ndb = []; # entry point", &mut labels).unwrap();
         assert_eq!(schema.class_count(), 0);
     }
 

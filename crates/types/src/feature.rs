@@ -239,8 +239,8 @@ mod tests {
         // twist 1 over n=2: book_0.author = person_1.
         let tight = instance(&tg, &labels, 1, 0); // fully identified loop
         let loose = instance(&tg, &labels, 2, 1); // 4-cycle
-        // The loose structure maps onto the tight one (everything
-        // collapses), not vice versa.
+                                                  // The loose structure maps onto the tight one (everything
+                                                  // collapses), not vice versa.
         assert!(subsumes(&loose, &tight));
         assert!(!subsumes(&tight, &loose));
     }

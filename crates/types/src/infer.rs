@@ -71,7 +71,10 @@ impl std::error::Error for TypeInferenceError {}
 /// propagation from the root. Succeeds iff a typing exists; the result
 /// still needs [`TypedGraph::violations`] for the cardinality and
 /// extensionality clauses of `Φ(σ)` (inference only checks edge shape).
-pub fn infer_typing(graph: &Graph, type_graph: &TypeGraph) -> Result<TypedGraph, TypeInferenceError> {
+pub fn infer_typing(
+    graph: &Graph,
+    type_graph: &TypeGraph,
+) -> Result<TypedGraph, TypeInferenceError> {
     let mut types: Vec<Option<TypeNodeId>> = vec![None; graph.node_count()];
     types[graph.root().index()] = Some(type_graph.db());
     let mut queue = VecDeque::new();

@@ -39,7 +39,11 @@ pub fn canonical_instance(type_graph: &TypeGraph) -> TypedGraph {
     let mut node_of: HashMap<TypeNodeId, NodeId> = HashMap::new();
     let mut types = Vec::with_capacity(order.len());
     for (i, &t) in order.iter().enumerate() {
-        let node = if i == 0 { graph.root() } else { graph.add_node() };
+        let node = if i == 0 {
+            graph.root()
+        } else {
+            graph.add_node()
+        };
         node_of.insert(t, node);
         types.push(t);
     }
@@ -102,7 +106,13 @@ pub fn random_instance<R: Rng>(
                 let card = rng.gen_range(0..=config.set_max);
                 for _ in 0..card {
                     let target = pick_target(
-                        rng, &mut graph, &mut types, &mut by_type, &mut worklist, elem, config,
+                        rng,
+                        &mut graph,
+                        &mut types,
+                        &mut by_type,
+                        &mut worklist,
+                        elem,
+                        config,
                     );
                     graph.add_edge(node, star, target);
                 }
@@ -110,7 +120,12 @@ pub fn random_instance<R: Rng>(
             TypeNodeKind::Record(fields) => {
                 for (label, field_type) in fields {
                     let target = pick_target(
-                        rng, &mut graph, &mut types, &mut by_type, &mut worklist, field_type,
+                        rng,
+                        &mut graph,
+                        &mut types,
+                        &mut by_type,
+                        &mut worklist,
+                        field_type,
                         config,
                     );
                     graph.add_edge(node, label, target);
@@ -240,10 +255,7 @@ pub fn quotient_mapped(instance: &TypedGraph, repr: &[NodeId]) -> (TypedGraph, V
         let t = new_index[&repr[to.index()]];
         graph.add_edge(f, label, t);
     }
-    let mapping: Vec<NodeId> = g
-        .nodes()
-        .map(|n| new_index[&repr[n.index()]])
-        .collect();
+    let mapping: Vec<NodeId> = g.nodes().map(|n| new_index[&repr[n.index()]]).collect();
     (TypedGraph { graph, types }, mapping)
 }
 

@@ -41,7 +41,7 @@ pub use schema::{
     SchemaBuilder, SchemaError, TypeExpr,
 };
 pub use type_graph::{TypeGraph, TypeNodeId, TypeNodeKind, STAR};
-pub use typed_graph::{TypedGraph, TypeViolation};
+pub use typed_graph::{TypeViolation, TypedGraph};
 
 mod infer;
 pub use infer::{infer_typing, TypeInferenceError};

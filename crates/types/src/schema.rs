@@ -161,7 +161,10 @@ impl SchemaBuilder {
                 Some(t) => class_types.push(t),
                 None => {
                     return Err(SchemaError {
-                        message: format!("class `{}` declared but never defined", self.class_names[i]),
+                        message: format!(
+                            "class `{}` declared but never defined",
+                            self.class_names[i]
+                        ),
                     })
                 }
             }
@@ -297,7 +300,10 @@ impl Schema {
                 self.render_type(self.class_type(class), labels)
             ));
         }
-        out.push_str(&format!("db = {};\n", self.render_type(&self.db_type, labels)));
+        out.push_str(&format!(
+            "db = {};\n",
+            self.render_type(&self.db_type, labels)
+        ));
         out
     }
 
@@ -501,10 +507,7 @@ mod tests {
         let a = labels.intern("a");
         let mut b = SchemaBuilder::new();
         let s = b.atom("string");
-        let ty = TypeExpr::Record(vec![(
-            a,
-            TypeExpr::Set(Box::new(TypeExpr::Atom(s))),
-        )]);
+        let ty = TypeExpr::Record(vec![(a, TypeExpr::Set(Box::new(TypeExpr::Atom(s))))]);
         assert!(ty.contains_set());
         assert!(!TypeExpr::Atom(s).contains_set());
     }

@@ -293,10 +293,8 @@ impl Builder<'_> {
                 TypeNodeKind::Set(self.resolve(&inner))
             }
             TypeExpr::Record(fields) => {
-                let mut resolved: Vec<(Label, TypeNodeId)> = fields
-                    .iter()
-                    .map(|(l, t)| (*l, self.resolve(t)))
-                    .collect();
+                let mut resolved: Vec<(Label, TypeNodeId)> =
+                    fields.iter().map(|(l, t)| (*l, self.resolve(t))).collect();
                 resolved.sort_by_key(|&(l, _)| l);
                 TypeNodeKind::Record(resolved)
             }
@@ -385,14 +383,9 @@ mod tests {
         let tg = TypeGraph::build(&schema, &mut labels);
         let l = |n: &str| labels.get(n).unwrap();
         let person = tg.type_of_path(&[l("person")]).unwrap();
-        let author = tg
-            .type_of_path(&[l("book"), l("author")])
-            .unwrap();
+        let author = tg.type_of_path(&[l("book"), l("author")]).unwrap();
         assert_eq!(person, author);
-        assert_eq!(
-            tg.name(person, &schema, &labels),
-            "Person"
-        );
+        assert_eq!(tg.name(person, &schema, &labels), "Person");
     }
 
     #[test]

@@ -86,9 +86,7 @@ impl TypedGraph {
                     for (label, target) in g.out_edges(node) {
                         *counts.entry(label).or_insert(0) += 1;
                         match fields.binary_search_by_key(&label, |&(l, _)| l) {
-                            Err(_) => {
-                                out.push(TypeViolation::UnknownRecordLabel { node, label })
-                            }
+                            Err(_) => out.push(TypeViolation::UnknownRecordLabel { node, label }),
                             Ok(pos) => {
                                 let expected = fields[pos].1;
                                 if self.type_of(target) != expected {
@@ -133,8 +131,9 @@ impl TypedGraph {
                     let star = type_graph.star_label().expect("set type implies ∗");
                     let mut images: HashMap<Vec<NodeId>, NodeId> = HashMap::new();
                     for &node in nodes {
-                        let members: Vec<NodeId> =
-                            NodeSet::from_iter(g.successors(node, star)).iter().collect();
+                        let members: Vec<NodeId> = NodeSet::from_iter(g.successors(node, star))
+                            .iter()
+                            .collect();
                         if let Some(&prev) = images.get(&members) {
                             out.push(TypeViolation::SetExtensionality { a: prev, b: node });
                         } else {
@@ -293,7 +292,11 @@ impl fmt::Display for TypeViolation {
                 write!(f, "atomic node {node:?} has outgoing edges")
             }
             TypeViolation::BadSetEdgeLabel { node, label } => {
-                write!(f, "set node {node:?} has non-∗ edge (label #{})", label.index())
+                write!(
+                    f,
+                    "set node {node:?} has non-∗ edge (label #{})",
+                    label.index()
+                )
             }
             TypeViolation::WrongTargetType {
                 node,
@@ -306,7 +309,11 @@ impl fmt::Display for TypeViolation {
                 "edge {node:?} → {target:?} targets {actual:?}, expected {expected:?}"
             ),
             TypeViolation::UnknownRecordLabel { node, label } => {
-                write!(f, "record node {node:?} has unknown field #{}", label.index())
+                write!(
+                    f,
+                    "record node {node:?} has unknown field #{}",
+                    label.index()
+                )
             }
             TypeViolation::MissingRecordEdge { node, label } => {
                 write!(f, "record node {node:?} missing field #{}", label.index())
@@ -320,7 +327,10 @@ impl fmt::Display for TypeViolation {
                 write!(f, "set extensionality: {a:?} and {b:?} have equal members")
             }
             TypeViolation::RecordExtensionality { a, b } => {
-                write!(f, "record extensionality: {a:?} and {b:?} have equal fields")
+                write!(
+                    f,
+                    "record extensionality: {a:?} and {b:?} have equal fields"
+                )
             }
         }
     }

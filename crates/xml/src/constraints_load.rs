@@ -67,8 +67,9 @@ pub fn load_constraints(
         let mut path = |attr: Option<&str>| -> Result<Path, ConstraintLoadError> {
             match attr {
                 None | Some("") => Ok(Path::empty()),
-                Some(text) => Path::parse(text, labels)
-                    .map_err(|e| ConstraintLoadError::Malformed(e.message)),
+                Some(text) => {
+                    Path::parse(text, labels).map_err(|e| ConstraintLoadError::Malformed(e.message))
+                }
             }
         };
         let prefix = path(el.attribute("prefix"))?;
@@ -97,7 +98,11 @@ pub fn load_constraints(
 pub fn render_constraints(constraints: &[PathConstraint], labels: &LabelInterner) -> String {
     let mut out = String::from("<constraints>\n");
     for c in constraints {
-        let dir = if c.is_forward() { "forward" } else { "backward" };
+        let dir = if c.is_forward() {
+            "forward"
+        } else {
+            "backward"
+        };
         let path_attr = |p: &Path| {
             if p.is_empty() {
                 String::new()
@@ -137,10 +142,7 @@ mod tests {
         assert!(cs[0].is_backward());
         assert!(cs[1].is_word());
         assert!(!cs[2].is_word());
-        assert_eq!(
-            cs[0].display(&labels).to_string(),
-            "book: author <- wrote"
-        );
+        assert_eq!(cs[0].display(&labels).to_string(), "book: author <- wrote");
     }
 
     #[test]

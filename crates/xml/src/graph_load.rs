@@ -119,7 +119,8 @@ pub fn load_element_tree(
         let node = node_of[&(el as *const _)];
         for child in &el.children {
             let label = labels.intern(&child.name);
-            doc.graph.add_edge(node, label, node_of[&(child as *const _)]);
+            doc.graph
+                .add_edge(node, label, node_of[&(child as *const _)]);
             stack.push(child);
         }
         for (name, value) in &el.attributes {
@@ -130,12 +131,10 @@ pub fn load_element_tree(
             if value.starts_with('#') {
                 for reference in value.split_whitespace() {
                     let id = reference.trim_start_matches('#');
-                    let target =
-                        *doc.ids
-                            .get(id)
-                            .ok_or_else(|| LoadError::DanglingReference {
-                                id: id.to_owned(),
-                            })?;
+                    let target = *doc
+                        .ids
+                        .get(id)
+                        .ok_or_else(|| LoadError::DanglingReference { id: id.to_owned() })?;
                     doc.graph.add_edge(node, label, target);
                 }
             } else {
@@ -234,8 +233,8 @@ mod tests {
     #[test]
     fn dangling_reference_detected() {
         let mut labels = LabelInterner::new();
-        let err = load_document(r##"<bib><book author="#nobody"/></bib>"##, &mut labels)
-            .unwrap_err();
+        let err =
+            load_document(r##"<bib><book author="#nobody"/></bib>"##, &mut labels).unwrap_err();
         assert_eq!(
             err,
             LoadError::DanglingReference {
@@ -247,8 +246,7 @@ mod tests {
     #[test]
     fn duplicate_id_detected() {
         let mut labels = LabelInterner::new();
-        let err =
-            load_document(r##"<bib><a id="x"/><b id="x"/></bib>"##, &mut labels).unwrap_err();
+        let err = load_document(r##"<bib><a id="x"/><b id="x"/></bib>"##, &mut labels).unwrap_err();
         assert_eq!(err, LoadError::DuplicateId { id: "x".into() });
     }
 

@@ -105,9 +105,7 @@ pub fn load_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, Sc
     let mut referenced: HashSet<String> = HashSet::new();
     for et in &class_elements {
         let id = et.attribute("id").expect("checked in pass 1");
-        let class = builder
-            .find_class(id)
-            .expect("declared in pass 1");
+        let class = builder.find_class(id).expect("declared in pass 1");
         let mut fields: Vec<(pathcons_graph::Label, TypeExpr)> = Vec::new();
         for child in &et.children {
             let (field_name, target) = match child.name.as_str() {
@@ -121,9 +119,9 @@ pub fn load_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, Sc
                     (name.to_owned(), range.trim_start_matches('#').to_owned())
                 }
                 "element" => {
-                    let ty = child.attribute("type").ok_or_else(|| {
-                        SchemaLoadError::Malformed("element without type".into())
-                    })?;
+                    let ty = child
+                        .attribute("type")
+                        .ok_or_else(|| SchemaLoadError::Malformed("element without type".into()))?;
                     let target = ty.trim_start_matches('#').to_owned();
                     (target.clone(), target)
                 }
@@ -177,9 +175,9 @@ pub fn load_schema(input: &str, labels: &mut LabelInterner) -> Result<Schema, Sc
     }
     let mut db_fields = Vec::new();
     for id in entry_ids {
-        let class = builder.find_class(&id).ok_or_else(|| {
-            SchemaLoadError::Malformed(format!("entry class `#{id}` not found"))
-        })?;
+        let class = builder
+            .find_class(&id)
+            .ok_or_else(|| SchemaLoadError::Malformed(format!("entry class `#{id}` not found")))?;
         db_fields.push((
             labels.intern(&id),
             TypeExpr::Set(Box::new(TypeExpr::Class(class))),

@@ -343,8 +343,7 @@ impl Builder<'_> {
                         });
                     match self.type_graph.kind(field_type) {
                         TypeNodeKind::Set(_) => {
-                            let star =
-                                self.type_graph.star_label().expect("set implies ∗");
+                            let star = self.type_graph.star_label().expect("set implies ∗");
                             let set_vertex = self.add_node(field_type);
                             self.graph.add_edge(vertex, field_label, set_vertex);
                             if let Some(text) = text_value {
@@ -418,15 +417,15 @@ mod tests {
     #[test]
     fn unknown_top_level_element_rejected() {
         let (mut labels, tg) = setup();
-        let err = load_typed_document("<bib><journal/></bib>", &tg, &mut labels)
-            .unwrap_err();
+        let err = load_typed_document("<bib><journal/></bib>", &tg, &mut labels).unwrap_err();
         assert!(matches!(err, TypedLoadError::Schema(m) if m.contains("journal")));
     }
 
     #[test]
     fn dangling_reference_rejected() {
         let (mut labels, tg) = setup();
-        let doc = r##"<bib><book id="b1" author="#ghost"><title>t</title><ISBN>i</ISBN></book></bib>"##;
+        let doc =
+            r##"<bib><book id="b1" author="#ghost"><title>t</title><ISBN>i</ISBN></book></bib>"##;
         let err = load_typed_document(doc, &tg, &mut labels).unwrap_err();
         assert!(matches!(
             err,

@@ -52,11 +52,7 @@ fn main() {
         let map = penn.embed(&doc.graph);
         // Splice: re-point the local root's edges.
         let embedded_root = map[doc.graph.root().index()];
-        for (label, target) in doc
-            .graph
-            .out_edges(doc.graph.root())
-            .collect::<Vec<_>>()
-        {
+        for (label, target) in doc.graph.out_edges(doc.graph.root()).collect::<Vec<_>>() {
             penn.add_edge(local_root, label, map[target.index()]);
         }
         let _ = embedded_root;

@@ -42,7 +42,10 @@ fn main() {
     println!("\nencoded as P_w(K) implication over semistructured data:");
     let enc = UntypedEncoding::new(&presentation);
     assert!(enc.sigma_is_in_pw_k());
-    println!("  Σ has {} constraints, all in the fragment P_w(K):", enc.sigma.len());
+    println!(
+        "  Σ has {} constraints, all in the fragment P_w(K):",
+        enc.sigma.len()
+    );
     for c in &enc.sigma {
         println!("    {}", c.display_first_order(&enc.labels));
     }
@@ -84,7 +87,11 @@ fn main() {
             } else {
                 "undetermined within budget"
             },
-            if *expected_equal { "equal" } else { "not equal" }
+            if *expected_equal {
+                "equal"
+            } else {
+                "not equal"
+            }
         );
         // Lemma 4.5: the answers must agree whenever both sides are
         // conclusive.
@@ -117,7 +124,11 @@ fn main() {
     let untyped = pathcons::core::local_extent_implies(&tenc.sigma, &phi).unwrap();
     println!(
         "  untyped (Theorem 5.1): Σ ⊨ φ_(g1g2,g2g1)? {}",
-        if untyped.outcome.is_implied() { "yes" } else { "no" }
+        if untyped.outcome.is_implied() {
+            "yes"
+        } else {
+            "no"
+        }
     );
     assert!(untyped.outcome.is_not_implied());
 

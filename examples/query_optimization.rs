@@ -28,9 +28,9 @@ fn main() {
 
     // --- Rewriting path queries to cheaper congruent ones. ---------------
     let queries = [
-        "book.author.wrote.author.name",       // ping-pong through the inverse
+        "book.author.wrote.author.name", // ping-pong through the inverse
         "book.author.wrote.author.wrote.title", // double roundtrip
-        "book.author.name",                    // already minimal
+        "book.author.name",              // already minimal
     ];
     for text in queries {
         let query = Path::parse(text, &mut labels).unwrap();

@@ -74,5 +74,8 @@ fn main() {
     assert!(answer.outcome.is_implied());
 
     // --- 4. Render the graph for inspection. ---------------------------
-    println!("\nDOT output:\n{}", to_dot(&g, &labels, &DotOptions::default()));
+    println!(
+        "\nDOT output:\n{}",
+        to_dot(&g, &labels, &DotOptions::default())
+    );
 }

@@ -50,7 +50,11 @@ fn main() {
     for text in constraints {
         let c = RegularConstraint::parse(text, &mut labels).unwrap();
         let ok = c.holds(&g);
-        println!("  [{}] {}", if ok { "holds" } else { "FAILS" }, c.display(&labels));
+        println!(
+            "  [{}] {}",
+            if ok { "holds" } else { "FAILS" },
+            c.display(&labels)
+        );
         assert!(ok, "{text} should hold");
     }
 

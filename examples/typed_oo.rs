@@ -97,7 +97,9 @@ fn main() {
     let psi = PathConstraint::parse("person -> book.author", &mut labels).unwrap();
     match m_implies(&schema, &tg, &sigma, &psi).unwrap() {
         Outcome::NotImplied(refutation) => {
-            let cm = refutation.countermodel.expect("M engine materializes countermodels");
+            let cm = refutation
+                .countermodel
+                .expect("M engine materializes countermodels");
             let typed = TypedGraph {
                 graph: cm.graph.clone(),
                 types: cm.types.clone().unwrap(),

@@ -79,9 +79,8 @@ fn main() {
     // set vertices) — exactly the paper's point that type constraints
     // restrict the admissible structures. The schema-directed loader
     // materializes the ∗ vertices, producing a validated typed instance.
-    let typed_doc =
-        pathcons::xml::load_typed_document(FIGURE1_XML, &tg, &mut labels)
-            .expect("Figure 1 conforms to the paper's schema");
+    let typed_doc = pathcons::xml::load_typed_document(FIGURE1_XML, &tg, &mut labels)
+        .expect("Figure 1 conforms to the paper's schema");
     assert!(typed_doc.typed.satisfies_type_constraint(&tg));
     println!(
         "\nschema-directed load: {} vertices, member of U_f(σ) ✓",

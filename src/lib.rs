@@ -63,8 +63,8 @@ pub mod prelude {
     };
     pub use pathcons_monoid::{Presentation, WordProblemAnswer, WordProblemBudget};
     pub use pathcons_types::{
-        canonical_instance, infer_typing, parse_schema, random_instance, Model, Schema,
-        TypeGraph, TypedGraph,
+        canonical_instance, infer_typing, parse_schema, random_instance, Model, Schema, TypeGraph,
+        TypedGraph,
     };
     pub use pathcons_xml::{
         load_constraints, load_document, load_schema, load_typed_document, FIGURE1_XML,

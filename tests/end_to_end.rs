@@ -58,12 +58,7 @@ fn xml_schema_through_typed_machinery() {
     let l = |labels: &LabelInterner, n: &str| labels.get(n).unwrap();
     let star = tg.star_label().unwrap();
     assert!(!tg.is_path(&[l(&labels, "book"), l(&labels, "author")]));
-    assert!(tg.is_path(&[
-        l(&labels, "book"),
-        star,
-        l(&labels, "author"),
-        star
-    ]));
+    assert!(tg.is_path(&[l(&labels, "book"), star, l(&labels, "author"), star]));
 }
 
 #[test]
@@ -139,11 +134,8 @@ fn local_extent_pipeline_with_figure3_lift() {
     assert!(answer.outcome.is_not_implied());
 
     // Manufacture a word countermodel via the chase and lift it.
-    let chase = pathcons::core::chase_implication(
-        &answer.word_sigma,
-        &answer.word_phi,
-        &Budget::default(),
-    );
+    let chase =
+        pathcons::core::chase_implication(&answer.word_sigma, &answer.word_phi, &Budget::default());
     let cm = match chase {
         Outcome::NotImplied(r) => r.countermodel.unwrap(),
         other => panic!("expected chase countermodel, got {other:?}"),
@@ -283,7 +275,9 @@ fn bicyclic_separates_implication_from_finite_implication() {
             Outcome::NotImplied(r) => {
                 // A claimed finite countermodel here would contradict
                 // Σ ⊨_f φ_(qp,ε) ∧ φ_(ε,qp); verify it hard if returned.
-                let cm = r.countermodel.expect("chase countermodels are materialized");
+                let cm = r
+                    .countermodel
+                    .expect("chase countermodels are materialized");
                 assert!(all_hold(&cm.graph, &enc.sigma));
                 // It must refute at least the conjunction; since both
                 // directions hold finitely, this cannot happen:
@@ -339,11 +333,9 @@ fn optimize_path_through_the_facade() {
     .unwrap();
     let tg = TypeGraph::build(&schema, &mut labels);
     let sigma = parse_constraints("book: author <- wrote", &mut labels).unwrap();
-    let query = pathcons::constraints::Path::parse(
-        "book.author.wrote.author.wrote.title",
-        &mut labels,
-    )
-    .unwrap();
+    let query =
+        pathcons::constraints::Path::parse("book.author.wrote.author.wrote.title", &mut labels)
+            .unwrap();
     let result = optimize_path(&schema, &tg, &sigma, &query, 10_000).unwrap();
     assert_eq!(result.path.display(&labels).to_string(), "book.title");
     result.forward_proof.check(&sigma).unwrap();

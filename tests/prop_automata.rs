@@ -24,10 +24,7 @@ struct NfaSpec {
 fn arb_nfa(alphabet_size: usize) -> impl Strategy<Value = NfaSpec> {
     (2usize..6).prop_flat_map(move |states| {
         (
-            prop::collection::vec(
-                (0..states, 0..alphabet_size, 0..states),
-                0..=states * 3,
-            ),
+            prop::collection::vec((0..states, 0..alphabet_size, 0..states), 0..=states * 3),
             prop::collection::vec((0..states, 0..states), 0..=2),
             prop::collection::vec(0..states, 1..=states),
         )

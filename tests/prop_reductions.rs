@@ -7,9 +7,7 @@ use pathcons::constraints::{all_hold, holds};
 use pathcons::core::reductions::typed::TypedEncoding;
 use pathcons::core::reductions::untyped::UntypedEncoding;
 use pathcons::core::{chase_implication, Budget, Outcome};
-use pathcons::monoid::{
-    bounded_congruence_search, FiniteMonoid, Homomorphism, Presentation,
-};
+use pathcons::monoid::{bounded_congruence_search, FiniteMonoid, Homomorphism, Presentation};
 use proptest::prelude::*;
 
 fn arb_presentation() -> impl Strategy<Value = Presentation> {

@@ -6,7 +6,10 @@ use pathcons::core::WordEngine;
 use pathcons::graph::LabelInterner;
 use proptest::prelude::*;
 
-fn word_sigma(alphabet: usize, rules: &[(Vec<usize>, Vec<usize>)]) -> (LabelInterner, Vec<PathConstraint>) {
+fn word_sigma(
+    alphabet: usize,
+    rules: &[(Vec<usize>, Vec<usize>)],
+) -> (LabelInterner, Vec<PathConstraint>) {
     let labels =
         LabelInterner::with_labels((0..alphabet).map(|i| format!("l{i}")).collect::<Vec<_>>());
     let all: Vec<_> = labels.labels().collect();
@@ -51,7 +54,11 @@ fn countermodels_exist_and_verify_for_refuted_queries() {
     let mut labels = LabelInterner::new();
     let sigma = parse_constraints("book.author -> person", &mut labels).unwrap();
     let engine = WordEngine::new(&sigma).unwrap();
-    for text in ["person -> book.author", "book -> person", "person.wrote -> book"] {
+    for text in [
+        "person -> book.author",
+        "book -> person",
+        "person.wrote -> book",
+    ] {
         let phi = PathConstraint::parse(text, &mut labels).unwrap();
         assert!(!engine.implies(&phi).unwrap());
         if let Some(g) = engine.try_countermodel(&sigma, &phi, 5) {

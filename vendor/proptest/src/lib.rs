@@ -1,0 +1,186 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of `proptest` its property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, integer-range, tuple, boolean,
+//! `collection::vec` and regex-string strategies, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the test's module path), and
+//! there is **no shrinking** — a failing case panics with the standard
+//! assertion message, so the inputs must be included in the assertion
+//! text to be visible. `*.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod string;
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-tree mirror (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a plain `#[test]` that evaluates its strategies once and
+/// then runs `config.cases` generated cases through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $(let $arg = &($strat);)+
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);)+
+                // The body runs in a Result-returning closure, like the
+                // real crate: `return Ok(())` and `prop_assume!` skip the
+                // case; assertion failures panic.
+                #[allow(unreachable_code, clippy::redundant_closure_call)]
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                let _ = result;
+            }
+        }
+    )*};
+}
+
+/// Skips the current case when the precondition fails: an early `Ok`
+/// return from the case closure, so it is only usable directly inside a
+/// `proptest!` body (which is the only place the real macro works too).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// `assert!` under the name property tests use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under the name property tests use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under the name property tests use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair(max: usize) -> impl Strategy<Value = (usize, usize)> {
+        (0..max, 0..max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and multiple arguments are accepted.
+        #[test]
+        fn ranges_and_tuples(pair in arb_pair(10), flag in prop::bool::ANY, n in 1usize..=4) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert!((1..=4).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0..5usize, 0..=6)) {
+            prop_assert!(v.len() <= 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..4).prop_flat_map(|n| prop::collection::vec(0..n, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            let n = v.len();
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn string_regex(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "{s:?}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = crate::collection::vec(0..100usize, 0..=8);
+        let a: Vec<_> = (0..10)
+            .map(|i| strat.generate(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|i| strat.generate(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,287 @@
+//! Regex-shaped string strategies: a `&str` pattern generates `String`s
+//! matching it, like the real proptest's string strategies.
+//!
+//! Supported syntax: literals, escapes (`\n`, `\t`, `\r`, `\x` for any
+//! other `x` meaning the literal character), `.` (printable ASCII),
+//! character classes with ranges and escapes (`[a-z0-9\-]`), groups
+//! `(...)`, alternation `|`, and the repetitions `*` `+` `?` `{n}`
+//! `{m,n}` `{m,}` (unbounded repetitions are capped at +8).
+
+use crate::test_runner::TestRng;
+
+/// One alternative: a sequence of repeated atoms.
+type Seq = Vec<(Atom, usize, usize)>;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// Any printable ASCII character.
+    Dot,
+    /// `(...)`: nested alternation.
+    Group(Vec<Seq>),
+}
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported subset (mirroring proptest,
+/// where an invalid pattern fails the test).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alts = parse_alternation(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at {pos}"
+    );
+    let mut out = String::new();
+    generate_alts(&alts, rng, &mut out);
+    out
+}
+
+fn generate_alts(alts: &[Seq], rng: &mut TestRng, out: &mut String) {
+    let seq = &alts[rng.index(alts.len())];
+    for (atom, min, max) in seq {
+        let count = min + rng.index(max - min + 1);
+        for _ in 0..count {
+            generate_atom(atom, rng, out);
+        }
+    }
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Dot => out.push(char::from(b' ' + rng.index(95) as u8)),
+        Atom::Class(ranges) => {
+            // Weight ranges by size for a roughly uniform class sample.
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.index(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let size = hi as u32 - lo as u32 + 1;
+                if pick < size {
+                    out.push(char::from_u32(lo as u32 + pick).expect("valid class char"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class sampling out of bounds");
+        }
+        Atom::Group(alts) => generate_alts(alts, rng, out),
+    }
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Seq> {
+    let mut alts = vec![parse_seq(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        alts.push(parse_seq(chars, pos));
+    }
+    alts
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Seq {
+    let mut seq = Seq::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos);
+        let (min, max) = parse_repeat(chars, pos);
+        seq.push((atom, min, max));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternation(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unclosed group in regex pattern"
+            );
+            *pos += 1;
+            Atom::Group(alts)
+        }
+        '[' => {
+            *pos += 1;
+            Atom::Class(parse_class(chars, pos))
+        }
+        '.' => {
+            *pos += 1;
+            Atom::Dot
+        }
+        '\\' => {
+            *pos += 1;
+            assert!(*pos < chars.len(), "dangling escape in regex pattern");
+            let c = escaped(chars[*pos]);
+            *pos += 1;
+            Atom::Literal(c)
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{' | ']' | '}'),
+                "unsupported regex metacharacter `{c}` at position {pos}"
+            );
+            *pos += 1;
+            Atom::Literal(c)
+        }
+    }
+}
+
+fn escaped(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(
+        *pos < chars.len() && chars[*pos] != ']',
+        "empty or unclosed character class"
+    );
+    while chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            let c = escaped(chars[*pos]);
+            *pos += 1;
+            c
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        };
+        // A `-` between two class members forms a range; elsewhere it is
+        // a literal.
+        if chars[*pos] == '-' && *pos + 1 < chars.len() && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = if chars[*pos] == '\\' {
+                *pos += 1;
+                let c = escaped(chars[*pos]);
+                *pos += 1;
+                c
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            assert!(lo <= hi, "inverted range in character class");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+        assert!(*pos < chars.len(), "unclosed character class");
+    }
+    *pos += 1;
+    ranges
+}
+
+/// Parses an optional repetition suffix; `(1, 1)` when absent.
+fn parse_repeat(chars: &[char], pos: &mut usize) -> (usize, usize) {
+    const UNBOUNDED_EXTRA: usize = 8;
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            (0, UNBOUNDED_EXTRA)
+        }
+        '+' => {
+            *pos += 1;
+            (1, 1 + UNBOUNDED_EXTRA)
+        }
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = match chars[*pos] {
+                ',' => {
+                    *pos += 1;
+                    if chars[*pos] == '}' {
+                        min + UNBOUNDED_EXTRA
+                    } else {
+                        parse_number(chars, pos)
+                    }
+                }
+                _ => min,
+            };
+            assert!(chars[*pos] == '}', "unclosed repetition");
+            *pos += 1;
+            assert!(min <= max, "inverted repetition bounds");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> usize {
+    let start = *pos;
+    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    assert!(*pos > start, "expected a number in repetition");
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("repetition bound fits usize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: u32) -> Vec<String> {
+        (0..n)
+            .map(|i| generate_matching(pattern, &mut TestRng::for_case("string", i)))
+            .collect()
+    }
+
+    #[test]
+    fn dot_repetition_bounds() {
+        for s in samples(".{0,200}", 50) {
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_specials_and_escapes() {
+        for s in samples("[a-z0-9>\\- \n]{0,120}", 50) {
+            assert!(s
+                .chars()
+                .all(|c| { c.is_ascii_lowercase() || c.is_ascii_digit() || "> -\n".contains(c) }));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_then_class() {
+        for s in samples("<[a-z<>/&;\"'() =#*.|]{0,120}", 50) {
+            assert!(s.starts_with('<'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        for s in samples("(ab|cd)+x?", 50) {
+            let body = s.strip_suffix('x').unwrap_or(&s);
+            assert!(body.len() % 2 == 0 && !body.is_empty(), "{s:?}");
+            for chunk in body.as_bytes().chunks(2) {
+                assert!(chunk == b"ab" || chunk == b"cd", "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Test configuration and the per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type of a property-test case body (cases in this stub signal
+/// failure by panicking, so values of this type are never constructed;
+/// the type exists so `return Ok(())` in bodies typechecks).
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseError;
+
+/// The RNG handed to strategies: deterministic per (test name, case).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one test, seeded from the test's identity so
+    /// runs are reproducible and tests are independent of each other.
+    pub fn for_case(test: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9))),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform index in `[0, bound)`; `bound` must be positive.
+    pub fn index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
