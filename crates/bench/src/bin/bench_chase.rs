@@ -1,0 +1,141 @@
+//! Chase benchmark trajectory: measures the incremental chase engine
+//! against the retained full-rescan reference on the growing-graph
+//! cascade workload and writes the results to `BENCH_chase.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_chase [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs a tiny grid (seconds, used by CI to keep the runner
+//! honest); the default run covers the full grid, with a headline point
+//! at 64 rounds × 16 constraints, and is the run committed to the repo.
+
+use pathcons_bench::{gen_chase_instance, median_time_ms};
+use pathcons_core::{chase_implication, chase_implication_reference, Budget, Outcome};
+use std::fmt::Write as _;
+
+struct Point {
+    rounds: usize,
+    constraints: usize,
+    reference_ms: f64,
+    incremental_ms: f64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.incremental_ms.max(1e-6)
+    }
+}
+
+fn measure(rounds: usize, constraints: usize, reps: usize) -> Point {
+    let inst = gen_chase_instance(constraints);
+    let budget = Budget {
+        chase_rounds: rounds,
+        chase_max_nodes: 1 << 20,
+        ..Budget::default()
+    };
+    // Both engines must agree on the verdict before timing means anything.
+    let inc = chase_implication(&inst.sigma, &inst.phi, &budget);
+    let reference = chase_implication_reference(&inst.sigma, &inst.phi, &budget);
+    assert!(
+        matches!(inc, Outcome::Unknown(_)) && matches!(reference, Outcome::Unknown(_)),
+        "workload must exhaust the round budget under both engines"
+    );
+    let incremental_ms = median_time_ms(reps, || {
+        std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &budget))
+    });
+    let reference_ms = median_time_ms(reps, || {
+        std::hint::black_box(chase_implication_reference(&inst.sigma, &inst.phi, &budget))
+    });
+    Point {
+        rounds,
+        constraints,
+        reference_ms,
+        incremental_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_chase.json".to_owned());
+
+    let (grid, reps): (&[(usize, usize)], usize) = if smoke {
+        (&[(8, 4), (16, 8)], 3)
+    } else {
+        (
+            &[(16, 16), (32, 16), (64, 16), (64, 4), (64, 8), (128, 16)],
+            5,
+        )
+    };
+
+    let mut points = Vec::new();
+    for &(rounds, constraints) in grid {
+        let p = measure(rounds, constraints, reps);
+        println!(
+            "chase {:>4} rounds x {:>2} constraints: reference {:>9.3} ms, incremental {:>8.3} ms, speedup {:>7.1}x",
+            p.rounds,
+            p.constraints,
+            p.reference_ms,
+            p.incremental_ms,
+            p.speedup()
+        );
+        points.push(p);
+    }
+
+    // The acceptance headline: >= 64 rounds, >= 16 constraints.
+    let headline = points
+        .iter()
+        .filter(|p| p.rounds >= 64 && p.constraints >= 16)
+        .max_by(|a, b| a.speedup().partial_cmp(&b.speedup()).unwrap());
+    if let Some(h) = headline {
+        println!(
+            "headline ({} rounds x {} constraints): {:.1}x",
+            h.rounds,
+            h.constraints,
+            h.speedup()
+        );
+        if !smoke {
+            assert!(
+                h.speedup() >= 5.0,
+                "incremental chase regressed below the 5x floor: {:.2}x",
+                h.speedup()
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"cascade l0 -> l_i.l0 (never-terminating growth), phi = l0 -> q (never implied)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"series\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"rounds\": {}, \"constraints\": {}, \"reference_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.2}}}{}",
+            p.rounds,
+            p.constraints,
+            p.reference_ms,
+            p.incremental_ms,
+            p.speedup(),
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_chase.json");
+    println!("wrote {out}");
+}

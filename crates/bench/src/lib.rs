@@ -58,6 +58,48 @@ pub fn gen_word_instance(
     WordInstance { labels, sigma, phi }
 }
 
+/// A generated chase-scaling instance: a constraint set whose chase grows
+/// the graph every round without ever terminating or forcing the goal.
+#[derive(Clone, Debug)]
+pub struct ChaseInstance {
+    /// The labels used (`l0..l{k-1}` plus the never-implied goal `q`).
+    pub labels: LabelInterner,
+    /// Σ: the cascade `l0 → l_i·l0` for each `i < k`.
+    pub sigma: Vec<PathConstraint>,
+    /// φ: `l0 → q`, never implied (no rule mentions `q`).
+    pub phi: PathConstraint,
+}
+
+/// Generates the growing-graph chase workload with `constraints` rules.
+///
+/// Each rule is `l0 → l_i·l0`: whenever `l0` reaches a node from the
+/// root, so must `l_i·l0`. Repairing rule 0 adds a fresh `l0`-successor
+/// of the root, which re-violates *every* rule — so each chase round
+/// applies exactly `constraints` repairs and adds `constraints` fresh
+/// nodes, forever. The goal `l0 → q` is never implied and the chase
+/// never reaches a fixpoint: a run under a round budget `R` performs
+/// `R · constraints` repairs on a graph growing to `Θ(R · constraints)`
+/// nodes — the workload on which full violation rescans cost `Θ(R³)`
+/// while delta-driven detection stays `Θ(R)` per round.
+pub fn gen_chase_instance(constraints: usize) -> ChaseInstance {
+    assert!(constraints >= 1);
+    let mut names: Vec<String> = (0..constraints).map(|i| format!("l{i}")).collect();
+    names.push("q".to_owned());
+    let labels = LabelInterner::with_labels(&names);
+    let alpha: Vec<Label> = labels.labels().take(constraints).collect();
+    let q = labels.get("q").unwrap();
+    let sigma = (0..constraints)
+        .map(|i| {
+            PathConstraint::word(
+                Path::single(alpha[0]),
+                Path::from_labels([alpha[i], alpha[0]]),
+            )
+        })
+        .collect();
+    let phi = PathConstraint::word(Path::single(alpha[0]), Path::single(q));
+    ChaseInstance { labels, sigma, phi }
+}
+
 /// A generated local-extent implication instance (Definition 2.4 shape).
 #[derive(Clone, Debug)]
 pub struct LocalExtentInstance {
@@ -466,6 +508,26 @@ mod tests {
             implied >= 10,
             "only {implied}/40 implied — generator drifted"
         );
+    }
+
+    #[test]
+    fn chase_instances_diverge_under_both_engines() {
+        use pathcons_core::{Budget, Outcome};
+        let inst = gen_chase_instance(4);
+        let budget = Budget {
+            chase_rounds: 8,
+            chase_max_nodes: 1 << 20,
+            ..Budget::default()
+        };
+        for outcome in [
+            pathcons_core::chase_implication(&inst.sigma, &inst.phi, &budget),
+            pathcons_core::chase_implication_reference(&inst.sigma, &inst.phi, &budget),
+        ] {
+            assert!(
+                matches!(outcome, Outcome::Unknown(_)),
+                "workload must exhaust the round budget, got {outcome:?}"
+            );
+        }
     }
 
     #[test]

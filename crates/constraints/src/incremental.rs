@@ -1,0 +1,441 @@
+//! Incremental violation detection.
+//!
+//! [`violations`](crate::violations) recomputes a constraint's hypothesis
+//! pairs from scratch on every call — `O(|π·α| · |E|)` per constraint per
+//! chase round. The chase, however, grows its graph monotonically: edges
+//! are only ever *added* (repairs append conclusion paths; merges splice
+//! adjacency, which only quotients — never removes — reachability). Over
+//! a monotone graph every set in the layered evaluation of a path word
+//! only grows, so a [`ViolationIndex`] can cache the frontier `NodeSet`s
+//! and re-extend them from the edges inserted since its last scan
+//! ([`Graph::edges_since`]) instead of re-deriving them.
+//!
+//! Soundness leans on three facts, spelled out in `DESIGN.md`:
+//!
+//! 1. **Monotone hypotheses.** `eval` sets only grow under edge insertion
+//!    and under node merging (a quotient map is a graph homomorphism, and
+//!    path satisfaction is preserved by homomorphisms), so extending
+//!    cached layers by new edges — and re-canonicalizing ids through the
+//!    caller's [`UnionFind`] after merges — reconstructs exactly the from-
+//!    scratch sets.
+//! 2. **Monotone conclusions.** Once `β(x, y)` holds it holds forever, so
+//!    hypothesis pairs whose conclusion has been observed are retired into
+//!    a `satisfied` set and never re-checked.
+//! 3. **Logged merges.** [`Graph::merge_nodes`] appends every spliced edge
+//!    to the delta log, so any reachability a merge introduces is replayed
+//!    through the same incremental extension as ordinary insertions.
+//!
+//! The from-scratch [`violations`](crate::violations) function is retained
+//! unchanged as the reference oracle; the chase's property tests compare
+//! the two on random instances.
+
+use crate::constraint::{Kind, PathConstraint};
+use pathcons_graph::{word_holds, Graph, Label, NodeId, NodeSet, UnionFind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Layered frontier sets for one path word: `layers[0]` is the base set
+/// and `layers[i + 1] = { t | ∃f ∈ layers[i] . word[i](f, t) }`.
+fn full_layers(graph: &Graph, base: NodeSet, word: &[Label]) -> Vec<NodeSet> {
+    let mut layers = Vec::with_capacity(word.len() + 1);
+    layers.push(base);
+    for (i, &label) in word.iter().enumerate() {
+        let next: NodeSet = layers[i]
+            .iter()
+            .flat_map(|node| graph.successors(node, label))
+            .collect();
+        layers.push(next);
+    }
+    layers
+}
+
+/// Extends cached `layers` by the delta edges, returning the nodes newly
+/// added to the final layer.
+///
+/// Two passes: delta edges whose source was already in a layer seed the
+/// next one, then every newly seeded node is expanded through its *full*
+/// successor set (which subsumes delta edges out of newly added nodes,
+/// regardless of the order the delta was logged in).
+fn extend_layers(
+    graph: &Graph,
+    layers: &mut [NodeSet],
+    word: &[Label],
+    delta: &[(NodeId, Label, NodeId)],
+    uf: &mut UnionFind,
+) -> Vec<NodeId> {
+    let k = word.len();
+    debug_assert_eq!(layers.len(), k + 1);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut added: Vec<Vec<NodeId>> = vec![Vec::new(); k + 1];
+    for &(from, label, to) in delta {
+        let (from, to) = (uf.find(from), uf.find(to));
+        for i in 0..k {
+            if word[i] == label && layers[i].contains(from) && layers[i + 1].insert(to) {
+                added[i + 1].push(to);
+            }
+        }
+    }
+    for i in 1..k {
+        let seeds = std::mem::take(&mut added[i]);
+        for &node in &seeds {
+            for succ in graph.successors(node, word[i]) {
+                let succ = uf.find(succ);
+                if layers[i + 1].insert(succ) {
+                    added[i + 1].push(succ);
+                }
+            }
+        }
+    }
+    std::mem::take(&mut added[k])
+}
+
+/// An incremental index of one constraint's violations over a monotonically
+/// growing [`Graph`].
+///
+/// The index caches the layered frontier sets of the constraint's prefix
+/// (from the root) and of its hypothesis path (from every prefix witness
+/// `x`), plus the partition of hypothesis pairs into conclusion-`satisfied`
+/// and still-`pending`. [`ViolationIndex::scan`] catches the caches up to
+/// the graph's current revision and reports the pending pairs whose
+/// conclusion still fails — the same pairs a from-scratch
+/// [`violations`](crate::violations) call would report (order included:
+/// ascending `(x, y)`).
+///
+/// After the caller merges nodes it must call
+/// [`ViolationIndex::canonicalize`] before the next scan so cached ids
+/// resolve to their surviving representatives.
+#[derive(Clone, Debug)]
+pub struct ViolationIndex {
+    constraint: PathConstraint,
+    /// Sorted, deduplicated labels of `π · α` — the only labels whose
+    /// insertion can create a *new* hypothesis pair.
+    hypothesis_labels: Vec<Label>,
+    /// Frontier layers of the prefix from the root (empty until first scan).
+    prefix_layers: Vec<NodeSet>,
+    /// Frontier layers of the hypothesis path, per prefix witness `x`.
+    lhs_layers: BTreeMap<NodeId, Vec<NodeSet>>,
+    /// Hypothesis pairs whose conclusion has been observed to hold.
+    satisfied: BTreeSet<(NodeId, NodeId)>,
+    /// Hypothesis pairs not yet known to satisfy the conclusion.
+    pending: BTreeSet<(NodeId, NodeId)>,
+    /// Graph revision the caches are current up to.
+    rev: u64,
+    built: bool,
+}
+
+impl ViolationIndex {
+    /// A fresh index for `constraint`; the first [`ViolationIndex::scan`]
+    /// performs a full evaluation.
+    pub fn new(constraint: &PathConstraint) -> ViolationIndex {
+        let mut hypothesis_labels: Vec<Label> = constraint
+            .prefix()
+            .labels()
+            .iter()
+            .chain(constraint.lhs().labels())
+            .copied()
+            .collect();
+        hypothesis_labels.sort_unstable();
+        hypothesis_labels.dedup();
+        ViolationIndex {
+            constraint: constraint.clone(),
+            hypothesis_labels,
+            prefix_layers: Vec::new(),
+            lhs_layers: BTreeMap::new(),
+            satisfied: BTreeSet::new(),
+            pending: BTreeSet::new(),
+            rev: 0,
+            built: false,
+        }
+    }
+
+    /// The indexed constraint.
+    pub fn constraint(&self) -> &PathConstraint {
+        &self.constraint
+    }
+
+    /// Whether any of `labels` occurs in the constraint's hypothesis
+    /// (prefix or lhs). Only such edge insertions can create new
+    /// hypothesis pairs, so the chase worklist skips re-scanning this
+    /// index when the intersection is empty.
+    pub fn hypothesis_touches(&self, labels: &[Label]) -> bool {
+        labels
+            .iter()
+            .any(|l| self.hypothesis_labels.binary_search(l).is_ok())
+    }
+
+    /// Re-canonicalizes every cached node id through the union-find.
+    /// Must be called after each merge, before the next scan.
+    pub fn canonicalize(&mut self, uf: &mut UnionFind) {
+        for layer in &mut self.prefix_layers {
+            *layer = layer.iter().map(|n| uf.find(n)).collect();
+        }
+        let old = std::mem::take(&mut self.lhs_layers);
+        for (x, layers) in old {
+            let x = uf.find(x);
+            let layers: Vec<NodeSet> = layers
+                .into_iter()
+                .map(|layer| layer.iter().map(|n| uf.find(n)).collect())
+                .collect();
+            match self.lhs_layers.entry(x) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(layers);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    // Two witnesses merged: union their frontiers layerwise.
+                    for (mine, theirs) in slot.get_mut().iter_mut().zip(layers) {
+                        *mine = mine.iter().chain(theirs.iter()).collect();
+                    }
+                }
+            }
+        }
+        self.satisfied = std::mem::take(&mut self.satisfied)
+            .into_iter()
+            .map(|(x, y)| (uf.find(x), uf.find(y)))
+            .collect();
+        self.pending = std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|(x, y)| (uf.find(x), uf.find(y)))
+            .filter(|pair| !self.satisfied.contains(pair))
+            .collect();
+    }
+
+    /// Catches the caches up to `graph.revision()` and returns the current
+    /// violations in ascending `(x, y)` order.
+    ///
+    /// `uf` maps ids in the delta log (recorded at insertion time) to
+    /// their surviving representatives; pass a fresh [`UnionFind`] if no
+    /// merges ever happen.
+    pub fn scan(&mut self, graph: &Graph, uf: &mut UnionFind) -> Vec<(NodeId, NodeId)> {
+        if !self.built {
+            self.build(graph, uf);
+        } else {
+            self.extend(graph, uf);
+        }
+        self.rev = graph.revision();
+        // Retire pending pairs whose conclusion has become true; the
+        // remainder are the violations.
+        let pending = std::mem::take(&mut self.pending);
+        let mut out = Vec::new();
+        for (x, y) in pending {
+            if self.conclusion_holds(graph, x, y) {
+                self.satisfied.insert((x, y));
+            } else {
+                self.pending.insert((x, y));
+                out.push((x, y));
+            }
+        }
+        out
+    }
+
+    fn conclusion_holds(&self, graph: &Graph, x: NodeId, y: NodeId) -> bool {
+        match self.constraint.kind() {
+            Kind::Forward => word_holds(graph, x, self.constraint.rhs(), y),
+            Kind::Backward => word_holds(graph, y, self.constraint.rhs(), x),
+        }
+    }
+
+    fn note_pair(&mut self, x: NodeId, y: NodeId) {
+        let pair = (x, y);
+        if !self.satisfied.contains(&pair) {
+            self.pending.insert(pair);
+        }
+    }
+
+    fn build(&mut self, graph: &Graph, uf: &mut UnionFind) {
+        let root = uf.find(graph.root());
+        self.prefix_layers = full_layers(
+            graph,
+            NodeSet::singleton(root),
+            self.constraint.prefix().labels(),
+        );
+        let xs: Vec<NodeId> = self.prefix_layers[self.constraint.prefix().len()]
+            .iter()
+            .collect();
+        for x in xs {
+            self.add_witness(graph, x);
+        }
+        self.built = true;
+    }
+
+    /// Full lhs evaluation for a newly discovered prefix witness `x`;
+    /// every reached `y` forms a fresh hypothesis pair.
+    fn add_witness(&mut self, graph: &Graph, x: NodeId) {
+        if self.lhs_layers.contains_key(&x) {
+            return;
+        }
+        let layers = full_layers(graph, NodeSet::singleton(x), self.constraint.lhs().labels());
+        let ys: Vec<NodeId> = layers[self.constraint.lhs().len()].iter().collect();
+        self.lhs_layers.insert(x, layers);
+        for y in ys {
+            self.note_pair(x, y);
+        }
+    }
+
+    fn extend(&mut self, graph: &Graph, uf: &mut UnionFind) {
+        let delta = graph.edges_since(self.rev).to_vec();
+        if delta.is_empty() {
+            return;
+        }
+        let new_xs = extend_layers(
+            graph,
+            &mut self.prefix_layers,
+            self.constraint.prefix().labels(),
+            &delta,
+            uf,
+        );
+        let lhs_word: Vec<Label> = self.constraint.lhs().labels().to_vec();
+        let xs: Vec<NodeId> = self.lhs_layers.keys().copied().collect();
+        for x in xs {
+            let layers = self.lhs_layers.get_mut(&x).expect("witness present");
+            let new_ys = extend_layers(graph, layers, &lhs_word, &delta, uf);
+            for y in new_ys {
+                self.note_pair(x, y);
+            }
+        }
+        for x in new_xs {
+            self.add_witness(graph, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::violations;
+    use pathcons_graph::{parse_graph, LabelInterner};
+
+    /// Reference agreement: scanning after each mutation reports exactly
+    /// what a from-scratch `violations` call reports.
+    fn assert_matches_oracle(
+        index: &mut ViolationIndex,
+        uf: &mut UnionFind,
+        graph: &Graph,
+        constraint: &PathConstraint,
+    ) {
+        let incremental = index.scan(graph, uf);
+        let oracle = violations(graph, constraint);
+        assert_eq!(incremental, oracle, "index diverged from violations()");
+    }
+
+    #[test]
+    fn full_build_matches_reference() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -book-> b\nb -author-> p", &mut labels).unwrap();
+        let c = PathConstraint::parse("book: author <- wrote", &mut labels).unwrap();
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+    }
+
+    #[test]
+    fn incremental_edge_additions_track_reference() {
+        let mut labels = LabelInterner::new();
+        let mut g = parse_graph("r -book-> b", &mut labels).unwrap();
+        let c = PathConstraint::parse("book.author -> person", &mut labels).unwrap();
+        let author = labels.intern("author");
+        let person = labels.intern("person");
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+
+        // New author edge creates a violation…
+        let b = g
+            .unique_successor(g.root(), labels.get("book").unwrap())
+            .unwrap();
+        let p = g.add_node();
+        g.add_edge(b, author, p);
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+
+        // …repaired by the person edge.
+        g.add_edge(g.root(), person, p);
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+        assert!(index.scan(&g, &mut uf).is_empty());
+    }
+
+    #[test]
+    fn satisfied_pairs_are_never_reported_again() {
+        let mut labels = LabelInterner::new();
+        let mut g = parse_graph("r -a-> x\nr -b-> x", &mut labels).unwrap();
+        let c = PathConstraint::parse("a -> b", &mut labels).unwrap();
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert!(index.scan(&g, &mut uf).is_empty());
+        // Unrelated growth keeps the satisfied pair retired.
+        let fresh = g.add_node();
+        g.add_edge(g.root(), labels.intern("c"), fresh);
+        assert!(index.scan(&g, &mut uf).is_empty());
+    }
+
+    #[test]
+    fn merge_with_canonicalize_tracks_reference() {
+        let mut labels = LabelInterner::new();
+        let mut g = parse_graph("r -a-> x\nr -a-> y\nx -b-> z", &mut labels).unwrap();
+        let c = PathConstraint::parse("a.b -> c", &mut labels).unwrap();
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+
+        // Merge y into x: y had no edges, but canonicalization must keep
+        // the cached sets aligned with the quotient.
+        let a = labels.get("a").unwrap();
+        let mut succ = g.successors(g.root(), a);
+        let x = succ.next().unwrap();
+        let y = succ.next().unwrap();
+        drop(succ);
+        g.merge_nodes(x, y);
+        uf.union_into(x, y);
+        index.canonicalize(&mut uf);
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+    }
+
+    #[test]
+    fn merge_that_creates_reachability_is_replayed() {
+        let mut labels = LabelInterner::new();
+        // r -a-> u ; r -c-> v ; v -b-> w. Merging v into u makes a·b reach
+        // w, creating a hypothesis pair for `a.b -> d`.
+        let mut g = parse_graph("r -a-> u\nr -c-> v\nv -b-> w", &mut labels).unwrap();
+        let c = PathConstraint::parse("a.b -> d", &mut labels).unwrap();
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+        let u = g
+            .unique_successor(g.root(), labels.get("a").unwrap())
+            .unwrap();
+        let v = g
+            .unique_successor(g.root(), labels.get("c").unwrap())
+            .unwrap();
+        g.merge_nodes(u, v);
+        uf.union_into(u, v);
+        index.canonicalize(&mut uf);
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+        assert_eq!(index.scan(&g, &mut uf).len(), 1);
+    }
+
+    #[test]
+    fn hypothesis_label_gating() {
+        let mut labels = LabelInterner::new();
+        let c = PathConstraint::parse("p: a.b -> c", &mut labels).unwrap();
+        let index = ViolationIndex::new(&c);
+        let a = labels.get("a").unwrap();
+        let cc = labels.get("c").unwrap();
+        let p = labels.get("p").unwrap();
+        assert!(index.hypothesis_touches(&[a]));
+        assert!(index.hypothesis_touches(&[p]));
+        // The conclusion label cannot create hypothesis pairs.
+        assert!(!index.hypothesis_touches(&[cc]));
+        assert!(!index.hypothesis_touches(&[]));
+    }
+
+    #[test]
+    fn empty_prefix_and_lhs_degenerate_cases() {
+        let mut labels = LabelInterner::new();
+        let g = parse_graph("r -a-> x", &mut labels).unwrap();
+        // Empty lhs: the only pair is (root, root); conclusion `a` fails
+        // unless the root has an a-loop.
+        let c = PathConstraint::parse("() -> a", &mut labels).unwrap();
+        let mut index = ViolationIndex::new(&c);
+        let mut uf = UnionFind::new();
+        assert_matches_oracle(&mut index, &mut uf, &g, &c);
+    }
+}

@@ -27,6 +27,7 @@
 
 mod bounded;
 mod constraint;
+mod incremental;
 mod path;
 mod regular;
 mod sat;
@@ -35,6 +36,7 @@ pub use bounded::{BoundedFamily, BoundedFamilyError};
 pub use constraint::{
     parse_constraints, ConstraintDisplay, ConstraintParseError, Kind, PathConstraint,
 };
+pub use incremental::ViolationIndex;
 pub use path::{Path, PathDisplay, PathParseError};
 pub use regular::{eval_regex, RegularConstraint, RegularConstraintDisplay};
 pub use sat::{all_hold, holds, holds_naive, violations};

@@ -31,7 +31,7 @@ mod solver;
 mod typed_m;
 mod word;
 
-pub use chase::chase_implication;
+pub use chase::{chase_implication, chase_implication_reference};
 pub use ir::{Proof, ProofError, ProofStep};
 pub use local_extent::{
     figure3_structure, lift_countermodel, local_extent_implies, LocalExtentAnswer, LocalExtentError,

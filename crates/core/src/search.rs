@@ -50,15 +50,16 @@ pub fn search_countermodel(
     }
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let armed = budget.deadline.is_armed();
+    // One config allocation for the whole search: only the scalar knobs
+    // vary per sample, so the labels vector is cloned once, not per
+    // candidate.
+    let mut config = RandomGraphConfig::new(1, labels);
     for _ in 0..budget.search_samples {
         if armed && budget.deadline.expired() {
             return None;
         }
-        let nodes = rng.gen_range(1..=budget.search_max_nodes.max(1));
-        let config = RandomGraphConfig {
-            mean_out_degree: rng.gen_range(1.0..3.0),
-            ..RandomGraphConfig::new(nodes, labels.clone())
-        };
+        config.nodes = rng.gen_range(1..=budget.search_max_nodes.max(1));
+        config.mean_out_degree = rng.gen_range(1.0..3.0);
         let candidate = random_graph(&mut rng, &config);
         if is_countermodel(&candidate, sigma, phi) {
             return Some(CounterModel {

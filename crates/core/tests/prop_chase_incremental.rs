@@ -1,0 +1,175 @@
+//! Property tests: the incremental chase engine agrees with the retained
+//! full-rescan reference implementation.
+//!
+//! The incremental engine ([`pathcons_core::chase_implication`]) detects
+//! violations from cached frontiers extended by the edge delta log and
+//! merges nodes through a union-find; the reference
+//! ([`pathcons_core::chase_implication_reference`]) recomputes every
+//! violation from scratch each round and rebuilds the graph on merge.
+//! Node ids diverge after the first merge (splice-in-place vs rebuild
+//! with fresh ids), so the comparison is at the level that matters:
+//! identical verdicts and evidence kinds, and independently *verified*
+//! countermodels on the `NotImplied` side.
+
+use pathcons_constraints::{all_hold, holds, parse_constraints, Path, PathConstraint};
+use pathcons_core::{
+    chase_implication, chase_implication_reference, Budget, CounterModelProvenance, Evidence,
+    Outcome, UnknownReason,
+};
+use pathcons_graph::Label;
+use proptest::prelude::*;
+
+fn arb_path(alphabet: usize, max_len: usize) -> impl Strategy<Value = Path> {
+    prop::collection::vec(0..alphabet, 0..=max_len)
+        .prop_map(move |ixs| Path::from_labels(ixs.into_iter().map(Label::from_index)))
+}
+
+/// Random `P_c` constraints over a small alphabet. Empty conclusion paths
+/// (equality requirements, the merge-inducing case) arise naturally from
+/// the `0..=max_len` length range.
+fn arb_constraint(alphabet: usize) -> impl Strategy<Value = PathConstraint> {
+    (
+        arb_path(alphabet, 2),
+        arb_path(alphabet, 3),
+        arb_path(alphabet, 3),
+        prop::bool::ANY,
+    )
+        .prop_map(|(prefix, lhs, rhs, backward)| {
+            if backward {
+                PathConstraint::backward(prefix, lhs, rhs)
+            } else {
+                PathConstraint::forward(prefix, lhs, rhs)
+            }
+        })
+}
+
+fn budget() -> Budget {
+    Budget {
+        chase_rounds: 32,
+        chase_max_nodes: 512,
+        ..Budget::small()
+    }
+}
+
+/// The comparable shape of an outcome: verdict plus evidence kind.
+fn shape(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Implied(Evidence::ChaseForced { .. }) => "implied/chase-forced".into(),
+        Outcome::Implied(other) => format!("implied/unexpected:{other:?}"),
+        Outcome::NotImplied(r) => match &r.countermodel {
+            Some(cm) if cm.provenance == CounterModelProvenance::ChaseFixpoint => {
+                "not-implied/chase-fixpoint".into()
+            }
+            other => format!("not-implied/unexpected:{other:?}"),
+        },
+        Outcome::Unknown(UnknownReason::ChaseBudgetExhausted) => "unknown/budget".into(),
+        Outcome::Unknown(other) => format!("unknown/unexpected:{other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn incremental_agrees_with_reference(
+        sigma in prop::collection::vec(arb_constraint(3), 0..=4),
+        phi in arb_constraint(3),
+    ) {
+        let budget = budget();
+        let inc = chase_implication(&sigma, &phi, &budget);
+        let reference = chase_implication_reference(&sigma, &phi, &budget);
+        prop_assert_eq!(
+            shape(&inc),
+            shape(&reference),
+            "engines disagree on Σ = {:?}, φ = {:?}",
+            sigma,
+            phi
+        );
+        // NotImplied answers must carry genuine countermodels; verify
+        // both against the (independent) satisfaction checker.
+        for (engine, outcome) in [("incremental", &inc), ("reference", &reference)] {
+            if let Outcome::NotImplied(r) = outcome {
+                let cm = r.countermodel.as_ref().expect("chase countermodel");
+                prop_assert!(
+                    all_hold(&cm.graph, &sigma),
+                    "{} countermodel violates Σ", engine
+                );
+                prop_assert!(
+                    !holds(&cm.graph, &phi),
+                    "{} countermodel satisfies φ", engine
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_heavy_instances_agree(
+        sigma in prop::collection::vec(
+            (arb_path(2, 1), arb_path(2, 2), prop::bool::ANY).prop_map(
+                |(prefix, lhs, backward)| {
+                    // Force an empty conclusion: every violation repair is
+                    // a merge — the hardest path through the incremental
+                    // engine (canonicalization + full worklist reset).
+                    if backward {
+                        PathConstraint::backward(prefix, lhs, Path::empty())
+                    } else {
+                        PathConstraint::forward(prefix, lhs, Path::empty())
+                    }
+                },
+            ),
+            1..=3,
+        ),
+        extra in arb_constraint(2),
+        phi in arb_constraint(2),
+    ) {
+        let mut sigma = sigma;
+        sigma.push(extra);
+        let budget = budget();
+        let inc = chase_implication(&sigma, &phi, &budget);
+        let reference = chase_implication_reference(&sigma, &phi, &budget);
+        prop_assert_eq!(
+            shape(&inc),
+            shape(&reference),
+            "engines disagree on Σ = {:?}, φ = {:?}",
+            sigma,
+            phi
+        );
+        if let Outcome::NotImplied(r) = &inc {
+            let cm = r.countermodel.as_ref().expect("chase countermodel");
+            prop_assert!(all_hold(&cm.graph, &sigma));
+            prop_assert!(!holds(&cm.graph, &phi));
+        }
+    }
+}
+
+/// Regression: a merge that fires mid-batch discards the rest of the
+/// enumerated batch. The worklist must re-enqueue every constraint, or
+/// the discarded violations would survive into a bogus "fixpoint".
+///
+/// Round 1's batch here is `[(c0: merge y into x), (c1: add b edge)]` in
+/// constraint order; the merge breaks out of the batch before c1's repair
+/// runs. A correct engine repairs c1 in round 2 and reaches a fixpoint
+/// whose countermodel satisfies all of Σ.
+#[test]
+fn merge_mid_batch_leaves_no_stale_violation() {
+    let mut labels = pathcons_graph::LabelInterner::new();
+    let sigma = parse_constraints("p: a -> ()\np -> b", &mut labels).unwrap();
+    let phi = PathConstraint::parse("p.a -> q", &mut labels).unwrap();
+    let outcome = chase_implication(&sigma, &phi, &Budget::default());
+    match outcome {
+        Outcome::NotImplied(r) => {
+            let cm = r.countermodel.expect("fixpoint countermodel");
+            assert!(
+                all_hold(&cm.graph, &sigma),
+                "stale violation survived the mid-batch merge"
+            );
+            assert!(!holds(&cm.graph, &phi));
+        }
+        other => panic!("expected NotImplied fixpoint, got {other:?}"),
+    }
+    // And the reference agrees on the verdict.
+    match chase_implication_reference(&sigma, &phi, &Budget::default()) {
+        Outcome::NotImplied(_) => {}
+        other => panic!("reference disagrees: {other:?}"),
+    }
+}

@@ -90,14 +90,15 @@ impl FromIterator<NodeId> for NodeSet {
 /// is `{ y | ∃x ∈ from . word(x, y) }`.
 pub fn eval_word_set(graph: &Graph, from: &NodeSet, word: &[Label]) -> NodeSet {
     let mut current = from.clone();
+    let mut scratch: Vec<NodeId> = Vec::new();
     for &label in word {
-        let mut next = NodeSet::new();
+        // Collect the whole frontier first, then sort-dedup once: a
+        // shifting `insert` per successor is quadratic on wide frontiers.
+        scratch.clear();
         for node in current.iter() {
-            for succ in graph.successors(node, label) {
-                next.insert(succ);
-            }
+            scratch.extend(graph.successors(node, label));
         }
-        current = next;
+        current = NodeSet::from_nodes(scratch.iter().copied());
         if current.is_empty() {
             break;
         }

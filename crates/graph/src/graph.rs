@@ -39,6 +39,10 @@ impl fmt::Debug for NodeId {
 struct NodeData {
     /// Out-edges, kept sorted by `(label, target)` and deduplicated.
     edges: Vec<(Label, NodeId)>,
+    /// Predecessor hints: nodes that inserted an edge into this node.
+    /// May contain duplicates and entries made stale by [`Graph::merge_nodes`];
+    /// consumers treat it as a conservative over-approximation.
+    preds: Vec<NodeId>,
 }
 
 /// A finite rooted edge-labeled directed graph.
@@ -68,6 +72,15 @@ struct NodeData {
 pub struct Graph {
     root: NodeId,
     nodes: Vec<NodeData>,
+    /// Append-only delta log: every distinct edge insertion in insertion
+    /// order, plus a replay of the survivor's adjacency after each
+    /// [`Graph::merge_nodes`] (so entries may repeat). The log length is
+    /// the graph's *revision*; incremental consumers remember the revision
+    /// they last saw and catch up via [`Graph::edges_since`]. Entries
+    /// record the node ids as they were at insertion time — after
+    /// [`Graph::merge_nodes`] they may be stale and must be canonicalized
+    /// through the caller's [`UnionFind`](crate::UnionFind).
+    log: Vec<(NodeId, Label, NodeId)>,
 }
 
 impl Default for Graph {
@@ -82,6 +95,7 @@ impl Graph {
         Graph {
             root: NodeId(0),
             nodes: vec![NodeData::default()],
+            log: Vec::new(),
         }
     }
 
@@ -139,9 +153,109 @@ impl Graph {
             Ok(_) => false,
             Err(pos) => {
                 edges.insert(pos, (label, to));
+                self.nodes[to.index()].preds.push(from);
+                self.log.push((from, label, to));
                 true
             }
         }
+    }
+
+    /// The current revision: the number of distinct edge insertions so
+    /// far. `edges_since(revision())` is always empty.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The edges inserted since revision `rev`, oldest first.
+    ///
+    /// Node ids in the returned triples are as of insertion time; after
+    /// merges they must be canonicalized by the caller.
+    pub fn edges_since(&self, rev: u64) -> &[(NodeId, Label, NodeId)] {
+        &self.log[rev as usize..]
+    }
+
+    /// Merges `drop` into `keep` in place: `keep` absorbs all of `drop`'s
+    /// out-edges, every edge into `drop` is re-targeted at `keep`, and
+    /// `drop` is left isolated (its id remains valid but carries no
+    /// edges). If `drop` is the root, `keep` becomes the root.
+    ///
+    /// Cost is proportional to the degrees of `drop` and `keep` (plus
+    /// logarithmic insertions), *not* to the size of the graph — this is
+    /// the edge-splicing half of the union-find merge used by the
+    /// incremental chase. The delta log receives the spliced edges that
+    /// are new from `keep`'s perspective *and* a replay of `keep`'s full
+    /// resulting adjacency: a consumer whose cached frontier contained
+    /// `drop` sees `keep` appear there by id canonicalization alone, so
+    /// the delta must revisit `keep`'s pre-existing out-edges too.
+    pub fn merge_nodes(&mut self, keep: NodeId, drop: NodeId) {
+        assert!(keep.index() < self.nodes.len(), "merge_nodes: no such node");
+        assert!(drop.index() < self.nodes.len(), "merge_nodes: no such node");
+        if keep == drop {
+            return;
+        }
+        if self.root == drop {
+            self.root = keep;
+        }
+        // Move drop's out-edges onto keep (self-loops follow the merge).
+        let out = std::mem::take(&mut self.nodes[drop.index()].edges);
+        for (label, to) in out {
+            let to = if to == drop { keep } else { to };
+            self.add_edge(keep, label, to);
+        }
+        // Re-target in-edges of drop using the predecessor hints. Hints can
+        // be stale or duplicated; retargeting is idempotent either way.
+        let preds = std::mem::take(&mut self.nodes[drop.index()].preds);
+        for pred in preds {
+            let pred = if pred == drop { keep } else { pred };
+            let mut moved = Vec::new();
+            self.nodes[pred.index()].edges.retain(|&(label, to)| {
+                if to == drop {
+                    moved.push(label);
+                    false
+                } else {
+                    true
+                }
+            });
+            for label in moved {
+                self.add_edge(pred, label, keep);
+            }
+        }
+        // Re-log the survivor's complete adjacency. A frontier set cached
+        // by an incremental consumer may have contained `drop` and gain
+        // `keep` through id canonicalization alone — without ever having
+        // explored the out-edges `keep` already had. Replaying the delta
+        // must therefore revisit all of them, not just the spliced ones.
+        let total = self.nodes[keep.index()].edges.len();
+        self.log.reserve(total);
+        for i in 0..total {
+            let (label, to) = self.nodes[keep.index()].edges[i];
+            self.log.push((keep, label, to));
+        }
+    }
+
+    /// A compacted copy containing only the nodes reachable from the root,
+    /// renumbered in BFS order (the root becomes node 0).
+    ///
+    /// Used when emitting a chase-fixpoint countermodel: splice merges
+    /// leave isolated husk nodes in the arena, and the countermodel handed
+    /// to callers should not carry them.
+    pub fn compacted(&self) -> Graph {
+        let reachable = self.reachable_from_root();
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut compact = Graph::with_capacity(reachable.len());
+        mapping[self.root.index()] = Some(compact.root());
+        for &node in reachable.iter().skip(1) {
+            mapping[node.index()] = Some(compact.add_node());
+        }
+        for &node in &reachable {
+            let from = mapping[node.index()].expect("reachable node mapped");
+            for (label, to) in self.out_edges(node) {
+                let to = mapping[to.index()].expect("edge target reachable");
+                compact.add_edge(from, label, to);
+            }
+        }
+        compact
     }
 
     /// Whether the edge `label(from, to)` is present.
@@ -387,6 +501,94 @@ mod tests {
         g.add_edge(g.root(), a, n);
         g.set_root(n);
         assert_eq!(g.root(), n);
+    }
+
+    #[test]
+    fn revision_counts_distinct_insertions() {
+        let (_, a, b, _) = abc();
+        let mut g = Graph::new();
+        let n = g.add_node();
+        assert_eq!(g.revision(), 0);
+        g.add_edge(g.root(), a, n);
+        g.add_edge(g.root(), a, n); // duplicate: not logged
+        g.add_edge(n, b, n);
+        assert_eq!(g.revision(), 2);
+        assert_eq!(g.edges_since(0), &[(g.root(), a, n), (n, b, n)]);
+        assert_eq!(g.edges_since(1), &[(n, b, n)]);
+        assert!(g.edges_since(g.revision()).is_empty());
+    }
+
+    #[test]
+    fn merge_splices_out_and_in_edges() {
+        let (_, a, b, c) = abc();
+        let mut g = Graph::new();
+        let keep = g.add_node();
+        let drop = g.add_node();
+        let other = g.add_node();
+        let r = g.root();
+        g.add_edge(r, a, keep);
+        g.add_edge(r, b, drop); // in-edge of drop: must re-target to keep
+        g.add_edge(drop, c, other); // out-edge of drop: must move to keep
+        g.add_edge(drop, a, drop); // self-loop: must become keep's self-loop
+        g.merge_nodes(keep, drop);
+        assert!(g.has_edge(r, b, keep));
+        assert!(g.has_edge(keep, c, other));
+        assert!(g.has_edge(keep, a, keep));
+        assert_eq!(g.out_degree(drop), 0);
+        assert!(!g.has_edge(r, b, drop));
+        // The spliced edges were logged as fresh insertions.
+        let since: Vec<_> = g.edges_since(4).to_vec();
+        assert!(since.contains(&(keep, c, other)));
+        assert!(since.contains(&(keep, a, keep)));
+        assert!(since.contains(&(r, b, keep)));
+    }
+
+    #[test]
+    fn merge_of_root_keeps_survivor_as_root() {
+        let (_, a, _, _) = abc();
+        let mut g = Graph::new();
+        let n = g.add_node();
+        g.add_edge(g.root(), a, n);
+        let old_root = g.root();
+        g.merge_nodes(n, old_root);
+        assert_eq!(g.root(), n);
+        assert!(g.has_edge(n, a, n));
+    }
+
+    #[test]
+    fn merge_dedups_parallel_edges() {
+        let (_, a, _, _) = abc();
+        let mut g = Graph::new();
+        let keep = g.add_node();
+        let drop = g.add_node();
+        let t = g.add_node();
+        g.add_edge(keep, a, t);
+        g.add_edge(drop, a, t);
+        g.add_edge(g.root(), a, keep);
+        g.add_edge(g.root(), a, drop);
+        g.merge_nodes(keep, drop);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(keep, a, t));
+        assert!(g.has_edge(g.root(), a, keep));
+    }
+
+    #[test]
+    fn compacted_drops_unreachable_husks() {
+        let (_, a, b, _) = abc();
+        let mut g = Graph::new();
+        let keep = g.add_node();
+        let drop = g.add_node();
+        g.add_edge(g.root(), a, keep);
+        g.add_edge(g.root(), a, drop);
+        g.add_edge(drop, b, keep);
+        g.merge_nodes(keep, drop);
+        assert_eq!(g.node_count(), 3); // husk still in the arena
+        let compact = g.compacted();
+        assert_eq!(compact.node_count(), 2);
+        assert_eq!(compact.edge_count(), g.edges().count());
+        // Same structure up to renumbering: root -a-> k, k -b-> k.
+        let k = compact.unique_successor(compact.root(), a).unwrap();
+        assert!(compact.has_edge(k, b, k));
     }
 
     #[test]

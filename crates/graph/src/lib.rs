@@ -31,6 +31,7 @@ mod generate;
 mod graph;
 mod label;
 mod text;
+mod union_find;
 
 pub use dot::{to_dot, DotOptions};
 pub use eval::{eval_from_root, eval_word, eval_word_set, word_holds, word_realized, NodeSet};
@@ -39,3 +40,4 @@ pub use generate::{random_graph, random_node, random_word, RandomGraphConfig};
 pub use graph::{Graph, NodeId};
 pub use label::{Label, LabelInterner};
 pub use text::{parse_graph, render_graph, ParseGraphError};
+pub use union_find::UnionFind;
