@@ -5,16 +5,28 @@
 //! Usage:
 //!
 //! ```text
-//! bench_chase [--smoke] [--out PATH]
+//! bench_chase [--smoke] [--telemetry] [--out PATH]
 //! ```
 //!
 //! `--smoke` runs a tiny grid (seconds, used by CI to keep the runner
 //! honest); the default run covers the full grid, with a headline point
 //! at 64 rounds × 16 constraints, and is the run committed to the repo.
+//!
+//! `--telemetry` additionally measures instrumentation overhead on the
+//! headline 64×16 workload — the disabled path (`Telemetry::disabled`,
+//! the monomorphized no-op fast path) against an enabled
+//! [`DiscardRecorder`] (full dyn-dispatch emission, data dropped) — and
+//! captures one attributed run with an [`InMemoryRecorder`] so the
+//! phase breakdown lands in the JSON. In full mode the measured
+//! emission overhead (discard vs disabled medians) must stay under 2%
+//! — the ceiling on what instrumentation can possibly cost, since the
+//! disabled path does strictly less work than the discard path.
 
-use pathcons_bench::{gen_chase_instance, median_time_ms};
-use pathcons_core::{chase_implication, chase_implication_reference, Budget, Outcome};
+use pathcons_bench::{gen_chase_instance, median_time_ms, time_ms};
+use pathcons_core::telemetry::{schema, DiscardRecorder, InMemoryRecorder};
+use pathcons_core::{chase_implication, chase_implication_reference, Budget, Outcome, Telemetry};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 struct Point {
     rounds: usize,
@@ -57,9 +69,99 @@ fn measure(rounds: usize, constraints: usize, reps: usize) -> Point {
     }
 }
 
+/// Instrumentation-overhead measurement on one grid point, plus the
+/// budget attribution captured from an in-memory recorder run.
+struct TelemetryPoint {
+    rounds: usize,
+    constraints: usize,
+    disabled_ms: f64,
+    discard_ms: f64,
+    steps_total: u64,
+    rounds_used: u64,
+    rounds_budget: u64,
+    reason: String,
+    phases: Vec<(String, u64)>,
+}
+
+impl TelemetryPoint {
+    fn overhead_pct(&self) -> f64 {
+        (self.discard_ms / self.disabled_ms.max(1e-6) - 1.0) * 100.0
+    }
+}
+
+fn measure_telemetry(rounds: usize, constraints: usize, reps: usize) -> TelemetryPoint {
+    let inst = gen_chase_instance(constraints);
+    let disabled = Budget {
+        chase_rounds: rounds,
+        chase_max_nodes: 1 << 20,
+        ..Budget::default()
+    };
+    let discard = disabled
+        .clone()
+        .with_telemetry(Telemetry::new(Arc::new(DiscardRecorder)));
+    // The difference being measured (~1%) is far below the machine's
+    // run-to-run drift, so the two configurations are timed in adjacent
+    // pairs and the overhead is the *median of paired deltas*: both
+    // halves of a pair see the same ambient slowdown, which the
+    // subtraction cancels — unlike separately-aggregated medians or
+    // minima, which drift apart whenever load shifts mid-measurement.
+    let mut disabled_samples = Vec::with_capacity(reps);
+    let mut deltas = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let a =
+            time_ms(|| std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &disabled)))
+                .1;
+        let b =
+            time_ms(|| std::hint::black_box(chase_implication(&inst.sigma, &inst.phi, &discard))).1;
+        disabled_samples.push(a);
+        deltas.push(b - a);
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let disabled_ms = median(disabled_samples);
+    let discard_ms = disabled_ms + median(deltas);
+
+    // One attributed run: where did the budget go?
+    let rec = Arc::new(InMemoryRecorder::new());
+    let attributed = disabled.clone().with_telemetry(Telemetry::new(rec.clone()));
+    let outcome = chase_implication(&inst.sigma, &inst.phi, &attributed);
+    assert!(
+        matches!(outcome, Outcome::Unknown(_)),
+        "telemetry workload must exhaust the round budget"
+    );
+    let snap = rec.snapshot();
+    assert!(snap.spans_balanced(), "spans unbalanced: {:?}", snap.spans);
+    let attributions = snap.events_named(schema::EVENT_ATTRIBUTION);
+    let att = attributions
+        .first()
+        .expect("an Unknown chase run must emit a budget attribution");
+    let phases: Vec<(String, u64)> = att
+        .fields
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix(schema::PHASE_PREFIX)
+                .map(|p| (p.to_owned(), *v))
+        })
+        .collect();
+    TelemetryPoint {
+        rounds,
+        constraints,
+        disabled_ms,
+        discard_ms,
+        steps_total: att.field(schema::FIELD_STEPS_TOTAL).unwrap_or(0),
+        rounds_used: att.field(schema::FIELD_ROUNDS_USED).unwrap_or(0),
+        rounds_budget: att.field(schema::FIELD_ROUNDS_BUDGET).unwrap_or(0),
+        reason: att.label(schema::LABEL_REASON).unwrap_or("?").to_owned(),
+        phases,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -110,6 +212,33 @@ fn main() {
         }
     }
 
+    let telemetry_point = if telemetry {
+        let (t_rounds, t_constraints, t_reps) = if smoke { (16, 8, 5) } else { (64, 16, 100) };
+        let tp = measure_telemetry(t_rounds, t_constraints, t_reps);
+        println!(
+            "telemetry {:>4} rounds x {:>2} constraints: disabled {:>8.3} ms, discard {:>8.3} ms, overhead {:>+5.2}% ({} steps, {}/{} rounds, {})",
+            tp.rounds,
+            tp.constraints,
+            tp.disabled_ms,
+            tp.discard_ms,
+            tp.overhead_pct(),
+            tp.steps_total,
+            tp.rounds_used,
+            tp.rounds_budget,
+            tp.reason,
+        );
+        if !smoke {
+            assert!(
+                tp.overhead_pct() < 2.0,
+                "telemetry emission overhead broke the 2% ceiling: {:+.2}%",
+                tp.overhead_pct()
+            );
+        }
+        Some(tp)
+    } else {
+        None
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -135,7 +264,39 @@ fn main() {
             if i + 1 == points.len() { "" } else { "," }
         );
     }
-    json.push_str("  ]\n}\n");
+    match &telemetry_point {
+        None => json.push_str("  ]\n}\n"),
+        Some(tp) => {
+            json.push_str("  ],\n");
+            json.push_str("  \"telemetry\": {\n");
+            let _ = writeln!(
+                json,
+                "    \"rounds\": {}, \"constraints\": {},",
+                tp.rounds, tp.constraints
+            );
+            let _ = writeln!(
+                json,
+                "    \"disabled_ms\": {:.3}, \"discard_ms\": {:.3}, \"overhead_pct\": {:.2},",
+                tp.disabled_ms,
+                tp.discard_ms,
+                tp.overhead_pct()
+            );
+            let _ = writeln!(
+                json,
+                "    \"steps_total\": {}, \"rounds_used\": {}, \"rounds_budget\": {}, \"reason\": \"{}\",",
+                tp.steps_total, tp.rounds_used, tp.rounds_budget, tp.reason
+            );
+            json.push_str("    \"phases\": {");
+            for (i, (name, steps)) in tp.phases.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}\"{name}\": {steps}",
+                    if i == 0 { "" } else { ", " }
+                );
+            }
+            json.push_str("}\n  }\n}\n");
+        }
+    }
     std::fs::write(&out, json).expect("write BENCH_chase.json");
     println!("wrote {out}");
 }

@@ -12,6 +12,10 @@
 //!                   [--cache-size N] [--deadline-ms N] jobs through the caching engine
 //!                   [--chase-rounds N] [--chase-max-nodes N]
 //!                   [--search-samples N] [--verify] [--quiet]
+//!                   [--trace F.jsonl]                 write a structured JSONL trace and
+//!                                                     print a profile summary to stderr
+//! pathcons trace-check --trace F.jsonl               validate a trace: every line parses,
+//!                                                     spans balance, attributions add up
 //! ```
 //!
 //! Graphs are read from the line format of `pathcons-graph` or, when the
@@ -23,12 +27,16 @@
 use pathcons_constraints::{
     holds, parse_constraints, violations, PathConstraint, RegularConstraint,
 };
-use pathcons_core::{DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver};
-use pathcons_engine::{BatchEngine, EngineConfig, Job};
+use pathcons_core::telemetry::{schema, FileRecorder, InMemoryRecorder, Snapshot};
+use pathcons_core::{
+    Budget, DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver, Telemetry,
+};
+use pathcons_engine::{BatchEngine, EngineConfig, Job, Json};
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 mod args;
 use args::Args;
@@ -71,14 +79,18 @@ usage:
   pathcons check    --graph FILE --constraints FILE
   pathcons validate --doc FILE --schema FILE
   pathcons implies  --constraints FILE --query CONSTRAINT
-                    [--schema FILE --context m|mplus] [--finite]
+                    [--schema FILE --context m|mplus] [--finite] [--explain-budget]
   pathcons optimize --schema FILE --constraints FILE --query PATH
   pathcons dot      --graph FILE
   pathcons batch    [--jobs FILE.jsonl] [--threads N] [--cache-size N]
                     [--deadline-ms N] [--chase-rounds N] [--chase-max-nodes N]
-                    [--search-samples N] [--verify] [--quiet]
+                    [--search-samples N] [--verify] [--quiet] [--trace FILE.jsonl]
                     (jobs from stdin when --jobs is `-` or absent;
-                     JSONL results + a stats line on stdout)";
+                     JSONL results + a stats line on stdout;
+                     --trace writes a structured event log and profiles it on stderr)
+  pathcons trace-check --trace FILE.jsonl
+                    (validate a --trace log: lines parse, spans balance,
+                     budget attributions sum correctly)";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -110,6 +122,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "dot" => cmd_dot(&args),
         "optimize" => cmd_optimize(&args),
         "batch" => cmd_batch(&args),
+        "trace-check" => cmd_trace_check(&args),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -308,7 +321,15 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
     let schema_path = args.optional("schema");
     let context_name = args.optional("context");
     let finite = args.flag("finite");
-    args.finish(&["constraints", "query", "schema", "context", "finite"])?;
+    let explain_budget = args.flag("explain-budget");
+    args.finish(&[
+        "constraints",
+        "query",
+        "schema",
+        "context",
+        "finite",
+        "explain-budget",
+    ])?;
 
     let mut labels = LabelInterner::new();
     // The schema must intern labels first so `Paths(σ)` checks see them.
@@ -342,7 +363,14 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let solver = Solver::new(context);
+    let mut solver = Solver::new(context);
+    let recorder = if explain_budget {
+        let rec = Arc::new(InMemoryRecorder::new());
+        solver = solver.with_budget(Budget::default().with_telemetry(Telemetry::new(rec.clone())));
+        Some(rec)
+    } else {
+        None
+    };
     let answer = if finite {
         solver.finitely_implies(&sigma, &phi)
     } else {
@@ -354,6 +382,7 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
     let problem = if finite { "Σ ⊨_f φ" } else { "Σ ⊨ φ" };
     let _ = writeln!(out, "query: {}", phi.display(&labels));
     let _ = writeln!(out, "method: {:?}", answer.method);
+    let mut ok = true;
     match &answer.outcome {
         Outcome::Implied(evidence) => {
             let _ = writeln!(out, "{problem}: YES");
@@ -370,9 +399,9 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
                     let _ = writeln!(out, "  {line}");
                 }
             }
-            Ok(out)
         }
         Outcome::NotImplied(refutation) => {
+            ok = false;
             let _ = writeln!(out, "{problem}: NO");
             match refutation.basis {
                 RefutationBasis::DecisionProcedure => {
@@ -390,17 +419,76 @@ fn cmd_implies(args: &Args) -> Result<String, CliError> {
                     to_dot(&cm.graph, &labels, &DotOptions::default())
                 );
             }
-            Err(CliError::CheckFailed(out))
         }
         Outcome::Unknown(reason) => {
+            ok = false;
             let _ = writeln!(out, "{problem}: UNKNOWN ({reason})");
             let _ = writeln!(
                 out,
                 "(the queried fragment/context is undecidable; the semi-deciders ran out of budget)"
             );
-            Err(CliError::CheckFailed(out))
         }
     }
+    if let Some(rec) = recorder {
+        let _ = write!(out, "{}", render_budget_profile(&rec.snapshot()));
+    }
+    if ok {
+        Ok(out)
+    } else {
+        Err(CliError::CheckFailed(out))
+    }
+}
+
+/// Renders every `budget.attribution` event of a solve as a
+/// human-readable profile: which engines ran, how they ended, and where
+/// each one's steps went (the `phase.*` fields sum to `steps_total`).
+fn render_budget_profile(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let attributions = snap.events_named(schema::EVENT_ATTRIBUTION);
+    let _ = writeln!(out, "budget profile:");
+    if attributions.is_empty() {
+        let _ = writeln!(
+            out,
+            "  (no budgeted engines ran; the answer came from a decision procedure)"
+        );
+        return out;
+    }
+    for event in attributions {
+        let engine = event.label(schema::LABEL_ENGINE).unwrap_or("?");
+        let outcome = event.label(schema::LABEL_OUTCOME).unwrap_or("?");
+        let _ = write!(out, "  {engine}: {outcome}");
+        if let Some(reason) = event.label(schema::LABEL_REASON) {
+            if !reason.is_empty() {
+                let _ = write!(out, " ({reason})");
+            }
+        }
+        if let Some(total) = event.field(schema::FIELD_STEPS_TOTAL) {
+            let _ = write!(out, "; {total} steps");
+            let phases: Vec<String> = event
+                .fields
+                .iter()
+                .filter(|(k, _)| k.starts_with(schema::PHASE_PREFIX))
+                .map(|(k, v)| format!("{} {v}", &k[schema::PHASE_PREFIX.len()..]))
+                .collect();
+            if !phases.is_empty() {
+                let _ = write!(out, " ({})", phases.join(", "));
+            }
+        }
+        if let (Some(used), Some(budget)) = (
+            event.field(schema::FIELD_ROUNDS_USED),
+            event.field(schema::FIELD_ROUNDS_BUDGET),
+        ) {
+            let _ = write!(out, "; rounds {used}/{budget}");
+        }
+        if let (Some(used), Some(budget)) = (
+            event.field(schema::FIELD_SAMPLES_USED),
+            event.field(schema::FIELD_SAMPLES_BUDGET),
+        ) {
+            let _ = write!(out, "; samples {used}/{budget}");
+        }
+        let _ = writeln!(out);
+    }
+    out
 }
 
 fn bundle_model(bundle: &SchemaContext) -> Model {
@@ -454,6 +542,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let search_samples = parse_numeric(args, "search-samples")?;
     let verify = args.flag("verify");
     let quiet = args.flag("quiet");
+    let trace_path = args.optional("trace");
     args.finish(&[
         "jobs",
         "threads",
@@ -464,6 +553,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         "search-samples",
         "verify",
         "quiet",
+        "trace",
     ])?;
 
     let text = match jobs_path.as_deref() {
@@ -495,6 +585,19 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     if let Some(samples) = search_samples {
         budget.search_samples = samples;
     }
+    // --trace tees every engine event into a JSONL file (the durable
+    // log, checkable with `pathcons trace-check`) and an in-memory
+    // aggregate (the profile printed to stderr).
+    let profile = match trace_path.as_deref() {
+        None => None,
+        Some(path) => {
+            let file = FileRecorder::create(path)
+                .map_err(|e| CliError::Failed(format!("cannot create trace `{path}`: {e}")))?;
+            let memory = Arc::new(InMemoryRecorder::new());
+            budget.telemetry = Telemetry::tee(vec![Arc::new(file), memory.clone()]);
+            Some(memory)
+        }
+    };
     let engine = BatchEngine::new(EngineConfig {
         threads,
         cache_capacity: cache_size,
@@ -510,8 +613,254 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "{}", report.stats.to_json());
     if !quiet {
         write_stderr(&format!("{}\n", report.stats.render()));
+        if let Some(memory) = &profile {
+            write_stderr(&render_trace_profile(
+                &memory.snapshot(),
+                trace_path.as_deref().unwrap_or("-"),
+            ));
+        }
     }
     Ok(out)
+}
+
+/// Renders the human-readable side of `batch --trace`: span balance,
+/// chase/search effort, cache efficiency, the most expensive
+/// constraints by chase violations, and every budget attribution.
+fn render_trace_profile(snap: &Snapshot, trace_path: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace profile ({trace_path}):");
+
+    let spans: Vec<String> = snap
+        .spans
+        .iter()
+        .map(|(name, b)| {
+            if b.enters == b.exits {
+                format!("{name} ×{}", b.enters)
+            } else {
+                format!("{name} ×{} (UNBALANCED: {} exits)", b.enters, b.exits)
+            }
+        })
+        .collect();
+    if !spans.is_empty() {
+        let _ = writeln!(out, "  spans: {}", spans.join(", "));
+    }
+
+    let rounds = snap.events_named(schema::EVENT_CHASE_ROUND).len();
+    if rounds > 0 {
+        let _ = writeln!(
+            out,
+            "  chase: {rounds} rounds, {} dirty-constraint scans, frontier {} delta edges / {} new pairs / {} retired",
+            snap.counter("chase.scans"),
+            snap.counter("chase.frontier.delta_edges"),
+            snap.counter("chase.frontier.new_pairs"),
+            snap.counter("chase.frontier.retired"),
+        );
+    }
+    let samples = snap.counter("search.samples") + snap.counter("search.typed.samples");
+    if samples > 0 {
+        let _ = writeln!(out, "  search: {samples} candidate structures sampled");
+    }
+
+    let hits = snap.counter("cache.hit");
+    let misses = snap.counter("cache.miss");
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "  cache: {hits} hits / {misses} misses ({:.0}% hit rate), {} inserts",
+            100.0 * hits as f64 / (hits + misses) as f64,
+            snap.counter("cache.insert"),
+        );
+    }
+
+    // Top constraints by violations repaired, from the per-constraint
+    // `chase.constraint.<i>.violations` counters.
+    let mut costly: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(key, v)| {
+            let index = key
+                .strip_prefix("chase.constraint.")?
+                .strip_suffix(".violations")?;
+            Some((index, *v))
+        })
+        .collect();
+    costly.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+    if !costly.is_empty() {
+        let _ = writeln!(out, "  most violated constraints (by chase repairs):");
+        for (index, violations) in costly.iter().take(5) {
+            let pairs = snap.counter(&format!("chase.constraint.{index}.pairs"));
+            let _ = writeln!(
+                out,
+                "    constraint #{index}: {violations} violations, {pairs} frontier pairs"
+            );
+        }
+    }
+
+    let attributions = snap.events_named(schema::EVENT_ATTRIBUTION);
+    if !attributions.is_empty() {
+        let _ = writeln!(out, "  budget attributions: {}", attributions.len());
+        let unknowns: Vec<&_> = attributions
+            .iter()
+            .filter(|e| e.label(schema::LABEL_OUTCOME) == Some("unknown"))
+            .copied()
+            .collect();
+        for event in unknowns.iter().take(5) {
+            let engine = event.label(schema::LABEL_ENGINE).unwrap_or("?");
+            let reason = event.label(schema::LABEL_REASON).unwrap_or("?");
+            let steps = event.field(schema::FIELD_STEPS_TOTAL).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "    unknown from {engine}: {reason} after {steps} steps"
+            );
+        }
+    }
+    out
+}
+
+/// `pathcons trace-check`: validates a `--trace` JSONL log.
+///
+/// Checks, in order of increasing depth:
+/// 1. every line parses as a JSON object with `t`, `tid`, `kind` and
+///    `name`, and each kind carries its payload (`delta` for counters,
+///    `value` for histograms, `fields`/`labels` objects for events);
+/// 2. spans balance *per thread* in LIFO order — every `span_exit`
+///    matches the innermost open `span_enter` of its `tid`, and no
+///    span is left open at end of log;
+/// 3. every `budget.attribution` event's `phase.*` fields sum exactly
+///    to `steps_total`, `rounds_used ≤ rounds_budget`, and
+///    `samples_used ≤ samples_budget`.
+///
+/// Exit code 0 with a summary when the trace is well-formed; exit 1
+/// with the first offending line otherwise.
+fn cmd_trace_check(args: &Args) -> Result<String, CliError> {
+    let path = args.required("trace")?;
+    args.finish(&["trace"])?;
+    let text = read_file(&path)?;
+
+    let mut lines = 0usize;
+    let mut events = 0usize;
+    let mut attributions = 0usize;
+    let mut open_spans: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let bad = |lineno: usize, message: String| {
+        CliError::CheckFailed(format!("trace invalid at line {lineno}: {message}\n"))
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let v = Json::parse(line).map_err(|e| bad(lineno, format!("not JSON: {e}")))?;
+        v.get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(lineno, "missing numeric field `t`".into()))?;
+        let tid = v
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(lineno, "missing numeric field `tid`".into()))?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(lineno, "missing string field `kind`".into()))?;
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(lineno, "missing string field `name`".into()))?;
+
+        match kind {
+            "span_enter" => open_spans.entry(tid).or_default().push(name.to_owned()),
+            "span_exit" => {
+                let top = open_spans.entry(tid).or_default().pop();
+                if top.as_deref() != Some(name) {
+                    return Err(bad(
+                        lineno,
+                        format!(
+                            "span_exit `{name}` on tid {tid} does not close the innermost open span ({})",
+                            top.as_deref().unwrap_or("none open")
+                        ),
+                    ));
+                }
+            }
+            "counter" => {
+                v.get("delta")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(lineno, "counter without numeric `delta`".into()))?;
+            }
+            "histogram" => {
+                v.get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(lineno, "histogram without numeric `value`".into()))?;
+            }
+            "event" => {
+                events += 1;
+                let fields = match v.get("fields") {
+                    Some(Json::Obj(members)) => members,
+                    _ => return Err(bad(lineno, "event without `fields` object".into())),
+                };
+                if !matches!(v.get("labels"), Some(Json::Obj(_))) {
+                    return Err(bad(lineno, "event without `labels` object".into()));
+                }
+                let num = |key: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .and_then(|(_, v)| v.as_u64())
+                };
+                if name == "budget.attribution" {
+                    attributions += 1;
+                    let total = num("steps_total")
+                        .ok_or_else(|| bad(lineno, "attribution without `steps_total`".into()))?;
+                    let phase_sum: u64 = fields
+                        .iter()
+                        .filter(|(k, _)| k.starts_with("phase."))
+                        .filter_map(|(_, v)| v.as_u64())
+                        .sum();
+                    if phase_sum != total {
+                        return Err(bad(
+                            lineno,
+                            format!("phase.* fields sum to {phase_sum}, steps_total is {total}"),
+                        ));
+                    }
+                    if let (Some(used), Some(budget)) = (num("rounds_used"), num("rounds_budget")) {
+                        if used > budget {
+                            return Err(bad(
+                                lineno,
+                                format!("rounds_used {used} exceeds rounds_budget {budget}"),
+                            ));
+                        }
+                    }
+                    if let (Some(used), Some(budget)) = (num("samples_used"), num("samples_budget"))
+                    {
+                        if used > budget {
+                            return Err(bad(
+                                lineno,
+                                format!("samples_used {used} exceeds samples_budget {budget}"),
+                            ));
+                        }
+                    }
+                }
+            }
+            other => return Err(bad(lineno, format!("unknown record kind `{other}`"))),
+        }
+    }
+
+    for (tid, stack) in &open_spans {
+        if let Some(name) = stack.last() {
+            return Err(CliError::CheckFailed(format!(
+                "trace invalid: span `{name}` on tid {tid} never exits\n"
+            )));
+        }
+    }
+
+    let threads = open_spans.len();
+    Ok(format!(
+        "trace ok: {lines} records, {events} events ({attributions} budget attributions), \
+         spans balanced across {threads} thread{}\n",
+        if threads == 1 { "" } else { "s" }
+    ))
 }
 
 fn parse_numeric(args: &Args, key: &str) -> Result<Option<usize>, CliError> {

@@ -359,6 +359,131 @@ fn batch_deadline_bounds_hard_jobs() {
 }
 
 #[test]
+fn implies_explain_budget_attributes_every_unknown() {
+    let dir = tempdir("explain-budget");
+    // General P_c with a diverging chase and no small countermodel:
+    // both semi-deciders run and exhaust their budgets, so the profile
+    // must attribute each engine's steps.
+    let c = write(&dir, "c.txt", "p: a -> a.b.c.d\np: d <- e\n");
+    let out = run(&[
+        "implies",
+        "--constraints",
+        c.to_str().unwrap(),
+        "--query",
+        "p: a -> e",
+        "--explain-budget",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("budget profile:"), "{stdout}");
+    assert!(stdout.contains("chase:"), "{stdout}");
+    assert!(stdout.contains("rounds"), "{stdout}");
+    assert!(stdout.contains("samples"), "{stdout}");
+
+    // Fast decision-procedure paths run no budgeted engine; the profile
+    // says so instead of inventing numbers.
+    let word = write(&dir, "w.txt", "a -> b\nb -> c\n");
+    let out = run(&[
+        "implies",
+        "--constraints",
+        word.to_str().unwrap(),
+        "--query",
+        "a -> c",
+        "--explain-budget",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("budget profile:"), "{stdout}");
+    assert!(stdout.contains("no budgeted engines ran"), "{stdout}");
+}
+
+#[test]
+fn batch_trace_emits_validatable_jsonl_and_profile() {
+    let dir = tempdir("batch-trace");
+    // A mixed workload: implied, cache-hit, not-implied, and an
+    // unknown whose deadline bounds the diverging chase.
+    let jobs = write(
+        &dir,
+        "jobs.jsonl",
+        r#"{"id":"i1","sigma":["a -> b","b -> c"],"phi":"a -> c"}
+{"id":"i2","sigma":["x -> y","y -> z"],"phi":"x -> z"}
+{"id":"n1","sigma":["a -> b"],"phi":"b -> a"}
+{"id":"u1","sigma":["p: a -> a.b.c.d","p: d <- e"],"phi":"p: a -> e","deadline_ms":500}
+"#,
+    );
+    let trace = dir.join("trace.jsonl");
+    let out = run(&[
+        "batch",
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The unknown job carries the machine-readable reason fields.
+    let unknown_line = stdout
+        .lines()
+        .find(|l| l.contains(r#""id":"u1""#))
+        .expect("u1 result line");
+    assert!(
+        unknown_line.contains(r#""verdict":"unknown""#),
+        "{unknown_line}"
+    );
+    assert!(
+        unknown_line.contains(r#""unknown_kind":""#),
+        "{unknown_line}"
+    );
+    // The stderr profile summarizes the trace.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace profile"), "{stderr}");
+    assert!(stderr.contains("cache:"), "{stderr}");
+    assert!(stderr.contains("budget attributions:"), "{stderr}");
+
+    // The written trace passes its own validator.
+    let check = run(&["trace-check", "--trace", trace.to_str().unwrap()]);
+    assert!(check.status.success(), "{check:?}");
+    let check_out = String::from_utf8_lossy(&check.stdout);
+    assert!(check_out.contains("trace ok"), "{check_out}");
+    assert!(check_out.contains("budget attributions"), "{check_out}");
+}
+
+#[test]
+fn trace_check_rejects_broken_traces() {
+    let dir = tempdir("trace-check-bad");
+
+    // An unbalanced span: entered, never exited.
+    let unbalanced = write(
+        &dir,
+        "unbalanced.jsonl",
+        "{\"t\":1,\"tid\":0,\"kind\":\"span_enter\",\"name\":\"chase\"}\n",
+    );
+    let out = run(&["trace-check", "--trace", unbalanced.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("never exits"));
+
+    // An attribution whose phases do not sum to steps_total.
+    let lying = write(
+        &dir,
+        "lying.jsonl",
+        "{\"t\":1,\"tid\":0,\"kind\":\"event\",\"name\":\"budget.attribution\",\
+         \"fields\":{\"steps_total\":5,\"phase.repair_path\":3},\"labels\":{\"engine\":\"chase\"}}\n",
+    );
+    let out = run(&["trace-check", "--trace", lying.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("steps_total"));
+
+    // Garbage is reported with its line number.
+    let garbage = write(&dir, "garbage.jsonl", "not json at all\n");
+    let out = run(&["trace-check", "--trace", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("line 1"));
+}
+
+#[test]
 fn batch_rejects_malformed_jsonl() {
     let dir = tempdir("batch-bad");
     let jobs = write(&dir, "jobs.jsonl", "{\"id\":\"x\" no-json\n");

@@ -90,6 +90,26 @@ fn extend_layers(
     std::mem::take(&mut added[k])
 }
 
+/// What one [`ViolationIndex::scan`] did, for observability.
+///
+/// The constraints crate carries no telemetry dependency; the chase reads
+/// these plain numbers via [`ViolationIndex::last_scan_stats`] and emits
+/// them through its own recorder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Delta-log edges replayed into the cached frontiers (0 for the
+    /// initial full build).
+    pub delta_edges: usize,
+    /// Prefix witnesses (`x` nodes) discovered by this scan.
+    pub new_witnesses: usize,
+    /// Hypothesis pairs newly enqueued as pending.
+    pub new_pairs: usize,
+    /// Pending pairs retired because their conclusion now holds.
+    pub retired: usize,
+    /// Violations reported by this scan.
+    pub violations: usize,
+}
+
 /// An incremental index of one constraint's violations over a monotonically
 /// growing [`Graph`].
 ///
@@ -122,6 +142,8 @@ pub struct ViolationIndex {
     /// Graph revision the caches are current up to.
     rev: u64,
     built: bool,
+    /// What the most recent scan did (reset at the start of each scan).
+    last_scan: ScanStats,
 }
 
 impl ViolationIndex {
@@ -146,7 +168,13 @@ impl ViolationIndex {
             pending: BTreeSet::new(),
             rev: 0,
             built: false,
+            last_scan: ScanStats::default(),
         }
+    }
+
+    /// Statistics of the most recent [`ViolationIndex::scan`].
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.last_scan
     }
 
     /// The indexed constraint.
@@ -207,6 +235,7 @@ impl ViolationIndex {
     /// their surviving representatives; pass a fresh [`UnionFind`] if no
     /// merges ever happen.
     pub fn scan(&mut self, graph: &Graph, uf: &mut UnionFind) -> Vec<(NodeId, NodeId)> {
+        self.last_scan = ScanStats::default();
         if !self.built {
             self.build(graph, uf);
         } else {
@@ -220,11 +249,13 @@ impl ViolationIndex {
         for (x, y) in pending {
             if self.conclusion_holds(graph, x, y) {
                 self.satisfied.insert((x, y));
+                self.last_scan.retired += 1;
             } else {
                 self.pending.insert((x, y));
                 out.push((x, y));
             }
         }
+        self.last_scan.violations = out.len();
         out
     }
 
@@ -237,8 +268,8 @@ impl ViolationIndex {
 
     fn note_pair(&mut self, x: NodeId, y: NodeId) {
         let pair = (x, y);
-        if !self.satisfied.contains(&pair) {
-            self.pending.insert(pair);
+        if !self.satisfied.contains(&pair) && self.pending.insert(pair) {
+            self.last_scan.new_pairs += 1;
         }
     }
 
@@ -264,6 +295,7 @@ impl ViolationIndex {
         if self.lhs_layers.contains_key(&x) {
             return;
         }
+        self.last_scan.new_witnesses += 1;
         let layers = full_layers(graph, NodeSet::singleton(x), self.constraint.lhs().labels());
         let ys: Vec<NodeId> = layers[self.constraint.lhs().len()].iter().collect();
         self.lhs_layers.insert(x, layers);
@@ -277,6 +309,7 @@ impl ViolationIndex {
         if delta.is_empty() {
             return;
         }
+        self.last_scan.delta_edges = delta.len();
         let new_xs = extend_layers(
             graph,
             &mut self.prefix_layers,

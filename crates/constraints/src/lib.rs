@@ -36,7 +36,7 @@ pub use bounded::{BoundedFamily, BoundedFamilyError};
 pub use constraint::{
     parse_constraints, ConstraintDisplay, ConstraintParseError, Kind, PathConstraint,
 };
-pub use incremental::ViolationIndex;
+pub use incremental::{ScanStats, ViolationIndex};
 pub use path::{Path, PathDisplay, PathParseError};
 pub use regular::{eval_regex, RegularConstraint, RegularConstraintDisplay};
 pub use sat::{all_hold, holds, holds_naive, violations};

@@ -33,34 +33,136 @@
 //! chase") gives the soundness argument for the worklist.
 
 use crate::outcome::{
-    Budget, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation, UnknownReason,
+    Budget, BudgetPhase, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation,
+    UnknownReason,
 };
 use pathcons_constraints::{holds, violations, Kind, PathConstraint, ViolationIndex};
 use pathcons_graph::{word_holds, Graph, Label, NodeId, UnionFind};
+use pathcons_telemetry::{schema, NoopRecorder, Recorder, SpanGuard};
 use std::collections::BTreeSet;
+
+/// Per-run chase accounting, kept as plain integers in the engines and
+/// rendered into the terminal `budget.attribution` event by
+/// [`emit_chase_attribution`]. The two `steps_*` phases partition the
+/// applied chase steps exactly: `steps_path + steps_merge` equals the
+/// `steps` reported in [`Evidence::ChaseForced`].
+#[derive(Clone, Copy, Debug, Default)]
+struct ChaseMetrics {
+    rounds_used: u64,
+    /// Repairs that appended a conclusion path.
+    steps_path: u64,
+    /// Repairs that merged two nodes (empty conclusion path).
+    steps_merge: u64,
+}
+
+impl ChaseMetrics {
+    fn steps(&self) -> usize {
+        (self.steps_path + self.steps_merge) as usize
+    }
+}
+
+/// Renders an [`Outcome`] into the attribution labels.
+fn outcome_labels(outcome: &Outcome) -> (&'static str, String) {
+    match outcome {
+        Outcome::Implied(_) => ("implied", String::new()),
+        Outcome::NotImplied(_) => ("not-implied", String::new()),
+        Outcome::Unknown(reason) => ("unknown", reason.to_string()),
+    }
+}
+
+/// Emits the terminal `budget.attribution` event for a chase run. The
+/// `phase.*` fields sum exactly to `steps_total`.
+fn emit_chase_attribution<R: Recorder + ?Sized>(
+    rec: &R,
+    engine: &str,
+    budget: &Budget,
+    metrics: &ChaseMetrics,
+    outcome: &Outcome,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let (outcome_label, reason) = outcome_labels(outcome);
+    rec.event(
+        schema::EVENT_ATTRIBUTION,
+        &[
+            (
+                schema::FIELD_STEPS_TOTAL,
+                metrics.steps_path + metrics.steps_merge,
+            ),
+            ("phase.repair_path", metrics.steps_path),
+            ("phase.repair_merge", metrics.steps_merge),
+            (schema::FIELD_ROUNDS_USED, metrics.rounds_used),
+            (schema::FIELD_ROUNDS_BUDGET, budget.chase_rounds as u64),
+        ],
+        &[
+            (schema::LABEL_ENGINE, engine),
+            (schema::LABEL_OUTCOME, outcome_label),
+            (schema::LABEL_REASON, &reason),
+        ],
+    );
+}
 
 /// Runs the incremental chase for `Σ ⊨ φ` over untyped data.
 ///
 /// The same answer serves finite implication: an `Implied` chase answer
 /// transfers to finite models (they are models), and a `NotImplied`
 /// fixpoint countermodel is itself finite.
+///
+/// When `budget.telemetry` is active the run reports per-round
+/// `chase.round` events, per-constraint frontier counters, and a terminal
+/// `budget.attribution` event; otherwise the whole body monomorphizes
+/// over [`NoopRecorder`] and the instrumentation compiles away.
 pub fn chase_implication(
     sigma: &[PathConstraint],
     phi: &PathConstraint,
     budget: &Budget,
 ) -> Outcome {
+    match budget.telemetry.active() {
+        Some(rec) => chase_incremental(sigma, phi, budget, rec),
+        None => chase_incremental(sigma, phi, budget, &NoopRecorder),
+    }
+}
+
+fn chase_incremental<R: Recorder + ?Sized>(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    budget: &Budget,
+    rec: &R,
+) -> Outcome {
+    let _span = SpanGuard::enter(rec, "chase");
+    let mut metrics = ChaseMetrics::default();
     let mut state = ChaseState::new(sigma, phi);
-    let mut steps = 0usize;
+    let outcome = chase_incremental_loop(sigma, phi, budget, rec, &mut metrics, &mut state);
+    state.flush_scan_telemetry(rec);
+    emit_chase_attribution(rec, "chase", budget, &metrics, &outcome);
+    outcome
+}
+
+fn chase_incremental_loop<R: Recorder + ?Sized>(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    budget: &Budget,
+    rec: &R,
+    metrics: &mut ChaseMetrics,
+    state: &mut ChaseState,
+) -> Outcome {
     let armed = budget.deadline.is_armed();
 
-    for _round in 0..budget.chase_rounds {
+    for round in 0..budget.chase_rounds {
         if state.goal_holds(phi) {
-            return Outcome::Implied(Evidence::ChaseForced { steps });
+            return Outcome::Implied(Evidence::ChaseForced {
+                steps: metrics.steps(),
+            });
         }
         if armed && budget.deadline.expired() {
             return Outcome::Unknown(UnknownReason::DeadlineExceeded);
         }
-        let batch = state.scan_dirty();
+        metrics.rounds_used = round as u64 + 1;
+        let _round_span = SpanGuard::enter(rec, "chase.round");
+        let round_revision = state.graph.revision();
+        let round_merges = state.merged;
+        let batch = state.scan_dirty(rec);
         if batch.is_empty() {
             // Fixpoint: every constraint's worklist entry has been scanned
             // clean, so the (compacted) chase graph models Σ; the goal
@@ -75,6 +177,7 @@ pub fn chase_implication(
                 provenance: CounterModelProvenance::ChaseFixpoint,
             }));
         }
+        let violations_found = batch.len();
         for (index, a, b) in batch {
             // Canonicalize and re-check: an earlier repair in this round
             // may have satisfied (or merged away) this instance.
@@ -84,9 +187,15 @@ pub fn chase_implication(
                 continue;
             }
             let merged = state.repair(&sigma[index], a, b);
-            steps += 1;
+            if merged {
+                metrics.steps_merge += 1;
+            } else {
+                metrics.steps_path += 1;
+            }
             if state.live_node_count() > budget.chase_max_nodes {
-                return Outcome::Unknown(UnknownReason::ChaseBudgetExhausted);
+                return Outcome::Unknown(UnknownReason::StepBudgetExhausted {
+                    phase: BudgetPhase::ChaseNodes,
+                });
             }
             // A single round can apply arbitrarily many repairs, so the
             // deadline is also a per-step cancellation point (one
@@ -102,11 +211,34 @@ pub fn chase_implication(
                 break;
             }
         }
+        if rec.enabled() {
+            rec.histogram("chase.round.violations", violations_found as u64);
+            rec.event(
+                schema::EVENT_CHASE_ROUND,
+                &[
+                    ("round", round as u64),
+                    ("violations", violations_found as u64),
+                    (
+                        "edges_added",
+                        state.graph.revision().saturating_sub(round_revision),
+                    ),
+                    ("merges", (state.merged - round_merges) as u64),
+                    ("requeued", state.dirty.len() as u64),
+                    ("live_nodes", state.live_node_count() as u64),
+                    ("revision", state.graph.revision()),
+                ],
+                &[(schema::LABEL_ENGINE, "chase")],
+            );
+        }
     }
     if state.goal_holds(phi) {
-        return Outcome::Implied(Evidence::ChaseForced { steps });
+        return Outcome::Implied(Evidence::ChaseForced {
+            steps: metrics.steps(),
+        });
     }
-    Outcome::Unknown(UnknownReason::ChaseBudgetExhausted)
+    Outcome::Unknown(UnknownReason::StepBudgetExhausted {
+        phase: BudgetPhase::ChaseRounds,
+    })
 }
 
 /// Incremental chase state: the growing graph, the union-find mapping
@@ -131,6 +263,22 @@ struct ChaseState {
     goal_labels: Vec<Label>,
     goal_dirty: bool,
     goal_done: bool,
+    tallies: ScanTallies,
+}
+
+/// Frontier-scan telemetry accumulated while a recorder is enabled and
+/// flushed as counters once per run: per-scan emission (a dyn call plus
+/// a formatted key for every constraint every round) measurably slows
+/// the chase itself, while plain integer adds do not.
+#[derive(Clone, Debug, Default)]
+struct ScanTallies {
+    scans: u64,
+    delta_edges: u64,
+    new_witnesses: u64,
+    new_pairs: u64,
+    retired: u64,
+    /// `(new_pairs, violations)` per constraint index.
+    per_constraint: Vec<(u64, u64)>,
 }
 
 impl ChaseState {
@@ -152,6 +300,10 @@ impl ChaseState {
             goal_labels,
             goal_dirty: true,
             goal_done: false,
+            tallies: ScanTallies {
+                per_constraint: vec![(0, 0); sigma.len()],
+                ..ScanTallies::default()
+            },
         }
     }
 
@@ -183,15 +335,55 @@ impl ChaseState {
     /// batch of `(constraint index, x, y)` violations. Constraints not on
     /// the worklist are guaranteed violation-free — see the soundness
     /// argument in `DESIGN.md`.
-    fn scan_dirty(&mut self) -> Vec<(usize, NodeId, NodeId)> {
+    ///
+    /// Per-constraint frontier-extension statistics accumulate into
+    /// [`ScanTallies`] when the recorder is enabled (flushed once by
+    /// [`ChaseState::flush_scan_telemetry`]); for the monomorphized
+    /// [`NoopRecorder`] the `enabled()` check is a compile-time `false`
+    /// and the whole block disappears.
+    fn scan_dirty<R: Recorder + ?Sized>(&mut self, rec: &R) -> Vec<(usize, NodeId, NodeId)> {
         let dirty: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
         let mut batch = Vec::new();
         for index in dirty {
-            for (a, b) in self.indexes[index].scan(&self.graph, &mut self.uf) {
+            let pairs = self.indexes[index].scan(&self.graph, &mut self.uf);
+            if rec.enabled() {
+                let stats = self.indexes[index].last_scan_stats();
+                let t = &mut self.tallies;
+                t.scans += 1;
+                t.delta_edges += stats.delta_edges as u64;
+                t.new_witnesses += stats.new_witnesses as u64;
+                t.new_pairs += stats.new_pairs as u64;
+                t.retired += stats.retired as u64;
+                t.per_constraint[index].0 += stats.new_pairs as u64;
+                t.per_constraint[index].1 += pairs.len() as u64;
+            }
+            for (a, b) in pairs {
                 batch.push((index, a, b));
             }
         }
         batch
+    }
+
+    /// Emits the accumulated scan tallies as counters — called exactly
+    /// once per run, on every exit path, by [`chase_incremental`].
+    fn flush_scan_telemetry<R: Recorder + ?Sized>(&self, rec: &R) {
+        if !rec.enabled() {
+            return;
+        }
+        let t = &self.tallies;
+        rec.counter("chase.scans", t.scans);
+        rec.counter("chase.frontier.delta_edges", t.delta_edges);
+        rec.counter("chase.frontier.new_witnesses", t.new_witnesses);
+        rec.counter("chase.frontier.new_pairs", t.new_pairs);
+        rec.counter("chase.frontier.retired", t.retired);
+        for (index, &(pairs, violations)) in t.per_constraint.iter().enumerate() {
+            if pairs > 0 {
+                rec.counter(&format!("chase.constraint.{index}.pairs"), pairs);
+            }
+            if violations > 0 {
+                rec.counter(&format!("chase.constraint.{index}.violations"), violations);
+            }
+        }
     }
 
     fn satisfied(&self, c: &PathConstraint, a: NodeId, b: NodeId) -> bool {
@@ -282,17 +474,46 @@ pub fn chase_implication_reference(
     phi: &PathConstraint,
     budget: &Budget,
 ) -> Outcome {
+    match budget.telemetry.active() {
+        Some(rec) => chase_reference(sigma, phi, budget, rec),
+        None => chase_reference(sigma, phi, budget, &NoopRecorder),
+    }
+}
+
+fn chase_reference<R: Recorder + ?Sized>(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    budget: &Budget,
+    rec: &R,
+) -> Outcome {
+    let _span = SpanGuard::enter(rec, "chase.reference");
+    let mut metrics = ChaseMetrics::default();
+    let outcome = chase_reference_loop(sigma, phi, budget, rec, &mut metrics);
+    emit_chase_attribution(rec, "chase-reference", budget, &metrics, &outcome);
+    outcome
+}
+
+fn chase_reference_loop<R: Recorder + ?Sized>(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    budget: &Budget,
+    rec: &R,
+    metrics: &mut ChaseMetrics,
+) -> Outcome {
     let mut state = ReferenceChaseState::new(phi);
-    let mut steps = 0usize;
     let armed = budget.deadline.is_armed();
 
-    for _round in 0..budget.chase_rounds {
+    for round in 0..budget.chase_rounds {
         if state.goal_holds(phi) {
-            return Outcome::Implied(Evidence::ChaseForced { steps });
+            return Outcome::Implied(Evidence::ChaseForced {
+                steps: metrics.steps(),
+            });
         }
         if armed && budget.deadline.expired() {
             return Outcome::Unknown(UnknownReason::DeadlineExceeded);
         }
+        metrics.rounds_used = round as u64 + 1;
+        let _round_span = SpanGuard::enter(rec, "chase.round");
         match state.all_violations(sigma) {
             None => {
                 // Fixpoint: the chase graph models Σ, and the goal check
@@ -307,6 +528,7 @@ pub fn chase_implication_reference(
                 }));
             }
             Some(batch) => {
+                let violations_found = batch.len();
                 for (index, a, b) in batch {
                     // Re-check: an earlier repair in this round may have
                     // satisfied this instance.
@@ -314,9 +536,15 @@ pub fn chase_implication_reference(
                         continue;
                     }
                     let merged = state.repair(&sigma[index], a, b);
-                    steps += 1;
+                    if merged {
+                        metrics.steps_merge += 1;
+                    } else {
+                        metrics.steps_path += 1;
+                    }
                     if state.graph.node_count() > budget.chase_max_nodes {
-                        return Outcome::Unknown(UnknownReason::ChaseBudgetExhausted);
+                        return Outcome::Unknown(UnknownReason::StepBudgetExhausted {
+                            phase: BudgetPhase::ChaseNodes,
+                        });
                     }
                     // A single round can apply arbitrarily many repairs,
                     // so the deadline is also a per-step cancellation
@@ -331,13 +559,30 @@ pub fn chase_implication_reference(
                         break;
                     }
                 }
+                if rec.enabled() {
+                    rec.histogram("chase.round.violations", violations_found as u64);
+                    rec.event(
+                        schema::EVENT_CHASE_ROUND,
+                        &[
+                            ("round", round as u64),
+                            ("violations", violations_found as u64),
+                            ("live_nodes", state.graph.node_count() as u64),
+                            ("revision", state.graph.revision()),
+                        ],
+                        &[(schema::LABEL_ENGINE, "chase-reference")],
+                    );
+                }
             }
         }
     }
     if state.goal_holds(phi) {
-        return Outcome::Implied(Evidence::ChaseForced { steps });
+        return Outcome::Implied(Evidence::ChaseForced {
+            steps: metrics.steps(),
+        });
     }
-    Outcome::Unknown(UnknownReason::ChaseBudgetExhausted)
+    Outcome::Unknown(UnknownReason::StepBudgetExhausted {
+        phase: BudgetPhase::ChaseRounds,
+    })
 }
 
 struct ReferenceChaseState {

@@ -37,9 +37,12 @@ pub use local_extent::{
     figure3_structure, lift_countermodel, local_extent_implies, LocalExtentAnswer, LocalExtentError,
 };
 pub use outcome::{
-    Budget, CounterModel, CounterModelProvenance, Deadline, Evidence, Outcome, Refutation,
-    RefutationBasis, UnknownReason,
+    Budget, BudgetPhase, CounterModel, CounterModelProvenance, Deadline, Evidence, Outcome,
+    Refutation, RefutationBasis, UnknownReason,
 };
+// Re-exported so downstream crates can attach recorders to a `Budget`
+// without naming the telemetry crate themselves.
+pub use pathcons_telemetry::{self as telemetry, Recorder, Telemetry};
 pub use query_opt::{optimize_path, OptimizeError, OptimizedPath};
 pub use search::{
     exhaustive_search_countermodel, exhaustive_search_countermodel_within, is_countermodel,

@@ -8,6 +8,7 @@
 
 use crate::ir::Proof;
 use pathcons_graph::Graph;
+use pathcons_telemetry::Telemetry;
 use pathcons_types::TypeNodeId;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,6 +92,10 @@ pub struct Budget {
     pub seed: u64,
     /// Wall-clock deadline / cancellation, checked cooperatively.
     pub deadline: Deadline,
+    /// Instrumentation sink for the budgeted procedures. Disabled by
+    /// default; the engines branch on it once per call, so an inactive
+    /// handle costs nothing inside the hot loops.
+    pub telemetry: Telemetry,
 }
 
 impl Default for Budget {
@@ -102,6 +107,7 @@ impl Default for Budget {
             search_max_nodes: 8,
             seed: 0x9E3779B97F4A7C15,
             deadline: Deadline::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -116,7 +122,16 @@ impl Budget {
             search_max_nodes: 5,
             seed: 7,
             deadline: Deadline::none(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every budgeted procedure run under
+    /// this budget reports spans, counters, and a terminal budget
+    /// attribution event to it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Budget {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Caps the wall-clock time of the budgeted procedures: once
@@ -281,6 +296,41 @@ pub enum CounterModelProvenance {
     CanonicalTruncation,
 }
 
+/// The specific resource cap a budgeted procedure ran into (the `phase`
+/// of [`UnknownReason::StepBudgetExhausted`]). Distinguishing the cap
+/// tells the caller *which knob to turn*: raising `chase_rounds` is
+/// useless when the node cap fired, and vice versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetPhase {
+    /// `Budget::chase_rounds` ran out before fixpoint or proof.
+    ChaseRounds,
+    /// `Budget::chase_max_nodes` was exceeded by the growing chase graph.
+    ChaseNodes,
+    /// `Budget::search_samples` random candidates were all checked.
+    SearchSamples,
+    /// `Budget::search_samples` random typed candidates were all checked.
+    TypedSearchSamples,
+}
+
+impl BudgetPhase {
+    /// Stable machine-readable name (used in JSON output and trace
+    /// labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BudgetPhase::ChaseRounds => "chase-rounds",
+            BudgetPhase::ChaseNodes => "chase-nodes",
+            BudgetPhase::SearchSamples => "search-samples",
+            BudgetPhase::TypedSearchSamples => "typed-search-samples",
+        }
+    }
+}
+
+impl fmt::Display for BudgetPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Why the engines gave up.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum UnknownReason {
@@ -288,6 +338,12 @@ pub enum UnknownReason {
     ChaseBudgetExhausted,
     /// No countermodel found within the search budget.
     SearchBudgetExhausted,
+    /// A specific step cap ran out; `phase` names the cap, so callers
+    /// know which budget knob was binding.
+    StepBudgetExhausted {
+        /// The cap that fired.
+        phase: BudgetPhase,
+    },
     /// Both semi-deciders exhausted their budgets.
     AllBudgetsExhausted,
     /// The untyped engines answered `NotImplied`, but their countermodel
@@ -304,6 +360,9 @@ impl fmt::Display for UnknownReason {
         match self {
             UnknownReason::ChaseBudgetExhausted => write!(f, "chase budget exhausted"),
             UnknownReason::SearchBudgetExhausted => write!(f, "search budget exhausted"),
+            UnknownReason::StepBudgetExhausted { phase } => {
+                write!(f, "step budget exhausted ({phase})")
+            }
             UnknownReason::AllBudgetsExhausted => write!(f, "all budgets exhausted"),
             UnknownReason::UntypedCounterModelNotTyped => {
                 write!(

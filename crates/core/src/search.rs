@@ -11,9 +11,45 @@
 use crate::outcome::{Budget, CounterModel, CounterModelProvenance};
 use pathcons_constraints::{all_hold, holds, PathConstraint};
 use pathcons_graph::{random_graph, Graph, Label, RandomGraphConfig};
+use pathcons_telemetry::{schema, Recorder, SpanGuard};
 use pathcons_types::{random_instance, InstanceConfig, TypeGraph, TypedGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Emits the terminal `budget.attribution` event for one search run. The
+/// single `phase.samples` field equals `steps_total` (each search step is
+/// one candidate drawn and checked), so the per-phase sum invariant holds
+/// trivially.
+fn emit_search_attribution(
+    rec: &dyn Recorder,
+    engine: &str,
+    budget: &Budget,
+    samples_used: u64,
+    found: bool,
+    deadline_hit: bool,
+) {
+    let (outcome, reason) = if found {
+        ("found", "")
+    } else if deadline_hit {
+        ("exhausted", "deadline exceeded")
+    } else {
+        ("exhausted", "search budget exhausted")
+    };
+    rec.event(
+        schema::EVENT_ATTRIBUTION,
+        &[
+            (schema::FIELD_STEPS_TOTAL, samples_used),
+            ("phase.samples", samples_used),
+            (schema::FIELD_SAMPLES_USED, samples_used),
+            (schema::FIELD_SAMPLES_BUDGET, budget.search_samples as u64),
+        ],
+        &[
+            (schema::LABEL_ENGINE, engine),
+            (schema::LABEL_OUTCOME, outcome),
+            (schema::LABEL_REASON, reason),
+        ],
+    );
+}
 
 /// Collects all labels mentioned by the constraints (the alphabet of the
 /// search space).
@@ -48,28 +84,51 @@ pub fn search_countermodel(
         // φ mentions no labels at all: φ is `ε → ε`, which always holds.
         return None;
     }
+    let rec = budget.telemetry.active();
+    let _span = rec.map(|r| SpanGuard::enter(r, "search"));
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let armed = budget.deadline.is_armed();
+    let mut samples_used = 0u64;
+    let mut deadline_hit = false;
+    let mut result = None;
     // One config allocation for the whole search: only the scalar knobs
     // vary per sample, so the labels vector is cloned once, not per
     // candidate.
     let mut config = RandomGraphConfig::new(1, labels);
     for _ in 0..budget.search_samples {
         if armed && budget.deadline.expired() {
-            return None;
+            deadline_hit = true;
+            break;
         }
         config.nodes = rng.gen_range(1..=budget.search_max_nodes.max(1));
         config.mean_out_degree = rng.gen_range(1.0..3.0);
         let candidate = random_graph(&mut rng, &config);
+        samples_used += 1;
+        if let Some(r) = rec {
+            r.counter("search.samples", 1);
+            r.histogram("search.candidate.nodes", candidate.node_count() as u64);
+            r.histogram("search.candidate.edges", candidate.edge_count() as u64);
+        }
         if is_countermodel(&candidate, sigma, phi) {
-            return Some(CounterModel {
+            result = Some(CounterModel {
                 graph: candidate,
                 types: None,
                 provenance: CounterModelProvenance::Search,
             });
+            break;
         }
     }
-    None
+    if let Some(r) = rec {
+        emit_search_attribution(
+            r,
+            "search",
+            budget,
+            samples_used,
+            result.is_some(),
+            deadline_hit,
+        );
+    }
+    result
 }
 
 /// Searches for a typed countermodel among random members of `U_f(σ)`.
@@ -83,11 +142,17 @@ pub fn search_typed_countermodel(
     phi: &PathConstraint,
     budget: &Budget,
 ) -> Option<CounterModel> {
+    let rec = budget.telemetry.active();
+    let _span = rec.map(|r| SpanGuard::enter(r, "search.typed"));
     let mut rng = StdRng::seed_from_u64(budget.seed);
     let armed = budget.deadline.is_armed();
+    let mut samples_used = 0u64;
+    let mut deadline_hit = false;
+    let mut result = None;
     for attempt in 0..budget.search_samples {
         if armed && budget.deadline.expired() {
-            return None;
+            deadline_hit = true;
+            break;
         }
         let config = InstanceConfig {
             target_nodes: 4 + (attempt % budget.search_max_nodes.max(1)) * 4,
@@ -96,15 +161,38 @@ pub fn search_typed_countermodel(
         };
         let candidate: TypedGraph = random_instance(&mut rng, type_graph, &config);
         debug_assert!(candidate.satisfies_type_constraint(type_graph));
+        samples_used += 1;
+        if let Some(r) = rec {
+            r.counter("search.typed.samples", 1);
+            r.histogram(
+                "search.candidate.nodes",
+                candidate.graph.node_count() as u64,
+            );
+            r.histogram(
+                "search.candidate.edges",
+                candidate.graph.edge_count() as u64,
+            );
+        }
         if is_countermodel(&candidate.graph, sigma, phi) {
-            return Some(CounterModel {
+            result = Some(CounterModel {
                 types: Some(candidate.types),
                 graph: candidate.graph,
                 provenance: CounterModelProvenance::Search,
             });
+            break;
         }
     }
-    None
+    if let Some(r) = rec {
+        emit_search_attribution(
+            r,
+            "search-typed",
+            budget,
+            samples_used,
+            result.is_some(),
+            deadline_hit,
+        );
+    }
+    result
 }
 
 /// The defining check: `G ⊨ Σ` and `G ⊭ φ`.

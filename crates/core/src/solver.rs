@@ -25,6 +25,7 @@ use crate::search::{search_countermodel, search_typed_countermodel};
 use crate::typed_m::{m_implies, NotAnMSchema};
 use crate::word::WordEngine;
 use pathcons_constraints::PathConstraint;
+use pathcons_telemetry::SpanGuard;
 use pathcons_types::{Model, Schema, TypeGraph};
 use std::fmt;
 
@@ -177,6 +178,11 @@ impl Solver {
         // implication identically (see the module docs), so `_problem`
         // does not change routing; it is part of the API for symmetry
         // with the paper's problem statements.
+        let _span = self
+            .budget
+            .telemetry
+            .active()
+            .map(|r| SpanGuard::enter(r, "solve"));
         match &self.context {
             DataContext::Semistructured => Ok(self.solve_untyped(sigma, phi)),
             DataContext::M(ctx) => {
@@ -257,14 +263,20 @@ impl Solver {
                 method: Method::Chase,
             };
         }
-        if let Some(cm) = crate::search::exhaustive_search_countermodel_within(
-            sigma,
-            phi,
-            3,
-            &self.budget.deadline,
-        )
-        .or_else(|| search_countermodel(sigma, phi, &self.budget))
-        {
+        let exhaustive = {
+            let _span = self
+                .budget
+                .telemetry
+                .active()
+                .map(|r| SpanGuard::enter(r, "search.exhaustive"));
+            crate::search::exhaustive_search_countermodel_within(
+                sigma,
+                phi,
+                3,
+                &self.budget.deadline,
+            )
+        };
+        if let Some(cm) = exhaustive.or_else(|| search_countermodel(sigma, phi, &self.budget)) {
             return Answer {
                 outcome: Outcome::NotImplied(Refutation::with_countermodel(cm)),
                 method: Method::CounterModelSearch,

@@ -62,7 +62,9 @@ fn shape(outcome: &Outcome) -> String {
             }
             other => format!("not-implied/unexpected:{other:?}"),
         },
-        Outcome::Unknown(UnknownReason::ChaseBudgetExhausted) => "unknown/budget".into(),
+        Outcome::Unknown(UnknownReason::StepBudgetExhausted { phase }) => {
+            format!("unknown/budget:{phase}")
+        }
         Outcome::Unknown(other) => format!("unknown/unexpected:{other:?}"),
     }
 }

@@ -1,0 +1,222 @@
+//! Instrumentation must never perturb verdicts, and span accounting must
+//! balance on every exit path.
+//!
+//! The first suite runs each engine twice on the same random instance —
+//! once with disabled telemetry (the monomorphized `NoopRecorder` path)
+//! and once with a live `InMemoryRecorder` — and requires byte-identical
+//! `Outcome`s (compared via `format!("{:?}")`, which covers verdict,
+//! evidence, and countermodel structure). The second suite checks the
+//! structural guarantees of the emitted records: spans balance on
+//! `Implied`, `NotImplied`, `Unknown`, and deadline-expired runs, and the
+//! terminal `budget.attribution` event's `phase.*` fields always sum to
+//! `steps_total` within the declared budgets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pathcons_constraints::{Path, PathConstraint};
+use pathcons_core::telemetry::{schema, EventRecord, InMemoryRecorder, Snapshot};
+use pathcons_core::{
+    chase_implication, chase_implication_reference, search_countermodel, Budget, Outcome, Telemetry,
+};
+use pathcons_graph::{Label, LabelInterner};
+use proptest::prelude::*;
+
+fn arb_path(alphabet: usize, max_len: usize) -> impl Strategy<Value = Path> {
+    prop::collection::vec(0..alphabet, 0..=max_len)
+        .prop_map(move |ixs| Path::from_labels(ixs.into_iter().map(Label::from_index)))
+}
+
+fn arb_constraint(alphabet: usize) -> impl Strategy<Value = PathConstraint> {
+    (
+        arb_path(alphabet, 2),
+        arb_path(alphabet, 3),
+        arb_path(alphabet, 3),
+        prop::bool::ANY,
+    )
+        .prop_map(|(prefix, lhs, rhs, backward)| {
+            if backward {
+                PathConstraint::backward(prefix, lhs, rhs)
+            } else {
+                PathConstraint::forward(prefix, lhs, rhs)
+            }
+        })
+}
+
+fn budget() -> Budget {
+    Budget {
+        chase_rounds: 24,
+        chase_max_nodes: 384,
+        ..Budget::small()
+    }
+}
+
+/// Runs `f` once silently and once against a fresh in-memory recorder,
+/// returning the traced run's outcome and snapshot after asserting the
+/// outcomes render identically.
+fn run_both(f: impl Fn(&Budget) -> Outcome, base: &Budget) -> (Outcome, Snapshot) {
+    let silent = f(base);
+    let rec = Arc::new(InMemoryRecorder::new());
+    let traced_budget = base.clone().with_telemetry(Telemetry::new(rec.clone()));
+    let traced = f(&traced_budget);
+    assert_eq!(
+        format!("{silent:?}"),
+        format!("{traced:?}"),
+        "telemetry perturbed the outcome"
+    );
+    (traced, rec.snapshot())
+}
+
+/// The invariants every `budget.attribution` event must satisfy.
+fn check_attribution(event: &EventRecord, budget: &Budget) {
+    let steps_total = event
+        .field(schema::FIELD_STEPS_TOTAL)
+        .expect("steps_total present");
+    let phase_sum: u64 = event
+        .fields
+        .iter()
+        .filter(|(k, _)| k.starts_with(schema::PHASE_PREFIX))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(
+        phase_sum, steps_total,
+        "phase.* fields must partition steps_total: {event:?}"
+    );
+    if let Some(rounds) = event.field(schema::FIELD_ROUNDS_USED) {
+        assert!(rounds <= budget.chase_rounds as u64, "{event:?}");
+    }
+    if let Some(samples) = event.field(schema::FIELD_SAMPLES_USED) {
+        assert!(samples <= budget.search_samples as u64, "{event:?}");
+    }
+    assert!(event.label(schema::LABEL_ENGINE).is_some());
+    assert!(event.label(schema::LABEL_OUTCOME).is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn chase_outcome_identical_with_and_without_recorder(
+        sigma in prop::collection::vec(arb_constraint(3), 0..=4),
+        phi in arb_constraint(3),
+    ) {
+        let base = budget();
+        let (_, snap) = run_both(|b| chase_implication(&sigma, &phi, b), &base);
+        prop_assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        let events = snap.events_named(schema::EVENT_ATTRIBUTION);
+        prop_assert_eq!(events.len(), 1);
+        check_attribution(events[0], &base);
+    }
+
+    #[test]
+    fn reference_chase_outcome_identical_with_and_without_recorder(
+        sigma in prop::collection::vec(arb_constraint(3), 0..=3),
+        phi in arb_constraint(3),
+    ) {
+        let base = budget();
+        let (_, snap) =
+            run_both(|b| chase_implication_reference(&sigma, &phi, b), &base);
+        prop_assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        let events = snap.events_named(schema::EVENT_ATTRIBUTION);
+        prop_assert_eq!(events.len(), 1);
+        check_attribution(events[0], &base);
+    }
+
+    #[test]
+    fn search_results_identical_with_and_without_recorder(
+        sigma in prop::collection::vec(arb_constraint(3), 0..=3),
+        phi in arb_constraint(3),
+    ) {
+        let base = budget();
+        let silent = search_countermodel(&sigma, &phi, &base);
+        let rec = Arc::new(InMemoryRecorder::new());
+        let traced_budget = base.clone().with_telemetry(Telemetry::new(rec.clone()));
+        let traced = search_countermodel(&sigma, &phi, &traced_budget);
+        prop_assert_eq!(format!("{silent:?}"), format!("{traced:?}"));
+        let snap = rec.snapshot();
+        prop_assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        for event in snap.events_named(schema::EVENT_ATTRIBUTION) {
+            check_attribution(event, &base);
+            prop_assert_eq!(
+                event.field(schema::FIELD_SAMPLES_USED),
+                Some(snap.counter("search.samples"))
+            );
+        }
+    }
+}
+
+/// Named-path span balance: one scenario per verdict class.
+mod span_balance {
+    use super::*;
+    use pathcons_constraints::parse_constraints;
+
+    fn traced(source_sigma: &str, source_phi: &str, base: Budget) -> (Outcome, Snapshot, Budget) {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints(source_sigma, &mut labels).unwrap();
+        let phi = PathConstraint::parse(source_phi, &mut labels).unwrap();
+        let rec = Arc::new(InMemoryRecorder::new());
+        let budget = base.with_telemetry(Telemetry::new(rec.clone()));
+        let outcome = chase_implication(&sigma, &phi, &budget);
+        (outcome, rec.snapshot(), budget)
+    }
+
+    #[test]
+    fn implied_path_balances_spans() {
+        let (outcome, snap, budget) = traced(
+            "book.author -> person\nperson.wrote -> book",
+            "book.author.wrote -> book",
+            Budget::default(),
+        );
+        assert!(outcome.is_implied());
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        assert_eq!(snap.spans["chase"].enters, 1);
+        check_attribution(snap.events_named(schema::EVENT_ATTRIBUTION)[0], &budget);
+        assert!(!snap.events_named(schema::EVENT_CHASE_ROUND).is_empty());
+    }
+
+    #[test]
+    fn not_implied_path_balances_spans() {
+        let (outcome, snap, _) = traced(
+            "book.author -> person",
+            "person -> book.author",
+            Budget::default(),
+        );
+        assert!(outcome.is_not_implied());
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+    }
+
+    #[test]
+    fn unknown_budget_path_balances_spans_and_attributes_steps() {
+        let tight = Budget {
+            chase_rounds: 4,
+            chase_max_nodes: 48,
+            ..Budget::small()
+        };
+        let (outcome, snap, budget) = traced("a -> b.a\nb.a -> a.a", "a -> c", tight);
+        assert!(outcome.is_unknown());
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        let events = snap.events_named(schema::EVENT_ATTRIBUTION);
+        assert_eq!(events.len(), 1);
+        check_attribution(events[0], &budget);
+        let reason = events[0].label(schema::LABEL_REASON).unwrap();
+        assert!(
+            reason.contains("budget exhausted"),
+            "unexpected reason: {reason}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_path_balances_spans() {
+        let expired = Budget::default().with_deadline(Duration::ZERO);
+        let (outcome, snap, budget) = traced("a -> b.a\nb.a -> a.a", "a -> c", expired);
+        assert!(outcome.is_unknown());
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        let events = snap.events_named(schema::EVENT_ATTRIBUTION);
+        assert_eq!(events.len(), 1);
+        check_attribution(events[0], &budget);
+        assert_eq!(
+            events[0].label(schema::LABEL_REASON),
+            Some("deadline exceeded")
+        );
+    }
+}

@@ -10,8 +10,9 @@ use pathcons_core::{
     UnknownReason,
 };
 use pathcons_graph::LabelInterner;
+use pathcons_telemetry::{schema, SpanGuard};
 use pathcons_types::{example_bibliography_schema, example_bibliography_schema_m, TypeGraph};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`BatchEngine`].
@@ -70,14 +71,43 @@ impl BatchEngine {
         &self.config
     }
 
+    /// Locks the answer cache, recovering explicitly from poisoning.
+    ///
+    /// A poisoned lock means some thread panicked while holding it. If
+    /// the panic unwound out of a mutating cache method, the LRU
+    /// structure may be torn; [`AnswerCache::recover_after_poison`]
+    /// detects exactly that case and clears the cache (counting a
+    /// [`CacheStats::poison_resets`]), while a benign holder panic
+    /// keeps every entry. A `std::sync` mutex stays poisoned forever,
+    /// so the recovery check runs on every post-poison acquisition —
+    /// it is a no-op when the cache is consistent.
+    fn cache_guard(&self) -> MutexGuard<'_, AnswerCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.recover_after_poison();
+                guard
+            }
+        }
+    }
+
     /// Cache counters so far.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache poisoned").stats()
+        self.cache_guard().stats()
     }
 
     /// Live cache entries.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.cache_guard().len()
+    }
+
+    /// Counters and live entry count read under a single lock
+    /// acquisition, so the two views are mutually consistent even while
+    /// other threads are solving.
+    pub fn cache_snapshot(&self) -> (CacheStats, usize) {
+        let guard = self.cache_guard();
+        (guard.stats(), guard.len())
     }
 
     /// Solves `Σ ⊨ φ` through the cache with the engine's base budget.
@@ -105,23 +135,27 @@ impl BatchEngine {
         phi: &PathConstraint,
         budget: Budget,
     ) -> Result<(Answer, CacheOutcome), SolverError> {
+        let telemetry = budget.telemetry.clone();
+        let rec = telemetry.active();
         let canon = canon::canonicalize(context, sigma, phi);
-        let cached = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .lookup(&canon.key);
+        let cached = self.cache_guard().lookup(&canon.key);
         if let Some(entry) = cached {
+            if let Some(rec) = rec {
+                rec.counter("cache.hit", 1);
+            }
             let answer = adapt_answer(entry, &canon);
             if self.config.verify {
                 let fresh = Solver::new(context.clone())
                     .with_budget(budget)
                     .implies(sigma, phi)?;
                 let agreed = same_answer_shape(&answer, &fresh);
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .note_verification(agreed);
+                self.cache_guard().note_verification(agreed);
+                if let Some(rec) = rec {
+                    rec.counter("cache.verify", 1);
+                    if !agreed {
+                        rec.counter("cache.verify_mismatch", 1);
+                    }
+                }
                 if !agreed {
                     // Trust the fresh answer; the mismatch counter is
                     // the alarm bell.
@@ -131,11 +165,17 @@ impl BatchEngine {
             return Ok((answer, CacheOutcome::Hit));
         }
 
+        if let Some(rec) = rec {
+            rec.counter("cache.miss", 1);
+        }
         let answer = Solver::new(context.clone())
             .with_budget(budget)
             .implies(sigma, phi)?;
         if cacheable(&answer) {
-            self.cache.lock().expect("cache poisoned").insert(
+            if let Some(rec) = rec {
+                rec.counter("cache.insert", 1);
+            }
+            self.cache_guard().insert(
                 canon.key,
                 CachedEntry {
                     answer: answer.clone(),
@@ -148,7 +188,20 @@ impl BatchEngine {
 
     /// Runs a batch of JSONL jobs across the worker pool and reports
     /// per-job results plus batch statistics.
+    ///
+    /// The batch's cache deltas are computed from counter snapshots
+    /// taken before and after the run — necessarily under *separate*
+    /// lock acquisitions, since the batch itself runs in between. If
+    /// other threads call `solve` concurrently with the batch, their
+    /// cache activity lands inside the window and is attributed to the
+    /// batch; the deltas are an upper bound, not an exact per-batch
+    /// count. (A poison reset inside the window can also shrink
+    /// counters; [`BatchStats::collect`] saturates rather than
+    /// panicking.)
     pub fn run_batch(&self, jobs: Vec<Job>) -> BatchReport {
+        let telemetry = self.config.budget.telemetry.clone();
+        let rec = telemetry.active();
+        let _span = rec.map(|r| SpanGuard::enter(r, "batch"));
         let wall_start = Instant::now();
         let stats_before = self.cache_stats();
         let ids: Vec<String> = jobs.iter().map(|job| job.id.clone()).collect();
@@ -169,6 +222,8 @@ impl BatchEngine {
                     verdict: Verdict::Error,
                     method: None,
                     detail: Some("job panicked; see stderr for the payload".to_owned()),
+                    unknown_kind: None,
+                    unknown_phase: None,
                     cache: None,
                     micros: 0,
                 })
@@ -181,16 +236,41 @@ impl BatchEngine {
             stats_before,
             wall_start.elapsed(),
         );
+        if let Some(rec) = rec {
+            rec.event(
+                schema::EVENT_BATCH_DONE,
+                &[
+                    ("jobs", stats.jobs as u64),
+                    ("implied", stats.implied as u64),
+                    ("not_implied", stats.not_implied as u64),
+                    ("unknown", stats.unknown as u64),
+                    ("errors", stats.errors as u64),
+                    ("hits", stats.hits),
+                    ("misses", stats.misses),
+                    ("evictions", stats.evictions),
+                    ("verify_mismatches", stats.verify_mismatches),
+                    ("wall_micros", stats.wall_micros),
+                    ("p50_micros", stats.p50_micros),
+                    ("p99_micros", stats.p99_micros),
+                ],
+                &[(schema::LABEL_ENGINE, "batch")],
+            );
+        }
         BatchReport { results, stats }
     }
 
     fn run_one(&self, job: Job) -> JobResult {
+        let telemetry = self.config.budget.telemetry.clone();
+        let rec = telemetry.active();
+        let _span = rec.map(|r| SpanGuard::enter(r, "batch.job"));
         let start = Instant::now();
         let fail = |detail: String| JobResult {
             id: job.id.clone(),
             verdict: Verdict::Error,
             method: None,
             detail: Some(detail),
+            unknown_kind: None,
+            unknown_phase: None,
             cache: None,
             micros: start.elapsed().as_micros() as u64,
         };
@@ -220,16 +300,26 @@ impl BatchEngine {
         match self.solve_with_budget(&context, &sigma, &phi, budget) {
             Err(e) => fail(e.to_string()),
             Ok((answer, cache)) => {
-                let (verdict, detail) = match &answer.outcome {
-                    Outcome::Implied(_) => (Verdict::Implied, None),
-                    Outcome::NotImplied(_) => (Verdict::NotImplied, None),
-                    Outcome::Unknown(reason) => (Verdict::Unknown, Some(reason.to_string())),
+                let (verdict, detail, unknown) = match &answer.outcome {
+                    Outcome::Implied(_) => (Verdict::Implied, None, None),
+                    Outcome::NotImplied(_) => (Verdict::NotImplied, None, None),
+                    Outcome::Unknown(reason) => (
+                        Verdict::Unknown,
+                        Some(reason.to_string()),
+                        Some(unknown_reason_wire(reason)),
+                    ),
+                };
+                let (unknown_kind, unknown_phase) = match unknown {
+                    Some((kind, phase)) => (Some(kind.to_owned()), phase.map(str::to_owned)),
+                    None => (None, None),
                 };
                 JobResult {
                     id: job.id,
                     verdict,
                     method: Some(format!("{:?}", answer.method)),
                     detail,
+                    unknown_kind,
+                    unknown_phase,
                     cache: Some(cache),
                     micros: start.elapsed().as_micros() as u64,
                 }
@@ -289,6 +379,21 @@ fn same_answer_shape(a: &Answer, b: &Answer) -> bool {
         (Outcome::NotImplied(_), Outcome::NotImplied(_)) => true,
         (Outcome::Unknown(ra), Outcome::Unknown(rb)) => ra == rb,
         _ => false,
+    }
+}
+
+/// Stable wire names for an `Unknown` outcome: a machine-readable kind
+/// plus, for step-budget exhaustion, the budget phase that ran dry.
+/// These back the additive `unknown_kind` / `unknown_phase` fields of
+/// the result JSON (the human-oriented `detail` string stays as-is).
+pub fn unknown_reason_wire(reason: &UnknownReason) -> (&'static str, Option<&'static str>) {
+    match reason {
+        UnknownReason::ChaseBudgetExhausted => ("chase-budget", None),
+        UnknownReason::SearchBudgetExhausted => ("search-budget", None),
+        UnknownReason::StepBudgetExhausted { phase } => ("step-budget", Some(phase.as_str())),
+        UnknownReason::AllBudgetsExhausted => ("all-budgets", None),
+        UnknownReason::UntypedCounterModelNotTyped => ("untyped-countermodel-not-typed", None),
+        UnknownReason::DeadlineExceeded => ("deadline", None),
     }
 }
 
@@ -464,6 +569,11 @@ pub struct JobResult {
     pub method: Option<String>,
     /// Unknown reason or error message.
     pub detail: Option<String>,
+    /// Machine-readable `Unknown` kind (`step-budget`, `deadline`, …);
+    /// absent unless the verdict is `Unknown`.
+    pub unknown_kind: Option<String>,
+    /// The exhausted budget phase, when `unknown_kind` is `step-budget`.
+    pub unknown_phase: Option<String>,
     /// Cache hit/miss (absent for jobs that never reached the solver).
     pub cache: Option<CacheOutcome>,
     /// Wall-clock latency of the job, in microseconds.
@@ -485,6 +595,12 @@ impl JobResult {
         }
         if let Some(detail) = &self.detail {
             members.push(("detail".to_owned(), Json::Str(detail.clone())));
+        }
+        if let Some(kind) = &self.unknown_kind {
+            members.push(("unknown_kind".to_owned(), Json::Str(kind.clone())));
+        }
+        if let Some(phase) = &self.unknown_phase {
+            members.push(("unknown_phase".to_owned(), Json::Str(phase.clone())));
         }
         if let Some(cache) = self.cache {
             let text = match cache {
@@ -546,11 +662,14 @@ impl BatchStats {
             latencies[rank.min(latencies.len() - 1)]
         };
         let count = |v: Verdict| results.iter().filter(|r| r.verdict == v).count();
+        // The two snapshots come from separate lock acquisitions (see
+        // `run_batch`); a poison reset between them could make `after`
+        // lag `before`, so saturate instead of underflowing.
         BatchStats {
             jobs: results.len(),
-            hits: after.hits - before.hits,
-            misses: after.misses - before.misses,
-            evictions: after.evictions - before.evictions,
+            hits: after.hits.saturating_sub(before.hits),
+            misses: after.misses.saturating_sub(before.misses),
+            evictions: after.evictions.saturating_sub(before.evictions),
             implied: count(Verdict::Implied),
             not_implied: count(Verdict::NotImplied),
             unknown: count(Verdict::Unknown),
@@ -559,7 +678,9 @@ impl BatchStats {
             p99_micros: percentile(0.99),
             max_micros: latencies.last().copied().unwrap_or(0),
             wall_micros: wall.as_micros() as u64,
-            verify_mismatches: after.verify_mismatches - before.verify_mismatches,
+            verify_mismatches: after
+                .verify_mismatches
+                .saturating_sub(before.verify_mismatches),
         }
     }
 
@@ -781,6 +902,116 @@ mod tests {
         // Stats serialize and render without panicking.
         let _ = report.stats.to_json().to_string();
         let _ = report.stats.render();
+    }
+
+    #[test]
+    fn unknown_results_carry_kind_and_phase_fields() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let jobs = vec![
+            Job {
+                id: "timed-out".into(),
+                context: String::new(),
+                sigma: vec!["p: a -> a.b".into(), "p: b <- c".into()],
+                phi: "p: a -> c".into(),
+                deadline_ms: Some(0),
+            },
+            Job {
+                id: "easy".into(),
+                context: String::new(),
+                sigma: vec!["a -> b".into()],
+                phi: "a -> b".into(),
+                deadline_ms: None,
+            },
+        ];
+        let report = engine.run_batch(jobs);
+        let unknown = &report.results[0];
+        assert_eq!(unknown.verdict, Verdict::Unknown);
+        assert_eq!(unknown.unknown_kind.as_deref(), Some("deadline"));
+        assert_eq!(unknown.unknown_phase, None);
+        let line = unknown.to_json().to_string();
+        assert!(line.contains("\"unknown_kind\":\"deadline\""), "{line}");
+        // Decided jobs carry no unknown_* fields, keeping the wire
+        // format backward compatible.
+        let easy = &report.results[1];
+        assert_eq!(easy.verdict, Verdict::Implied);
+        assert_eq!(easy.unknown_kind, None);
+        assert!(!easy.to_json().to_string().contains("unknown_kind"));
+    }
+
+    #[test]
+    fn step_budget_unknowns_name_the_binding_phase() {
+        let (kind, phase) = unknown_reason_wire(&UnknownReason::StepBudgetExhausted {
+            phase: pathcons_core::BudgetPhase::ChaseRounds,
+        });
+        assert_eq!(kind, "step-budget");
+        assert_eq!(phase, Some("chase-rounds"));
+        assert_eq!(
+            unknown_reason_wire(&UnknownReason::DeadlineExceeded),
+            ("deadline", None)
+        );
+    }
+
+    #[test]
+    fn benign_lock_poisoning_keeps_cache_and_engine_serving() {
+        let engine = std::sync::Arc::new(BatchEngine::new(EngineConfig::default()));
+        solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        assert_eq!(engine.cache_len(), 1);
+
+        // Poison the lock without touching the cache: the holder
+        // panics, the data is intact, and recovery must keep it.
+        let poisoner = engine.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.cache.lock().unwrap();
+            panic!("poison the cache lock for the recovery test");
+        })
+        .join();
+
+        let (stats, len) = engine.cache_snapshot();
+        assert_eq!(len, 1, "a benign holder panic loses no entries");
+        assert_eq!(stats.poison_resets, 0);
+        let (answer, cache) = solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        assert!(answer.outcome.is_implied());
+        assert_eq!(cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn batch_telemetry_balances_spans_and_emits_batch_done() {
+        use pathcons_core::telemetry::InMemoryRecorder;
+        use pathcons_core::Telemetry;
+        use std::sync::Arc;
+
+        let rec = Arc::new(InMemoryRecorder::new());
+        let engine = BatchEngine::new(EngineConfig {
+            threads: 2,
+            budget: Budget::default().with_telemetry(Telemetry::new(rec.clone())),
+            ..EngineConfig::default()
+        });
+        let job = |id: &str, sigma: &str, phi: &str| Job {
+            id: id.into(),
+            context: String::new(),
+            sigma: vec![sigma.into()],
+            phi: phi.into(),
+            deadline_ms: None,
+        };
+        let jobs = vec![
+            job("i1", "a -> b", "a -> b"),
+            job("i2", "x -> y", "x -> y"), // alpha-variant: cache hit
+            job("n1", "a -> b", "b -> a"),
+        ];
+        let report = engine.run_batch(jobs);
+        assert_eq!(report.stats.jobs, 3);
+
+        let snap = rec.snapshot();
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        assert_eq!(snap.spans["batch"].enters, 1);
+        assert_eq!(snap.spans["batch.job"].enters, 3);
+        assert_eq!(snap.counter("cache.hit"), report.stats.hits);
+        assert_eq!(snap.counter("cache.miss"), report.stats.misses);
+        let done = snap.events_named(schema::EVENT_BATCH_DONE);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].field("jobs"), Some(3));
+        assert_eq!(done[0].field("hits"), Some(report.stats.hits));
+        assert_eq!(done[0].label(schema::LABEL_ENGINE), Some("batch"));
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub struct CacheStats {
     pub verifications: u64,
     /// Verify-mode re-solves that disagreed with the cached answer.
     pub verify_mismatches: u64,
+    /// Times the cache was cleared to recover from lock poisoning.
+    pub poison_resets: u64,
 }
 
 /// A cached answer plus the inserting query's renaming into the
@@ -59,6 +61,11 @@ pub struct AnswerCache {
     head: usize,
     tail: usize,
     stats: CacheStats,
+    /// Set while a structural mutation is in flight; a panic that
+    /// unwinds out of a mutating method leaves it set, which is how
+    /// [`AnswerCache::recover_after_poison`] tells a torn cache from a
+    /// benign lock-holder panic.
+    mutating: bool,
 }
 
 impl AnswerCache {
@@ -72,6 +79,7 @@ impl AnswerCache {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            mutating: false,
         }
     }
 
@@ -93,7 +101,8 @@ impl AnswerCache {
     /// Looks up a canonical key, counting a hit or miss and refreshing
     /// recency on hit. Returns a clone (entries stay owned by the cache).
     pub fn lookup(&mut self, key: &QueryKey) -> Option<CachedEntry> {
-        match self.map.get(key).copied() {
+        self.mutating = true;
+        let result = match self.map.get(key).copied() {
             Some(idx) => {
                 self.stats.hits += 1;
                 self.unlink(idx);
@@ -110,7 +119,9 @@ impl AnswerCache {
                 self.stats.misses += 1;
                 None
             }
-        }
+        };
+        self.mutating = false;
+        result
     }
 
     /// Stores an entry, evicting the least-recently-used one if full.
@@ -118,6 +129,7 @@ impl AnswerCache {
         if self.capacity == 0 {
             return;
         }
+        self.mutating = true;
         self.stats.insertions += 1;
         if let Some(idx) = self.map.get(&key).copied() {
             // Overwrite in place (a concurrent miss may have re-solved).
@@ -125,6 +137,7 @@ impl AnswerCache {
             slot.entry = entry;
             self.unlink(idx);
             self.push_front(idx);
+            self.mutating = false;
             return;
         }
         if self.map.len() >= self.capacity {
@@ -151,6 +164,34 @@ impl AnswerCache {
         });
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.mutating = false;
+    }
+
+    /// Restores consistency after the enclosing lock was poisoned.
+    ///
+    /// A panic by a thread that merely *held* the lock leaves the cache
+    /// intact, and this is a no-op. A panic that unwound out of a
+    /// mutating cache method (the `mutating` marker is still set) may
+    /// have torn the LRU list or slot table, so every entry is
+    /// discarded and the structure returns to a sound empty state;
+    /// counters survive and [`CacheStats::poison_resets`] is bumped.
+    /// Dropping entries is always safe — the cache is a performance
+    /// layer, never a source of truth.
+    ///
+    /// Idempotent, and cheap when nothing is wrong: a `std::sync`
+    /// mutex stays poisoned forever once poisoned, so the owning
+    /// engine calls this on every post-poison acquisition.
+    pub fn recover_after_poison(&mut self) {
+        if !self.mutating {
+            return;
+        }
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats.poison_resets += 1;
+        self.mutating = false;
     }
 
     /// Records a verify-mode re-solve and whether it agreed.
@@ -276,6 +317,33 @@ mod tests {
         assert!(cache.lookup(&key(0)).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn poison_recovery_resets_only_after_a_torn_mutation() {
+        let mut cache = AnswerCache::new(4);
+        cache.insert(key(0), entry());
+
+        // Consistent cache (no mutation in flight): recovery is a no-op.
+        cache.recover_after_poison();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().poison_resets, 0);
+
+        // Simulate a panic that unwound out of a mutating method.
+        cache.mutating = true;
+        cache.recover_after_poison();
+        assert_eq!(cache.len(), 0, "a torn cache is cleared");
+        assert_eq!(cache.stats().poison_resets, 1);
+        assert_eq!(cache.stats().insertions, 1, "counters survive the reset");
+
+        // Idempotent: a second recovery on the now-sound cache does
+        // nothing (the poisoned mutex makes this the common path).
+        cache.recover_after_poison();
+        assert_eq!(cache.stats().poison_resets, 1);
+
+        // And the cleared cache accepts fresh entries.
+        cache.insert(key(1), entry());
+        assert!(cache.lookup(&key(1)).is_some());
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod executor;
 pub mod json;
 
 pub use batch::{
-    evidence_kind, BatchEngine, BatchReport, BatchStats, CacheOutcome, EngineConfig, Job,
-    JobResult, Verdict,
+    evidence_kind, unknown_reason_wire, BatchEngine, BatchReport, BatchStats, CacheOutcome,
+    EngineConfig, Job, JobResult, Verdict,
 };
 pub use cache::{AnswerCache, CacheStats, CachedEntry};
 pub use canon::{canonicalize, CanonicalQuery, ContextKey, QueryKey, Renaming};

@@ -1,0 +1,194 @@
+//! The JSONL trace recorder.
+//!
+//! [`FileRecorder`] appends one JSON object per record to a file. The
+//! line format (validated by `pathcons trace-check` and documented in
+//! `DESIGN.md` section H):
+//!
+//! ```text
+//! {"t":12,"tid":0,"kind":"span_enter","name":"chase"}
+//! {"t":98,"tid":0,"kind":"span_exit","name":"chase"}
+//! {"t":55,"tid":1,"kind":"counter","name":"chase.steps","delta":4}
+//! {"t":60,"tid":1,"kind":"histogram","name":"search.candidate_nodes","value":5}
+//! {"t":99,"tid":0,"kind":"event","name":"budget.attribution",
+//!  "fields":{"steps_total":9,...},"labels":{"engine":"chase",...}}
+//! ```
+//!
+//! `t` is microseconds since the recorder was created; `tid` is a small
+//! per-process thread ordinal (not the OS thread id), so interleaved
+//! worker traces can be teased apart.
+
+use crate::{json_escape, Recorder};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A thread-safe recorder writing one JSONL record per call.
+pub struct FileRecorder {
+    start: Instant,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileRecorder {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileRecorder> {
+        let file = File::create(path)?;
+        Ok(FileRecorder {
+            start: Instant::now(),
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.lock().flush()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<File>> {
+        // Writer state stays line-consistent (each record is written with
+        // a single write_all), so recover from poisoning by continuing.
+        match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn head(&self, kind: &str, name: &str) -> String {
+        let t = self.start.elapsed().as_micros() as u64;
+        let tid = TID.with(|t| *t);
+        format!(
+            "{{\"t\":{t},\"tid\":{tid},\"kind\":\"{kind}\",\"name\":\"{}\"",
+            json_escape(name)
+        )
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut writer = self.lock();
+        // Trace loss is preferable to taking the engine down mid-batch;
+        // a short write surfaces later as a trace-check failure.
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+}
+
+impl Drop for FileRecorder {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Recorder for FileRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &str) {
+        let mut line = self.head("span_enter", name);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn span_exit(&self, name: &str) {
+        let mut line = self.head("span_exit", name);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn counter(&self, key: &str, delta: u64) {
+        let mut line = self.head("counter", key);
+        let _ = write!(line, ",\"delta\":{delta}}}");
+        self.write_line(&line);
+    }
+
+    fn histogram(&self, key: &str, value: u64) {
+        let mut line = self.head("histogram", key);
+        let _ = write!(line, ",\"value\":{value}}}");
+        self.write_line(&line);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, u64)], labels: &[(&str, &str)]) {
+        let mut line = self.head("event", name);
+        line.push_str(",\"fields\":{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":{v}", json_escape(k));
+        }
+        line.push_str("},\"labels\":{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanGuard;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "pathcons-telemetry-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn writes_one_json_line_per_record() {
+        let path = temp_path("lines");
+        {
+            let rec = FileRecorder::create(&path).unwrap();
+            {
+                let _g = SpanGuard::enter(&rec, "outer");
+                rec.counter("c.key", 3);
+                rec.histogram("h.key", 9);
+                rec.event(
+                    "budget.attribution",
+                    &[("steps_total", 2), ("phase.repair_path", 2)],
+                    &[("engine", "chase"), ("reason", "has \"quotes\"")],
+                );
+            }
+            rec.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"kind\":\"span_enter\""));
+        assert!(lines[1].contains("\"delta\":3"));
+        assert!(lines[2].contains("\"value\":9"));
+        assert!(lines[3].contains("\"phase.repair_path\":2"));
+        assert!(lines[3].contains("has \\\"quotes\\\""));
+        assert!(lines[4].contains("\"kind\":\"span_exit\""));
+        for line in &lines {
+            assert!(line.starts_with("{\"t\":"), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let path = temp_path("dropflush");
+        {
+            let rec = FileRecorder::create(&path).unwrap();
+            rec.counter("k", 1);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,319 @@
+//! The thread-safe aggregating recorder.
+//!
+//! [`InMemoryRecorder`] keeps counters, histogram summaries, span
+//! balance counts and the full event log behind one mutex; a
+//! [`Snapshot`] is a consistent copy taken under that lock. It is the
+//! backing store for the CLI's human-readable profiles
+//! (`pathcons batch --trace`, `pathcons solve --explain-budget`) and
+//! for the instrumentation-must-not-perturb-verdicts property tests.
+
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregate of one histogram key: count/sum/min/max plus
+/// power-of-two buckets (`buckets[i]` counts values `v` with
+/// `64 - v.leading_zeros() == i`, i.e. bucket 0 holds zeros, bucket 1
+/// holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Power-of-two buckets, see the type docs.
+    pub buckets: [u64; 65],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> HistogramSummary {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Enter/exit counts of one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanBalance {
+    /// Times the span was entered.
+    pub enters: u64,
+    /// Times the span was exited.
+    pub exits: u64,
+}
+
+/// One recorded event: name, numeric fields, string labels, and the
+/// microsecond offset from the recorder's creation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Microseconds since the recorder was created.
+    pub t_micros: u64,
+    /// Event name.
+    pub name: String,
+    /// Numeric fields, in emission order.
+    pub fields: Vec<(String, u64)>,
+    /// String labels, in emission order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl EventRecord {
+    /// The value of a numeric field, if present.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The value of a string label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    spans: BTreeMap<String, SpanBalance>,
+    events: Vec<EventRecord>,
+}
+
+/// A consistent copy of an [`InMemoryRecorder`]'s aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter totals by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by key.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span enter/exit balance by name.
+    pub spans: BTreeMap<String, SpanBalance>,
+    /// The full event log, in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// A counter's total (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether every span name has as many exits as enters.
+    pub fn spans_balanced(&self) -> bool {
+        self.spans.values().all(|b| b.enters == b.exits)
+    }
+
+    /// All events with the given name, in emission order.
+    pub fn events_named<'a>(&'a self, name: &str) -> Vec<&'a EventRecord> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+}
+
+/// A thread-safe aggregating recorder: counters and histograms are
+/// merged, spans are balance-counted, events are kept verbatim.
+pub struct InMemoryRecorder {
+    start: Instant,
+    state: Mutex<State>,
+}
+
+impl InMemoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> InMemoryRecorder {
+        InMemoryRecorder {
+            start: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.lock();
+        Snapshot {
+            counters: state.counters.clone(),
+            histograms: state.histograms.clone(),
+            spans: state.spans.clone(),
+            events: state.events.clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // The recorder's own methods never panic while holding the lock
+        // (pure map/vec updates), so a poisoned mutex can only mean a
+        // caller panicked *elsewhere* while the OS preempted us; the
+        // data is still consistent — keep it.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> InMemoryRecorder {
+        InMemoryRecorder::new()
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &str) {
+        let mut state = self.lock();
+        match state.spans.get_mut(name) {
+            Some(b) => b.enters += 1,
+            None => {
+                state.spans.insert(
+                    name.to_owned(),
+                    SpanBalance {
+                        enters: 1,
+                        exits: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn span_exit(&self, name: &str) {
+        let mut state = self.lock();
+        state.spans.entry(name.to_owned()).or_default().exits += 1;
+    }
+
+    fn counter(&self, key: &str, delta: u64) {
+        let mut state = self.lock();
+        match state.counters.get_mut(key) {
+            Some(v) => *v += delta,
+            None => {
+                state.counters.insert(key.to_owned(), delta);
+            }
+        }
+    }
+
+    fn histogram(&self, key: &str, value: u64) {
+        let mut state = self.lock();
+        match state.histograms.get_mut(key) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = HistogramSummary::default();
+                h.observe(value);
+                state.histograms.insert(key.to_owned(), h);
+            }
+        }
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, u64)], labels: &[(&str, &str)]) {
+        let t_micros = self.start.elapsed().as_micros() as u64;
+        let record = EventRecord {
+            t_micros,
+            name: name.to_owned(),
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+        };
+        self.lock().events.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanGuard;
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("a", 1);
+        rec.counter("a", 4);
+        rec.histogram("h", 0);
+        rec.histogram("h", 3);
+        rec.histogram("h", 8);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        let h = &snap.histograms["h"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 11, 0, 8));
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[2], 1); // 3 ∈ [2, 4)
+        assert_eq!(h.buckets[4], 1); // 8 ∈ [8, 16)
+        assert!((h.mean() - 11.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_balance_even_across_panics() {
+        let rec = InMemoryRecorder::new();
+        {
+            let _g = SpanGuard::enter(&rec, "ok");
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = SpanGuard::enter(&rec, "boom");
+            panic!("inner panic");
+        }));
+        assert!(result.is_err());
+        let snap = rec.snapshot();
+        assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+        assert_eq!(snap.spans["boom"].enters, 1);
+        assert_eq!(snap.spans["boom"].exits, 1);
+    }
+
+    #[test]
+    fn events_keep_fields_and_labels() {
+        let rec = InMemoryRecorder::new();
+        rec.event("e", &[("x", 7)], &[("why", "because")]);
+        let snap = rec.snapshot();
+        let events = snap.events_named("e");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field("x"), Some(7));
+        assert_eq!(events[0].label("why"), Some("because"));
+        assert_eq!(events[0].field("absent"), None);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("n"), 400);
+    }
+}

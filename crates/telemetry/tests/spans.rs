@@ -1,0 +1,90 @@
+//! Span balance is structural: `SpanGuard` must exit on every return
+//! path — normal completion, early return, and unwinding panics — and
+//! the guarantee must hold through `Telemetry` handles and tees.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use pathcons_telemetry::{InMemoryRecorder, Recorder, SpanGuard, Telemetry};
+
+fn early_return(rec: &dyn Recorder, bail: bool) -> u32 {
+    let _outer = SpanGuard::enter(rec, "outer");
+    if bail {
+        return 1;
+    }
+    let _inner = SpanGuard::enter(rec, "inner");
+    2
+}
+
+#[test]
+fn spans_balance_on_normal_and_early_paths() {
+    let rec = InMemoryRecorder::new();
+    assert_eq!(early_return(&rec, false), 2);
+    assert_eq!(early_return(&rec, true), 1);
+    let snap = rec.snapshot();
+    assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+    assert_eq!(snap.spans["outer"].enters, 2);
+    assert_eq!(snap.spans["inner"].enters, 1);
+}
+
+#[test]
+fn spans_balance_across_panic_unwinds() {
+    let rec = Arc::new(InMemoryRecorder::new());
+    let telemetry = Telemetry::new(rec.clone());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let r = telemetry.recorder();
+        let _outer = SpanGuard::enter(r, "job");
+        let _inner = SpanGuard::enter(r, "chase");
+        panic!("constraint evaluation panicked");
+    }));
+    assert!(result.is_err());
+    let snap = rec.snapshot();
+    assert!(snap.spans_balanced(), "spans: {:?}", snap.spans);
+    assert_eq!(snap.spans["job"].exits, 1);
+    assert_eq!(snap.spans["chase"].exits, 1);
+}
+
+#[test]
+fn tee_keeps_every_sink_balanced() {
+    let a = Arc::new(InMemoryRecorder::new());
+    let b = Arc::new(InMemoryRecorder::new());
+    let telemetry = Telemetry::tee(vec![a.clone(), b.clone()]);
+    for _ in 0..3 {
+        let _g = SpanGuard::enter(telemetry.recorder(), "round");
+    }
+    for snap in [a.snapshot(), b.snapshot()] {
+        assert!(snap.spans_balanced());
+        assert_eq!(snap.spans["round"].enters, 3);
+    }
+}
+
+#[test]
+fn nested_guards_exit_in_reverse_order() {
+    // The in-memory recorder only balance-counts, so order is checked
+    // through the event log of a small probe recorder.
+    struct OrderProbe(std::sync::Mutex<Vec<String>>);
+    impl Recorder for OrderProbe {
+        fn enabled(&self) -> bool {
+            true
+        }
+        fn span_enter(&self, name: &str) {
+            self.0.lock().unwrap().push(format!("+{name}"));
+        }
+        fn span_exit(&self, name: &str) {
+            self.0.lock().unwrap().push(format!("-{name}"));
+        }
+        fn counter(&self, _: &str, _: u64) {}
+        fn histogram(&self, _: &str, _: u64) {}
+        fn event(&self, _: &str, _: &[(&str, u64)], _: &[(&str, &str)]) {}
+    }
+    let probe = OrderProbe(std::sync::Mutex::new(Vec::new()));
+    {
+        let _a = SpanGuard::enter(&probe, "a");
+        let _b = SpanGuard::enter(&probe, "b");
+    }
+    assert_eq!(
+        *probe.0.lock().unwrap(),
+        vec!["+a", "+b", "-b", "-a"],
+        "drop order must unwind the span stack"
+    );
+}
