@@ -12,6 +12,9 @@
 //!                   [--cache-size N] [--deadline-ms N] jobs through the caching engine
 //!                   [--chase-rounds N] [--chase-max-nodes N]
 //!                   [--search-samples N] [--verify] [--quiet]
+//!                   [--retries N] [--shed-depth N]    supervised retry budget and
+//!                                                     admission-control queue depth
+//!                   [--chaos seed=N[,rate=R][,kind=K]] deterministic fault injection
 //!                   [--trace F.jsonl]                 write a structured JSONL trace and
 //!                                                     print a profile summary to stderr
 //! pathcons trace-check --trace F.jsonl               validate a trace: every line parses,
@@ -31,7 +34,9 @@ use pathcons_core::telemetry::{schema, FileRecorder, InMemoryRecorder, Snapshot}
 use pathcons_core::{
     Budget, DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver, Telemetry,
 };
-use pathcons_engine::{BatchEngine, EngineConfig, Job, Json};
+use pathcons_engine::{
+    BatchEngine, EngineConfig, FaultPlan, Job, JobResult, Json, RetryPolicy, ShedPolicy, Verdict,
+};
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
 use std::fmt::Write as _;
@@ -84,9 +89,14 @@ usage:
   pathcons dot      --graph FILE
   pathcons batch    [--jobs FILE.jsonl] [--threads N] [--cache-size N]
                     [--deadline-ms N] [--chase-rounds N] [--chase-max-nodes N]
-                    [--search-samples N] [--verify] [--quiet] [--trace FILE.jsonl]
+                    [--search-samples N] [--retries N] [--shed-depth N]
+                    [--chaos seed=N[,rate=R][,kind=K]]
+                    [--verify] [--quiet] [--trace FILE.jsonl]
                     (jobs from stdin when --jobs is `-` or absent;
-                     JSONL results + a stats line on stdout;
+                     JSONL results + a stats line on stdout; malformed job
+                     lines become per-line error records, never an abort;
+                     --chaos injects deterministic faults to exercise the
+                     supervised-recovery path;
                      --trace writes a structured event log and profiles it on stderr)
   pathcons trace-check --trace FILE.jsonl
                     (validate a --trace log: lines parse, spans balance,
@@ -529,9 +539,36 @@ fn describe_evidence(evidence: &Evidence) -> String {
 /// "phi": "b -> a", "context": "semistructured", "deadline_ms": 50}`
 /// (`context` and `deadline_ms` optional; blank and `#` lines skipped).
 /// Per-job failures (parse errors, deadline `unknown`s, even panics)
-/// become error/unknown *results*; the process only fails when the
-/// batch itself cannot run. The final stdout line is a `{"stats": …}`
-/// object; a human-readable summary goes to stderr unless `--quiet`.
+/// become error/unknown *results*; a malformed JSONL line likewise
+/// becomes a per-line error record (`"id":"line-N"`) rather than
+/// aborting the batch. The process only fails when the batch itself
+/// cannot run. The final stdout line is a `{"stats": …}` object; a
+/// human-readable summary goes to stderr unless `--quiet`.
+///
+/// Injected faults panic by design; without this the default hook
+/// would spray backtraces over stderr for every recovered fault. Real
+/// panics (anything not tagged by the injector) still print normally.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if message.contains("chaos:") || message.contains("malformed result for job") {
+            return;
+        }
+        default(info);
+    }));
+}
+
+/// `--chaos seed=N[,rate=R][,kind=K]` arms the deterministic fault
+/// injector (panics, stalls, poisoned locks, torn cache writes,
+/// malformed results) to exercise the supervised-recovery path;
+/// `--retries N` bounds per-job retry attempts and `--shed-depth N`
+/// sheds jobs beyond a queue depth with fast `overloaded` answers.
 fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let jobs_path = args.optional("jobs");
     let threads = parse_numeric(args, "threads")?.unwrap_or(0);
@@ -540,6 +577,15 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let chase_rounds = parse_numeric(args, "chase-rounds")?;
     let chase_max_nodes = parse_numeric(args, "chase-max-nodes")?;
     let search_samples = parse_numeric(args, "search-samples")?;
+    let retries = parse_numeric(args, "retries")?;
+    let shed_depth = parse_numeric(args, "shed-depth")?.unwrap_or(0);
+    let chaos = match args.optional("chaos") {
+        None => None,
+        Some(spec) => Some(FaultPlan::parse(&spec).map_err(CliError::Usage)?),
+    };
+    if chaos.is_some() {
+        quiet_injected_panics();
+    }
     let verify = args.flag("verify");
     let quiet = args.flag("quiet");
     let trace_path = args.optional("trace");
@@ -551,6 +597,9 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         "chase-rounds",
         "chase-max-nodes",
         "search-samples",
+        "retries",
+        "shed-depth",
+        "chaos",
         "verify",
         "quiet",
         "trace",
@@ -567,7 +616,9 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         }
         Some(path) => read_file(path)?,
     };
-    let mut jobs = Job::parse_jobs(&text).map_err(CliError::Failed)?;
+    // Malformed lines never abort the batch: each becomes an error
+    // record keyed by its line number, emitted ahead of the results.
+    let (mut jobs, bad_lines) = Job::parse_jobs_lossy(&text);
     if let Some(ms) = deadline_ms {
         // A batch-wide default deadline; per-job deadlines win.
         for job in &mut jobs {
@@ -598,20 +649,46 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             Some(memory)
         }
     };
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = retries {
+        retry.max_retries = n;
+    }
     let engine = BatchEngine::new(EngineConfig {
         threads,
         cache_capacity: cache_size,
         verify,
         budget,
+        retry,
+        shed: ShedPolicy::queue_depth(shed_depth),
+        chaos,
     });
     let report = engine.run_batch(jobs);
 
     let mut out = String::new();
+    for (lineno, error) in &bad_lines {
+        let record = JobResult {
+            id: format!("line-{lineno}"),
+            verdict: Verdict::Error,
+            method: None,
+            detail: Some(format!("malformed job line: {error}")),
+            unknown_kind: None,
+            unknown_phase: None,
+            cache: None,
+            micros: 0,
+        };
+        let _ = writeln!(out, "{}", record.to_json());
+    }
     for result in &report.results {
         let _ = writeln!(out, "{}", result.to_json());
     }
     let _ = writeln!(out, "{}", report.stats.to_json());
     if !quiet {
+        if !bad_lines.is_empty() {
+            write_stderr(&format!(
+                "{} malformed job line(s) skipped (error records emitted)\n",
+                bad_lines.len()
+            ));
+        }
         write_stderr(&format!("{}\n", report.stats.render()));
         if let Some(memory) = &profile {
             write_stderr(&render_trace_profile(

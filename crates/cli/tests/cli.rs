@@ -324,12 +324,15 @@ fn batch_deadline_bounds_hard_jobs() {
     // A general-P_c job whose chase diverges and whose countermodel
     // search never hits (probed across seeds); under a huge explicit
     // budget the batch-wide default deadline is the only way out and
-    // turns it into a prompt `unknown`.
+    // turns it into a prompt `unknown`. Deadlines are armed at batch
+    // admission, so on a single-core box "easy" could expire while
+    // queued behind "hard" — its own generous per-job deadline (which
+    // overrides the batch default) keeps it decidable.
     let jobs = write(
         &dir,
         "jobs.jsonl",
         r#"{"id":"hard","sigma":["p: a -> a.b.c.d","p: d <- e"],"phi":"p: a -> e"}
-{"id":"easy","sigma":["a -> b"],"phi":"a -> b"}
+{"id":"easy","sigma":["a -> b"],"phi":"a -> b","deadline_ms":30000}
 "#,
     );
     let out = run(&[
@@ -484,10 +487,89 @@ fn trace_check_rejects_broken_traces() {
 }
 
 #[test]
-fn batch_rejects_malformed_jsonl() {
+fn batch_tolerates_malformed_jsonl_lines() {
     let dir = tempdir("batch-bad");
-    let jobs = write(&dir, "jobs.jsonl", "{\"id\":\"x\" no-json\n");
+    // A malformed line becomes a per-line error record; the rest of
+    // the batch still runs.
+    let jobs = write(
+        &dir,
+        "jobs.jsonl",
+        "{\"id\":\"x\" no-json\n{\"id\":\"ok\",\"sigma\":[\"a -> b\"],\"phi\":\"a -> b\"}\n",
+    );
     let out = run(&["batch", "--jobs", jobs.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "error record + result + stats: {stdout}");
+    assert!(
+        lines[0].contains(r#""id":"line-1""#)
+            && lines[0].contains(r#""verdict":"error""#)
+            && lines[0].contains("malformed job line"),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains(r#""id":"ok""#) && lines[1].contains(r#""verdict":"implied""#),
+        "{}",
+        lines[1]
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed job line"));
+}
+
+#[test]
+fn batch_chaos_recovers_and_loses_no_jobs() {
+    let dir = tempdir("batch-chaos");
+    // 24 distinct easy jobs under a fault-heavy plan: every result line
+    // must come back with its own id, and the trace must still
+    // validate (the resilience attribution sums like any other).
+    let mut body = String::new();
+    for i in 0..24 {
+        body.push_str(&format!(
+            "{{\"id\":\"j{i}\",\"sigma\":[\"a{i} -> b{i}\"],\"phi\":\"a{i} -> b{i}\"}}\n"
+        ));
+    }
+    let jobs = write(&dir, "jobs.jsonl", &body);
+    let trace = dir.join("trace.jsonl");
+    let out = run(&[
+        "batch",
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--threads",
+        "3",
+        "--chaos",
+        "seed=42,rate=128",
+        "--quiet",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 25, "24 results + stats: {stdout}");
+    for i in 0..24 {
+        assert!(
+            stdout.contains(&format!(r#""id":"j{i}""#)),
+            "job j{i} lost: {stdout}"
+        );
+    }
+    let check = run(&["trace-check", "--trace", trace.to_str().unwrap()]);
+    assert!(check.status.success(), "{check:?}");
+
+    // Shedding: a queue depth of 2 answers the tail `overloaded`.
+    let shed = run(&[
+        "batch",
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--shed-depth",
+        "2",
+        "--quiet",
+    ]);
+    assert!(shed.status.success(), "{shed:?}");
+    let shed_out = String::from_utf8_lossy(&shed.stdout);
+    assert_eq!(
+        shed_out.matches(r#""unknown_kind":"overloaded""#).count(),
+        22,
+        "{shed_out}"
+    );
+    assert!(shed_out.contains(r#""shed":22"#), "{shed_out}");
 }

@@ -353,6 +353,11 @@ pub enum UnknownReason {
     /// The wall-clock deadline (or a cancellation flag) fired before any
     /// semi-decider reached a verdict.
     DeadlineExceeded,
+    /// An admission controller shed the job before it reached a solver
+    /// (queue depth or deadline pressure crossed its threshold). Like
+    /// [`UnknownReason::DeadlineExceeded`], this describes the serving
+    /// system, not the query, and must never be cached.
+    Overloaded,
 }
 
 impl fmt::Display for UnknownReason {
@@ -371,6 +376,7 @@ impl fmt::Display for UnknownReason {
                 )
             }
             UnknownReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            UnknownReason::Overloaded => write!(f, "shed by admission controller (overloaded)"),
         }
     }
 }

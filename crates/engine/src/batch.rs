@@ -4,14 +4,17 @@ use crate::cache::{AnswerCache, CacheStats, CachedEntry};
 use crate::canon::{self, CanonicalQuery, Renaming};
 use crate::executor;
 use crate::json::Json;
+use crate::resilience::{self, FaultKind, FaultPlan, RetryPolicy, ShedPolicy};
 use pathcons_constraints::PathConstraint;
 use pathcons_core::{
-    Answer, Budget, DataContext, Evidence, Outcome, SchemaContext, Solver, SolverError,
-    UnknownReason,
+    Answer, Budget, DataContext, Deadline, Evidence, Method, Outcome, SchemaContext, Solver,
+    SolverError, UnknownReason,
 };
 use pathcons_graph::LabelInterner;
 use pathcons_telemetry::{schema, SpanGuard};
 use pathcons_types::{example_bibliography_schema, example_bibliography_schema_m, TypeGraph};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -27,6 +30,16 @@ pub struct EngineConfig {
     pub verify: bool,
     /// Base budget for every job (per-job deadlines are layered on top).
     pub budget: Budget,
+    /// Supervised-recovery policy: how often a panicked job is retried
+    /// and how its backoff grows.
+    pub retry: RetryPolicy,
+    /// Admission-control policy: when to shed load with fast
+    /// `Unknown(Overloaded)` answers.
+    pub shed: ShedPolicy,
+    /// Deterministic fault-injection schedule. `None` (the default and
+    /// the production setting) injects nothing; the CLI installs a plan
+    /// only under `--chaos seed=N`.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +49,9 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             verify: false,
             budget: Budget::default(),
+            retry: RetryPolicy::default(),
+            shed: ShedPolicy::unlimited(),
+            chaos: None,
         }
     }
 }
@@ -57,18 +73,48 @@ pub enum CacheOutcome {
 pub struct BatchEngine {
     config: EngineConfig,
     cache: Mutex<AnswerCache>,
+    /// Degraded read-only mode: set when poison recovery had to reset a
+    /// torn cache. While set, the engine keeps answering (lookups still
+    /// run) but skips cache inserts, bounding the blast radius of
+    /// whatever tore the structure until an operator calls
+    /// [`BatchEngine::exit_degraded`].
+    degraded: AtomicBool,
+    /// Inserts skipped because the engine was degraded.
+    degraded_skips: AtomicU64,
 }
 
 impl BatchEngine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> BatchEngine {
         let cache = Mutex::new(AnswerCache::new(config.cache_capacity));
-        BatchEngine { config, cache }
+        BatchEngine {
+            config,
+            cache,
+            degraded: AtomicBool::new(false),
+            degraded_skips: AtomicU64::new(0),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Whether the engine is in degraded read-only mode (a poison
+    /// recovery had to reset the cache).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Inserts skipped so far because the engine was degraded.
+    pub fn degraded_skips(&self) -> u64 {
+        self.degraded_skips.load(Ordering::Relaxed)
+    }
+
+    /// Clears degraded mode after an operator has investigated; the
+    /// cache (already reset by recovery) resumes accepting inserts.
+    pub fn exit_degraded(&self) {
+        self.degraded.store(false, Ordering::Relaxed);
     }
 
     /// Locks the answer cache, recovering explicitly from poisoning.
@@ -86,7 +132,12 @@ impl BatchEngine {
             Ok(guard) => guard,
             Err(poisoned) => {
                 let mut guard = poisoned.into_inner();
-                guard.recover_after_poison();
+                if guard.recover_after_poison() {
+                    // The reset is the last line of defence; drop into
+                    // degraded read-only mode so a repeat offender
+                    // cannot keep tearing and resetting the cache.
+                    self.degraded.store(true, Ordering::Relaxed);
+                }
                 guard
             }
         }
@@ -139,6 +190,22 @@ impl BatchEngine {
         let rec = telemetry.active();
         let canon = canon::canonicalize(context, sigma, phi);
         let cached = self.cache_guard().lookup(&canon.key);
+        // Hit-validation: never serve a structurally implausible entry.
+        // A torn write (chaos-injected or real) is detected here, the
+        // entry evicted, and the query falls through to a fresh solve.
+        let cached = match cached {
+            Some(entry) => match resilience::validate_hit(&entry) {
+                Ok(()) => Some(entry),
+                Err(_why) => {
+                    self.cache_guard().evict_invalid(&canon.key);
+                    if let Some(rec) = rec {
+                        rec.counter("cache.validation_evict", 1);
+                    }
+                    None
+                }
+            },
+            None => None,
+        };
         if let Some(entry) = cached {
             if let Some(rec) = rec {
                 rec.counter("cache.hit", 1);
@@ -172,16 +239,24 @@ impl BatchEngine {
             .with_budget(budget)
             .implies(sigma, phi)?;
         if cacheable(&answer) {
-            if let Some(rec) = rec {
-                rec.counter("cache.insert", 1);
+            if self.degraded.load(Ordering::Relaxed) {
+                // Degraded read-only mode: keep answering, stop writing.
+                self.degraded_skips.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = rec {
+                    rec.counter("cache.degraded_skip", 1);
+                }
+            } else {
+                if let Some(rec) = rec {
+                    rec.counter("cache.insert", 1);
+                }
+                self.cache_guard().insert(
+                    canon.key,
+                    CachedEntry {
+                        answer: answer.clone(),
+                        renaming: canon.renaming,
+                    },
+                );
             }
-            self.cache_guard().insert(
-                canon.key,
-                CachedEntry {
-                    answer: answer.clone(),
-                    renaming: canon.renaming,
-                },
-            );
         }
         Ok((answer, CacheOutcome::Miss))
     }
@@ -203,17 +278,63 @@ impl BatchEngine {
         let rec = telemetry.active();
         let _span = rec.map(|r| SpanGuard::enter(r, "batch"));
         let wall_start = Instant::now();
+        // Deadlines are armed at *admission*: a job's clock starts when
+        // the batch accepts it, not when a worker picks it up, so jobs
+        // can expire while still queued (and are then answered without
+        // occupying a worker slot — see `run_one`'s fast path).
+        let admitted = wall_start;
         let stats_before = self.cache_stats();
+        let degraded_skips_before = self.degraded_skips();
+
+        // Admission control: everything beyond the configured queue
+        // depth is shed with an immediate `Unknown(Overloaded)` — a
+        // cheap honest answer instead of unbounded queueing. Shed
+        // verdicts are never cached (`cacheable`), so a retry on a
+        // calmer engine gets a real answer.
+        let mut jobs = jobs;
+        let depth = self.config.shed.max_queue_depth;
+        let shed_jobs = if depth > 0 && jobs.len() > depth {
+            jobs.split_off(depth)
+        } else {
+            Vec::new()
+        };
+
         let ids: Vec<String> = jobs.iter().map(|job| job.id.clone()).collect();
+        let deadlines: Vec<Option<Instant>> = jobs
+            .iter()
+            .map(|job| {
+                job.deadline_ms
+                    .map(|ms| admitted + Duration::from_millis(ms))
+            })
+            .collect();
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.config.threads
         };
 
-        let outcomes = executor::run_jobs(threads, jobs, &|_, job: Job| self.run_one(job));
+        let queued_expired = AtomicU64::new(0);
+        let (outcomes, exec) = executor::run_supervised(
+            threads,
+            jobs,
+            &self.config.retry,
+            &deadlines,
+            &|idx, attempt, job: Job| {
+                let result = self.run_one(idx, attempt, job, deadlines[idx], &queued_expired);
+                // A result that does not echo its own job id is corrupt
+                // (the malformed-result fault, or a genuine bug). Treat
+                // it exactly like a job panic: the supervisor respawns
+                // the worker and retries the job clean rather than
+                // attributing the answer to the wrong id.
+                assert_eq!(
+                    result.id, ids[idx],
+                    "malformed result for job {idx}: wrong id"
+                );
+                result
+            },
+        );
 
-        let results: Vec<JobResult> = outcomes
+        let mut results: Vec<JobResult> = outcomes
             .into_iter()
             .zip(ids)
             .map(|(outcome, id)| {
@@ -221,7 +342,9 @@ impl BatchEngine {
                     id,
                     verdict: Verdict::Error,
                     method: None,
-                    detail: Some("job panicked; see stderr for the payload".to_owned()),
+                    detail: Some(
+                        "job panicked and was not recovered within the retry budget".to_owned(),
+                    ),
                     unknown_kind: None,
                     unknown_phase: None,
                     cache: None,
@@ -229,12 +352,34 @@ impl BatchEngine {
                 })
             })
             .collect();
+        let shed = shed_jobs.len();
+        for job in shed_jobs {
+            results.push(JobResult {
+                id: job.id,
+                verdict: Verdict::Unknown,
+                method: None,
+                detail: Some(UnknownReason::Overloaded.to_string()),
+                unknown_kind: Some("overloaded".to_owned()),
+                unknown_phase: None,
+                cache: None,
+                micros: 0,
+            });
+        }
 
         let stats = BatchStats::collect(
             &results,
             self.cache_stats(),
             stats_before,
             wall_start.elapsed(),
+            ResilienceTallies {
+                respawns: exec.respawns,
+                retries: exec.retries,
+                abandoned: exec.abandoned,
+                shed: shed as u64,
+                queued_expired: queued_expired.load(Ordering::Relaxed),
+                degraded_skips: self.degraded_skips() - degraded_skips_before,
+                degraded: self.is_degraded(),
+            },
         );
         if let Some(rec) = rec {
             rec.event(
@@ -252,18 +397,110 @@ impl BatchEngine {
                     ("wall_micros", stats.wall_micros),
                     ("p50_micros", stats.p50_micros),
                     ("p99_micros", stats.p99_micros),
+                    ("respawns", stats.respawns),
+                    ("retries", stats.retries),
+                    ("shed", stats.shed),
+                    ("queued_expired", stats.queued_expired),
+                    ("poison_resets", stats.poison_resets),
+                    ("validation_evictions", stats.validation_evictions),
                 ],
                 &[(schema::LABEL_ENGINE, "batch")],
+            );
+            // A second attribution record accounts for the batch's
+            // recovery actions: its `phase.*` fields partition
+            // `steps_total`, so `trace-check` validates it like any
+            // solver attribution.
+            let steps = stats.respawns
+                + stats.retries
+                + stats.shed
+                + stats.queued_expired
+                + stats.poison_resets
+                + stats.validation_evictions;
+            rec.event(
+                schema::EVENT_ATTRIBUTION,
+                &[
+                    (schema::FIELD_STEPS_TOTAL, steps),
+                    (schema::PHASE_RESPAWN, stats.respawns),
+                    (schema::PHASE_RETRY, stats.retries),
+                    (schema::PHASE_SHED, stats.shed),
+                    (schema::PHASE_DEADLINE_QUEUE, stats.queued_expired),
+                    (schema::PHASE_POISON_RESET, stats.poison_resets),
+                    (schema::PHASE_VALIDATION_EVICT, stats.validation_evictions),
+                ],
+                &[
+                    (schema::LABEL_ENGINE, schema::ENGINE_BATCH_RESILIENCE),
+                    (
+                        schema::LABEL_OUTCOME,
+                        if stats.degraded {
+                            "degraded"
+                        } else if steps == 0 {
+                            "clean"
+                        } else {
+                            "recovered"
+                        },
+                    ),
+                ],
             );
         }
         BatchReport { results, stats }
     }
 
-    fn run_one(&self, job: Job) -> JobResult {
+    /// Runs one job on a worker: parse, solve through the cache, shape
+    /// the result. `deadline_at` is the job's absolute deadline (armed
+    /// at admission); `queued_expired` counts deadline fast-path
+    /// answers. Chaos faults (if a plan is installed) fire only on
+    /// attempt 0, so supervised retries always run clean.
+    fn run_one(
+        &self,
+        idx: usize,
+        attempt: usize,
+        job: Job,
+        deadline_at: Option<Instant>,
+        queued_expired: &AtomicU64,
+    ) -> JobResult {
         let telemetry = self.config.budget.telemetry.clone();
         let rec = telemetry.active();
         let _span = rec.map(|r| SpanGuard::enter(r, "batch.job"));
         let start = Instant::now();
+
+        let fault = self
+            .config
+            .chaos
+            .as_ref()
+            .and_then(|plan| plan.fault_for(idx, attempt));
+        if fault == Some(FaultKind::Panic) {
+            panic!("chaos: injected panic (job {idx})");
+        }
+        if fault == Some(FaultKind::Stall) {
+            if let Some(plan) = &self.config.chaos {
+                std::thread::sleep(plan.stall_duration(idx));
+            }
+            // The stalled worker gives up as if the deadline supervisor
+            // cut it off: deterministic, honest, and never cached.
+            return deadline_result(job.id, start.elapsed());
+        }
+
+        // Deadline-expired-in-queue fast path: a job whose absolute
+        // deadline passed while it waited is answered immediately — it
+        // must not occupy a worker slot solving a query whose caller
+        // has already given up.
+        if let Some(deadline) = deadline_at {
+            if Instant::now() >= deadline {
+                queued_expired.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = rec {
+                    rec.counter("batch.queued_expired", 1);
+                }
+                return deadline_result(job.id, start.elapsed());
+            }
+        }
+
+        if fault == Some(FaultKind::PoisonedLock) {
+            // Panic *while holding the cache lock* mid-mutation: the
+            // lock poisons and the torn marker is set, so the next
+            // `cache_guard` resets the cache and flips degraded mode.
+            self.chaos_poison_lock();
+        }
+
         let fail = |detail: String| JobResult {
             id: job.id.clone(),
             verdict: Verdict::Error,
@@ -293,13 +530,19 @@ impl BatchEngine {
         };
 
         let mut budget = self.config.budget.clone();
-        if let Some(ms) = job.deadline_ms {
-            budget = budget.with_deadline(Duration::from_millis(ms));
+        if let Some(deadline) = deadline_at {
+            budget = budget.with_deadline_at(Deadline::at(deadline));
         }
 
         match self.solve_with_budget(&context, &sigma, &phi, budget) {
             Err(e) => fail(e.to_string()),
             Ok((answer, cache)) => {
+                if fault == Some(FaultKind::TornCacheWrite) {
+                    // Overwrite this job's cache slot with a forged,
+                    // never-cacheable entry — a torn write for the
+                    // hit-validator to catch on the next lookup.
+                    self.chaos_torn_write(&context, &sigma, &phi);
+                }
                 let (verdict, detail, unknown) = match &answer.outcome {
                     Outcome::Implied(_) => (Verdict::Implied, None, None),
                     Outcome::NotImplied(_) => (Verdict::NotImplied, None, None),
@@ -313,8 +556,15 @@ impl BatchEngine {
                     Some((kind, phase)) => (Some(kind.to_owned()), phase.map(str::to_owned)),
                     None => (None, None),
                 };
+                let id = if fault == Some(FaultKind::MalformedResult) {
+                    // Corrupt the result id; `run_batch`'s echo check
+                    // turns this into a retried job panic.
+                    format!("chaos:corrupted:{}", job.id)
+                } else {
+                    job.id
+                };
                 JobResult {
-                    id: job.id,
+                    id,
                     verdict,
                     method: Some(format!("{:?}", answer.method)),
                     detail,
@@ -325,6 +575,62 @@ impl BatchEngine {
                 }
             }
         }
+    }
+
+    /// The poisoned-lock fault: panic inside the cache lock with the
+    /// torn-mutation marker set, then swallow the unwind so only the
+    /// lock (not the worker) is damaged. The next `cache_guard` call
+    /// observes the poison, finds the marker, resets the cache and
+    /// enters degraded mode.
+    fn chaos_poison_lock(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut guard = match self.cache.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.chaos_begin_torn_mutation();
+            panic!("chaos: poisoned-lock fault");
+        }));
+        debug_assert!(result.is_err());
+    }
+
+    /// The torn-cache-write fault: replace the entry under this query's
+    /// canonical key with a forged, never-cacheable answer. The job's
+    /// own (already computed) result is unaffected; the corruption is
+    /// caught by the hit-validator when a later query hits the key.
+    fn chaos_torn_write(
+        &self,
+        context: &DataContext,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+    ) {
+        let canon = canon::canonicalize(context, sigma, phi);
+        self.cache_guard().insert(
+            canon.key,
+            CachedEntry {
+                answer: Answer {
+                    outcome: Outcome::Unknown(UnknownReason::DeadlineExceeded),
+                    method: Method::Chase,
+                },
+                renaming: canon.renaming,
+            },
+        );
+    }
+}
+
+/// The result shape shared by the two deadline-induced early exits
+/// (expired-in-queue and chaos stall): an uncached `Unknown` whose
+/// detail matches the solver's own `DeadlineExceeded` rendering.
+fn deadline_result(id: String, elapsed: Duration) -> JobResult {
+    JobResult {
+        id,
+        verdict: Verdict::Unknown,
+        method: None,
+        detail: Some(UnknownReason::DeadlineExceeded.to_string()),
+        unknown_kind: Some("deadline".to_owned()),
+        unknown_phase: None,
+        cache: None,
+        micros: elapsed.as_micros() as u64,
     }
 }
 
@@ -363,11 +669,13 @@ fn adapt_answer(entry: CachedEntry, canon: &CanonicalQuery) -> Answer {
 }
 
 /// Whether an answer may be stored: everything except deadline-induced
-/// `Unknown`s (those depend on the per-job deadline, not the query).
+/// `Unknown`s (those depend on the per-job deadline, not the query) and
+/// shed verdicts (those depend on transient queue depth, not the query).
 fn cacheable(answer: &Answer) -> bool {
     !matches!(
         answer.outcome,
         Outcome::Unknown(UnknownReason::DeadlineExceeded)
+            | Outcome::Unknown(UnknownReason::Overloaded)
     )
 }
 
@@ -394,6 +702,7 @@ pub fn unknown_reason_wire(reason: &UnknownReason) -> (&'static str, Option<&'st
         UnknownReason::AllBudgetsExhausted => ("all-budgets", None),
         UnknownReason::UntypedCounterModelNotTyped => ("untyped-countermodel-not-typed", None),
         UnknownReason::DeadlineExceeded => ("deadline", None),
+        UnknownReason::Overloaded => ("overloaded", None),
     }
 }
 
@@ -511,6 +820,26 @@ impl Job {
             jobs.push(Job::from_json_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
         }
         Ok(jobs)
+    }
+
+    /// Like [`Job::parse_jobs`], but a malformed line never aborts the
+    /// batch: parseable jobs are returned alongside `(1-based line
+    /// number, error)` records for the rest, so callers can emit a
+    /// per-line error result and keep going.
+    pub fn parse_jobs_lossy(text: &str) -> (Vec<Job>, Vec<(usize, String)>) {
+        let mut jobs = Vec::new();
+        let mut bad = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match Job::from_json_line(line) {
+                Ok(job) => jobs.push(job),
+                Err(e) => bad.push((lineno + 1, e)),
+            }
+        }
+        (jobs, bad)
     }
 
     /// Serializes the job back to one JSONL line.
@@ -643,6 +972,38 @@ pub struct BatchStats {
     pub wall_micros: u64,
     /// Verify-mode disagreements observed during the batch.
     pub verify_mismatches: u64,
+    /// Replacement workers spawned after job panics.
+    pub respawns: u64,
+    /// Panicked jobs requeued and re-run.
+    pub retries: u64,
+    /// Panicked jobs given up on (retry budget or deadline).
+    pub abandoned: u64,
+    /// Jobs shed by the admission controller (`Unknown(Overloaded)`).
+    pub shed: u64,
+    /// Jobs whose deadline expired while queued, answered without
+    /// occupying a worker slot.
+    pub queued_expired: u64,
+    /// Cache poison resets observed during the batch.
+    pub poison_resets: u64,
+    /// Cache hits rejected by the hit-validator and evicted.
+    pub validation_evictions: u64,
+    /// Inserts skipped during the batch because the engine was degraded.
+    pub degraded_skips: u64,
+    /// Whether the engine ended the batch in degraded read-only mode.
+    pub degraded: bool,
+}
+
+/// Recovery-action tallies handed from `run_batch` to
+/// [`BatchStats::collect`] (executor counters plus admission-control
+/// counts that no cache snapshot carries).
+struct ResilienceTallies {
+    respawns: u64,
+    retries: u64,
+    abandoned: u64,
+    shed: u64,
+    queued_expired: u64,
+    degraded_skips: u64,
+    degraded: bool,
 }
 
 impl BatchStats {
@@ -651,6 +1012,7 @@ impl BatchStats {
         after: CacheStats,
         before: CacheStats,
         wall: Duration,
+        tallies: ResilienceTallies,
     ) -> BatchStats {
         let mut latencies: Vec<u64> = results.iter().map(|r| r.micros).collect();
         latencies.sort_unstable();
@@ -681,6 +1043,17 @@ impl BatchStats {
             verify_mismatches: after
                 .verify_mismatches
                 .saturating_sub(before.verify_mismatches),
+            respawns: tallies.respawns,
+            retries: tallies.retries,
+            abandoned: tallies.abandoned,
+            shed: tallies.shed,
+            queued_expired: tallies.queued_expired,
+            poison_resets: after.poison_resets.saturating_sub(before.poison_resets),
+            validation_evictions: after
+                .validation_evictions
+                .saturating_sub(before.validation_evictions),
+            degraded_skips: tallies.degraded_skips,
+            degraded: tallies.degraded,
         }
     }
 
@@ -715,6 +1088,27 @@ impl BatchStats {
                     "verify_mismatches".to_owned(),
                     Json::Num(self.verify_mismatches as f64),
                 ),
+                ("respawns".to_owned(), Json::Num(self.respawns as f64)),
+                ("retries".to_owned(), Json::Num(self.retries as f64)),
+                ("abandoned".to_owned(), Json::Num(self.abandoned as f64)),
+                ("shed".to_owned(), Json::Num(self.shed as f64)),
+                (
+                    "queued_expired".to_owned(),
+                    Json::Num(self.queued_expired as f64),
+                ),
+                (
+                    "poison_resets".to_owned(),
+                    Json::Num(self.poison_resets as f64),
+                ),
+                (
+                    "validation_evictions".to_owned(),
+                    Json::Num(self.validation_evictions as f64),
+                ),
+                (
+                    "degraded_skips".to_owned(),
+                    Json::Num(self.degraded_skips as f64),
+                ),
+                ("degraded".to_owned(), Json::Bool(self.degraded)),
             ]),
         )])
     }
@@ -724,7 +1118,7 @@ impl BatchStats {
         format!(
             "{} jobs in {:.1} ms: {} implied, {} not implied, {} unknown, {} errors; \
              cache {} hits / {} misses ({:.0}% hit rate, {} evictions); \
-             latency p50 {} µs, p99 {} µs, max {} µs{}",
+             latency p50 {} µs, p99 {} µs, max {} µs{}{}",
             self.jobs,
             self.wall_micros as f64 / 1000.0,
             self.implied,
@@ -738,12 +1132,41 @@ impl BatchStats {
             self.p50_micros,
             self.p99_micros,
             self.max_micros,
+            self.render_resilience(),
             if self.verify_mismatches > 0 {
                 format!("; {} VERIFY MISMATCHES", self.verify_mismatches)
             } else {
                 String::new()
             }
         )
+    }
+
+    /// The resilience clause of [`BatchStats::render`]: empty for a
+    /// clean batch, otherwise only the non-zero recovery counters.
+    fn render_resilience(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (count, noun) in [
+            (self.respawns, "respawns"),
+            (self.retries, "retries"),
+            (self.abandoned, "abandoned"),
+            (self.shed, "shed"),
+            (self.queued_expired, "expired in queue"),
+            (self.poison_resets, "poison resets"),
+            (self.validation_evictions, "validation evictions"),
+            (self.degraded_skips, "degraded skips"),
+        ] {
+            if count > 0 {
+                parts.push(format!("{count} {noun}"));
+            }
+        }
+        if self.degraded {
+            parts.push("DEGRADED".to_owned());
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("; resilience: {}", parts.join(", "))
+        }
     }
 }
 

@@ -28,6 +28,10 @@ pub struct CacheStats {
     pub verify_mismatches: u64,
     /// Times the cache was cleared to recover from lock poisoning.
     pub poison_resets: u64,
+    /// Entries rejected at serve time — by the structural hit-validator
+    /// or by the cache's own map/slot consistency check — and evicted
+    /// instead of served.
+    pub validation_evictions: u64,
 }
 
 /// A cached answer plus the inserting query's renaming into the
@@ -100,21 +104,37 @@ impl AnswerCache {
 
     /// Looks up a canonical key, counting a hit or miss and refreshing
     /// recency on hit. Returns a clone (entries stay owned by the cache).
+    ///
+    /// Defensive against torn state: a mapped index whose slot is dead,
+    /// or whose slot stores a *different* key than the map said (the
+    /// canonical-key half of the hit-validator), is treated as a miss —
+    /// the mapping is dropped and a
+    /// [`CacheStats::validation_evictions`] is counted — rather than
+    /// served or panicked on.
     pub fn lookup(&mut self, key: &QueryKey) -> Option<CachedEntry> {
         self.mutating = true;
         let result = match self.map.get(key).copied() {
-            Some(idx) => {
-                self.stats.hits += 1;
-                self.unlink(idx);
-                self.push_front(idx);
-                Some(
-                    self.slots[idx]
-                        .as_ref()
-                        .expect("mapped slot is live")
-                        .entry
-                        .clone(),
-                )
-            }
+            Some(idx) => match self.slots.get(idx).and_then(Option::as_ref) {
+                Some(slot) if slot.key == *key => {
+                    self.stats.hits += 1;
+                    self.unlink(idx);
+                    self.push_front(idx);
+                    Some(
+                        self.slots[idx]
+                            .as_ref()
+                            .expect("slot checked live above")
+                            .entry
+                            .clone(),
+                    )
+                }
+                _ => {
+                    // Torn map entry: never serve it.
+                    self.map.remove(key);
+                    self.stats.validation_evictions += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            },
             None => {
                 self.stats.misses += 1;
                 None
@@ -122,6 +142,29 @@ impl AnswerCache {
         };
         self.mutating = false;
         result
+    }
+
+    /// Removes an entry the hit-validator rejected, counting a
+    /// [`CacheStats::validation_evictions`]. Returns whether the key
+    /// was present.
+    pub fn evict_invalid(&mut self, key: &QueryKey) -> bool {
+        self.mutating = true;
+        let removed = match self.map.remove(key) {
+            None => false,
+            Some(idx) => {
+                if self.slots.get(idx).and_then(Option::as_ref).is_some() {
+                    self.unlink(idx);
+                    self.slots[idx] = None;
+                    self.free.push(idx);
+                }
+                true
+            }
+        };
+        if removed {
+            self.stats.validation_evictions += 1;
+        }
+        self.mutating = false;
+        removed
     }
 
     /// Stores an entry, evicting the least-recently-used one if full.
@@ -181,9 +224,12 @@ impl AnswerCache {
     /// Idempotent, and cheap when nothing is wrong: a `std::sync`
     /// mutex stays poisoned forever once poisoned, so the owning
     /// engine calls this on every post-poison acquisition.
-    pub fn recover_after_poison(&mut self) {
+    ///
+    /// Returns whether a reset was performed — the owning engine uses
+    /// that signal to drop into degraded (read-only) mode.
+    pub fn recover_after_poison(&mut self) -> bool {
         if !self.mutating {
-            return;
+            return false;
         }
         self.map.clear();
         self.slots.clear();
@@ -192,6 +238,17 @@ impl AnswerCache {
         self.tail = NIL;
         self.stats.poison_resets += 1;
         self.mutating = false;
+        true
+    }
+
+    /// Marks a structural mutation as in flight without completing it —
+    /// the fault-injection hook behind `FaultKind::PoisonedLock`. A
+    /// panic taken while this marker is set (and the enclosing lock is
+    /// held) reproduces exactly the torn-mid-mutation state that
+    /// [`AnswerCache::recover_after_poison`] exists to repair.
+    #[doc(hidden)]
+    pub fn chaos_begin_torn_mutation(&mut self) {
+        self.mutating = true;
     }
 
     /// Records a verify-mode re-solve and whether it agreed.
@@ -344,6 +401,41 @@ mod tests {
         // And the cleared cache accepts fresh entries.
         cache.insert(key(1), entry());
         assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    #[test]
+    fn evict_invalid_removes_entry_and_counts() {
+        let mut cache = AnswerCache::new(4);
+        cache.insert(key(0), entry());
+        cache.insert(key(1), entry());
+        assert!(cache.evict_invalid(&key(0)));
+        assert!(!cache.evict_invalid(&key(0)), "second eviction is a no-op");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().validation_evictions, 1);
+        assert!(cache.lookup(&key(0)).is_none());
+        assert!(cache.lookup(&key(1)).is_some());
+        // The freed slot is reusable.
+        cache.insert(key(2), entry());
+        assert!(cache.lookup(&key(2)).is_some());
+    }
+
+    #[test]
+    fn torn_map_entries_miss_instead_of_panicking() {
+        let mut cache = AnswerCache::new(4);
+        cache.insert(key(0), entry());
+        // Tear the map: point a key at a slot index that was never
+        // allocated (as a panic mid-insert could).
+        cache.map.insert(key(7), 999);
+        assert!(cache.lookup(&key(7)).is_none(), "torn entry is a miss");
+        assert_eq!(cache.stats().validation_evictions, 1);
+        assert!(!cache.map.contains_key(&key(7)), "torn mapping dropped");
+        // Tear differently: map key(8) at key(0)'s slot (key mismatch).
+        let idx0 = *cache.map.get(&key(0)).unwrap();
+        cache.map.insert(key(8), idx0);
+        assert!(cache.lookup(&key(8)).is_none());
+        assert_eq!(cache.stats().validation_evictions, 2);
+        // The legitimate entry is untouched throughout.
+        assert!(cache.lookup(&key(0)).is_some());
     }
 
     #[test]

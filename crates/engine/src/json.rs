@@ -316,11 +316,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are guaranteed valid).
+                    // Consume one UTF-8 character. The input came in as
+                    // a &str, so boundaries should always be valid —
+                    // but a parser must degrade to an error, never a
+                    // panic, if that assumption is somehow broken.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().expect("peeked non-empty");
+                    let c = match std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                    {
+                        Some(c) => c,
+                        None => return Err(self.err("invalid UTF-8 in string")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -366,10 +373,14 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
+        // The slice holds only ASCII digit/sign/exponent bytes, so the
+        // UTF-8 check cannot fail — but fold it into the parse error
+        // rather than panicking on an impossible input.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
             .map(Json::Num)
-            .map_err(|_| self.err("malformed number"))
+            .ok_or_else(|| self.err("malformed number"))
     }
 }
 

@@ -17,7 +17,14 @@
 //! - **Work-stealing executor** ([`executor`]): a small `std::thread`
 //!   pool fans a `Vec<Job>` across cores; each job runs under
 //!   `catch_unwind`, so a panicking job becomes an error result and
-//!   never takes the batch down.
+//!   never takes the batch down. A supervisor respawns dead workers
+//!   and retries their jobs within a bounded, deadline-aware budget
+//!   ([`executor::run_supervised`]).
+//! - **Resilience layer** ([`resilience`]): deterministic fault
+//!   injection (`--chaos seed=N`), retry/backoff and load-shedding
+//!   policies, and a hit-validator that structurally checks cached
+//!   answers before they are served. Poison recovery that had to reset
+//!   the cache drops the engine into degraded read-only mode.
 //! - **Deadline budgets** (in `pathcons_core`): `Budget::with_deadline`
 //!   arms a wall-clock cut-off (plus optional cancellation flag)
 //!   checked inside the chase and search loops; an out-of-time job
@@ -37,6 +44,7 @@ pub mod cache;
 pub mod canon;
 pub mod executor;
 pub mod json;
+pub mod resilience;
 
 pub use batch::{
     evidence_kind, unknown_reason_wire, BatchEngine, BatchReport, BatchStats, CacheOutcome,
@@ -44,4 +52,6 @@ pub use batch::{
 };
 pub use cache::{AnswerCache, CacheStats, CachedEntry};
 pub use canon::{canonicalize, CanonicalQuery, ContextKey, QueryKey, Renaming};
+pub use executor::ExecStats;
 pub use json::{Json, JsonError};
+pub use resilience::{validate_hit, FaultKind, FaultPlan, HitInvalid, RetryPolicy, ShedPolicy};

@@ -75,6 +75,27 @@ pub mod schema {
     pub const LABEL_OUTCOME: &str = "outcome";
     /// Label carrying the `UnknownReason` rendering for unknown runs.
     pub const LABEL_REASON: &str = "reason";
+
+    /// `LABEL_ENGINE` value of the per-batch resilience attribution
+    /// record: an [`EVENT_ATTRIBUTION`] whose `phase.*` fields count
+    /// recovery actions (respawns, retries, sheds, poison resets,
+    /// validation evictions, queued-deadline fast answers) and sum to
+    /// [`FIELD_STEPS_TOTAL`], so `trace-check` validates it like any
+    /// other attribution.
+    pub const ENGINE_BATCH_RESILIENCE: &str = "batch.resilience";
+    /// Resilience phase: workers respawned after a job panic.
+    pub const PHASE_RESPAWN: &str = "phase.respawn";
+    /// Resilience phase: panicked jobs requeued for another attempt.
+    pub const PHASE_RETRY: &str = "phase.retry";
+    /// Resilience phase: jobs shed by the admission controller.
+    pub const PHASE_SHED: &str = "phase.shed";
+    /// Resilience phase: cache poison resets observed during the batch.
+    pub const PHASE_POISON_RESET: &str = "phase.poison-reset";
+    /// Resilience phase: cache hits rejected by the hit-validator.
+    pub const PHASE_VALIDATION_EVICT: &str = "phase.validation-evict";
+    /// Resilience phase: jobs found already past their deadline while
+    /// queued, answered without solving.
+    pub const PHASE_DEADLINE_QUEUE: &str = "phase.deadline-queue";
 }
 
 /// A sink for instrumentation: spans, counters, histograms and events.
