@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! pathcons check    --graph G --constraints C        check G ⊨ Σ, list violations
+//! pathcons check    --results R.jsonl --jobs F.jsonl audit batch-result certificates
+//!                                                     offline with the trusted checker
 //! pathcons validate --doc D.xml --schema S           type-check an XML document
 //! pathcons implies  --constraints C --query Q        decide/semi-decide Σ ⊨ φ
 //!                   [--schema S --context m|mplus]
@@ -11,7 +13,10 @@
 //! pathcons batch    [--jobs F.jsonl] [--threads N]   run a JSONL batch of implication
 //!                   [--cache-size N] [--deadline-ms N] jobs through the caching engine
 //!                   [--chase-rounds N] [--chase-max-nodes N]
-//!                   [--search-samples N] [--verify] [--quiet]
+//!                   [--search-samples N] [--quiet]
+//!                   [--verify[=check|resolve]]        validate cache hits: `check` runs
+//!                                                     the certificate checker, `resolve`
+//!                                                     re-solves as an oracle
 //!                   [--retries N] [--shed-depth N]    supervised retry budget and
 //!                                                     admission-control queue depth
 //!                   [--chaos seed=N[,rate=R][,kind=K]] deterministic fault injection
@@ -35,7 +40,8 @@ use pathcons_core::{
     Budget, DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver, Telemetry,
 };
 use pathcons_engine::{
-    BatchEngine, EngineConfig, FaultPlan, Job, JobResult, Json, RetryPolicy, ShedPolicy, Verdict,
+    build_context, canonicalize, certificate_from_json, snapshot_id, BatchEngine, EngineConfig,
+    FaultPlan, Job, JobResult, Json, RetryPolicy, ShedPolicy, Verdict, VerifyMode,
 };
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
@@ -82,6 +88,10 @@ fn write_stderr(text: &str) {
 const USAGE: &str = "\
 usage:
   pathcons check    --graph FILE --constraints FILE
+  pathcons check    --results FILE.jsonl --jobs FILE.jsonl
+                    (audit the certificates in a batch results file with
+                     the trusted checker — no solver code on this path;
+                     exit 1 if any certificate is invalid)
   pathcons validate --doc FILE --schema FILE
   pathcons implies  --constraints FILE --query CONSTRAINT
                     [--schema FILE --context m|mplus] [--finite] [--explain-budget]
@@ -91,7 +101,7 @@ usage:
                     [--deadline-ms N] [--chase-rounds N] [--chase-max-nodes N]
                     [--search-samples N] [--retries N] [--shed-depth N]
                     [--chaos seed=N[,rate=R][,kind=K]]
-                    [--verify] [--quiet] [--trace FILE.jsonl]
+                    [--verify[=check|resolve]] [--quiet] [--trace FILE.jsonl]
                     (jobs from stdin when --jobs is `-` or absent;
                      JSONL results + a stats line on stdout; malformed job
                      lines become per-line error records, never an abort;
@@ -174,6 +184,12 @@ fn load_schema_file(path: &str, labels: &mut LabelInterner) -> Result<Schema, Cl
 }
 
 fn cmd_check(args: &Args) -> Result<String, CliError> {
+    // Two checkers share the subcommand: `check --results R --jobs J`
+    // audits batch-result certificates offline; `check --graph G
+    // --constraints C` checks graph satisfaction.
+    if args.optional("results").is_some() {
+        return cmd_check_results(args);
+    }
     let graph_path = args.required("graph")?;
     let constraints_path = args.required("constraints")?;
     args.finish(&["graph", "constraints"])?;
@@ -253,6 +269,139 @@ fn cmd_check(args: &Args) -> Result<String, CliError> {
         failures
     );
     if failures == 0 {
+        Ok(out)
+    } else {
+        Err(CliError::CheckFailed(out))
+    }
+}
+
+/// `pathcons check --results R.jsonl --jobs J.jsonl`: the offline
+/// certificate auditor.
+///
+/// Re-canonicalizes each job (canonicalization is deterministic, so the
+/// snapshot id recomputes identically in a different process), then
+/// runs the trusted `pathcons-cert` checker over every result line that
+/// carries a certificate. No chase or search code is on this path: a
+/// valid line means the verdict is evidenced, independent of the engine
+/// that produced it. Results without certificates (evidence kinds with
+/// no certificate form, error records) are counted but not failed.
+fn cmd_check_results(args: &Args) -> Result<String, CliError> {
+    use pathcons_core::cert::{self, CertificateBody};
+
+    let results_path = args.required("results")?;
+    let jobs_path = args.required("jobs")?;
+    args.finish(&["results", "jobs"])?;
+
+    let (jobs, _bad) = Job::parse_jobs_lossy(&read_file(&jobs_path)?);
+    let jobs: std::collections::HashMap<String, Job> =
+        jobs.into_iter().map(|j| (j.id.clone(), j)).collect();
+
+    let mut out = String::new();
+    let mut certified = 0usize;
+    let mut unchecked = 0usize;
+    let mut invalid = 0usize;
+    let fail = |out: &mut String, invalid: &mut usize, id: &str, why: String| {
+        *invalid += 1;
+        let _ = writeln!(out, "INVALID  {id}: {why}");
+    };
+    for (lineno, raw) in read_file(&results_path)?.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let value = Json::parse(line)
+            .map_err(|e| CliError::Failed(format!("results line {}: {e}", lineno + 1)))?;
+        if value.get("stats").is_some() {
+            continue; // the batch's trailing summary line
+        }
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Failed(format!("results line {}: no `id`", lineno + 1)))?
+            .to_owned();
+        let verdict = value.get("verdict").and_then(Json::as_str).unwrap_or("");
+        let Some(cert_json) = value.get("certificate") else {
+            unchecked += 1;
+            continue;
+        };
+        let certificate = match certificate_from_json(cert_json) {
+            Ok(c) => c,
+            Err(e) => {
+                fail(&mut out, &mut invalid, &id, format!("bad certificate: {e}"));
+                continue;
+            }
+        };
+        // The certificate's class must match the claimed verdict — a
+        // valid Implied certificate attached to a `not-implied` line
+        // certifies nothing about that line.
+        let class_ok = matches!(
+            (&certificate.body, verdict),
+            (CertificateBody::Implied(_), "implied")
+                | (CertificateBody::NotImplied(_), "not-implied")
+                | (CertificateBody::Unknown(_), "unknown")
+        );
+        if !class_ok {
+            fail(
+                &mut out,
+                &mut invalid,
+                &id,
+                format!("certificate class does not match verdict `{verdict}`"),
+            );
+            continue;
+        }
+        let Some(job) = jobs.get(&id) else {
+            fail(&mut out, &mut invalid, &id, "no such job id".to_owned());
+            continue;
+        };
+        // Rebuild the canonical query exactly as the engine did.
+        let mut labels = LabelInterner::new();
+        let context = match build_context(&job.context, &mut labels) {
+            Ok(c) => c,
+            Err(e) => {
+                fail(&mut out, &mut invalid, &id, e);
+                continue;
+            }
+        };
+        let mut sigma = Vec::with_capacity(job.sigma.len());
+        let mut parse_error = None;
+        for text in &job.sigma {
+            match PathConstraint::parse(text, &mut labels) {
+                Ok(c) => sigma.push(c),
+                Err(e) => {
+                    parse_error = Some(format!("bad constraint `{text}`: {e}"));
+                    break;
+                }
+            }
+        }
+        if let Some(e) = parse_error {
+            fail(&mut out, &mut invalid, &id, e);
+            continue;
+        }
+        let phi = match PathConstraint::parse(&job.phi, &mut labels) {
+            Ok(phi) => phi,
+            Err(e) => {
+                fail(&mut out, &mut invalid, &id, format!("bad query: {e}"));
+                continue;
+            }
+        };
+        let canon = canonicalize(&context, &sigma, &phi);
+        let check_context = cert::CheckContext {
+            snapshot: snapshot_id(&canon.key),
+            sigma: &canon.key.sigma,
+            phi: &canon.key.phi,
+        };
+        match cert::check(&certificate, &check_context) {
+            cert::CheckResult::Valid => certified += 1,
+            cert::CheckResult::Invalid(why) => fail(&mut out, &mut invalid, &id, why),
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "{} certified, {} unchecked (no certificate), {} invalid",
+        certified, unchecked, invalid
+    );
+    if invalid == 0 {
         Ok(out)
     } else {
         Err(CliError::CheckFailed(out))
@@ -522,7 +671,7 @@ fn describe_evidence(evidence: &Evidence) -> String {
         Evidence::InconsistentTheory { index } => {
             format!("Σ is unsatisfiable over U(σ) (constraint #{index})")
         }
-        Evidence::ChaseForced { steps } => {
+        Evidence::ChaseForced { steps, .. } => {
             format!("chase forced the conclusion after {steps} steps")
         }
         Evidence::UntypedImplication(inner) => format!(
@@ -569,6 +718,37 @@ fn quiet_injected_panics() {
 /// malformed results) to exercise the supervised-recovery path;
 /// `--retries N` bounds per-job retry attempts and `--shed-depth N`
 /// sheds jobs beyond a queue depth with fast `overloaded` answers.
+/// Parses the `--verify` family of flags into a [`VerifyMode`].
+///
+/// Accepted spellings: bare `--verify` and `--verify check` /
+/// `--verify=check` (checker-validated hits), `--verify resolve` /
+/// `--verify=resolve` (the legacy re-solve oracle). The `=` spellings
+/// land in the parser as flags named `verify=check` / `verify=resolve`.
+fn parse_verify_mode(args: &Args) -> Result<VerifyMode, CliError> {
+    let eq_check = args.flag("verify=check");
+    let eq_resolve = args.flag("verify=resolve");
+    if eq_check && eq_resolve {
+        return Err(CliError::Usage(
+            "conflicting --verify modes: pick `check` or `resolve`".into(),
+        ));
+    }
+    if eq_check {
+        return Ok(VerifyMode::Check);
+    }
+    if eq_resolve {
+        return Ok(VerifyMode::Resolve);
+    }
+    match args.optional("verify").as_deref() {
+        Some("check") => Ok(VerifyMode::Check),
+        Some("resolve") => Ok(VerifyMode::Resolve),
+        Some(other) => Err(CliError::Usage(format!(
+            "bad --verify mode `{other}`: expected `check` or `resolve`"
+        ))),
+        None if args.flag("verify") => Ok(VerifyMode::Check),
+        None => Ok(VerifyMode::Off),
+    }
+}
+
 fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let jobs_path = args.optional("jobs");
     let threads = parse_numeric(args, "threads")?.unwrap_or(0);
@@ -586,7 +766,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     if chaos.is_some() {
         quiet_injected_panics();
     }
-    let verify = args.flag("verify");
+    let verify = parse_verify_mode(args)?;
     let quiet = args.flag("quiet");
     let trace_path = args.optional("trace");
     args.finish(&[
@@ -601,6 +781,8 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         "shed-depth",
         "chaos",
         "verify",
+        "verify=check",
+        "verify=resolve",
         "quiet",
         "trace",
     ])?;
@@ -674,6 +856,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             unknown_kind: None,
             unknown_phase: None,
             cache: None,
+            certificate: None,
             micros: 0,
         };
         let _ = writeln!(out, "{}", record.to_json());

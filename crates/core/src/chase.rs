@@ -36,6 +36,7 @@ use crate::outcome::{
     Budget, BudgetPhase, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation,
     UnknownReason,
 };
+use pathcons_cert::{ChaseStep, ChaseTrace};
 use pathcons_constraints::{holds, violations, Kind, PathConstraint, ViolationIndex};
 use pathcons_graph::{word_holds, Graph, Label, NodeId, UnionFind};
 use pathcons_telemetry::{schema, NoopRecorder, Recorder, SpanGuard};
@@ -153,6 +154,7 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
         if state.goal_holds(phi) {
             return Outcome::Implied(Evidence::ChaseForced {
                 steps: metrics.steps(),
+                trace: state.take_trace(),
             });
         }
         if armed && budget.deadline.expired() {
@@ -186,6 +188,15 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
             if state.satisfied(&sigma[index], a, b) {
                 continue;
             }
+            // Record the firing before the repair mutates the graph: the
+            // (post-find) witness ids plus the constraint index are all a
+            // replay needs, and replay re-verifies the hypothesis, so a
+            // recorded step never has to be trusted.
+            state.trace.push(ChaseStep {
+                constraint: index,
+                a: a.index(),
+                b: b.index(),
+            });
             let merged = state.repair(&sigma[index], a, b);
             if merged {
                 metrics.steps_merge += 1;
@@ -234,6 +245,7 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
     if state.goal_holds(phi) {
         return Outcome::Implied(Evidence::ChaseForced {
             steps: metrics.steps(),
+            trace: state.take_trace(),
         });
     }
     Outcome::Unknown(UnknownReason::StepBudgetExhausted {
@@ -264,6 +276,13 @@ struct ChaseState {
     goal_dirty: bool,
     goal_done: bool,
     tallies: ScanTallies,
+    /// Every applied repair, in order — the replayable certificate
+    /// behind an `Implied` answer. The recorded node ids are the
+    /// post-union-find representatives at firing time; because the
+    /// incremental engine's merges splice in place (ids are stable),
+    /// replaying the same repairs from the same pattern reproduces the
+    /// same ids.
+    trace: Vec<ChaseStep>,
 }
 
 /// Frontier-scan telemetry accumulated while a recorder is enabled and
@@ -304,6 +323,14 @@ impl ChaseState {
                 per_constraint: vec![(0, 0); sigma.len()],
                 ..ScanTallies::default()
             },
+            trace: Vec::new(),
+        }
+    }
+
+    /// Hands the recorded derivation trace to the `Implied` evidence.
+    fn take_trace(&mut self) -> ChaseTrace {
+        ChaseTrace {
+            steps: std::mem::take(&mut self.trace),
         }
     }
 
@@ -507,6 +534,10 @@ fn chase_reference_loop<R: Recorder + ?Sized>(
         if state.goal_holds(phi) {
             return Outcome::Implied(Evidence::ChaseForced {
                 steps: metrics.steps(),
+                // The reference engine's merges rebuild the graph with
+                // fresh ids, so its step records would not replay; it
+                // reports an empty (non-replayable) trace.
+                trace: ChaseTrace::default(),
             });
         }
         if armed && budget.deadline.expired() {
@@ -578,6 +609,7 @@ fn chase_reference_loop<R: Recorder + ?Sized>(
     if state.goal_holds(phi) {
         return Outcome::Implied(Evidence::ChaseForced {
             steps: metrics.steps(),
+            trace: ChaseTrace::default(),
         });
     }
     Outcome::Unknown(UnknownReason::StepBudgetExhausted {
@@ -824,7 +856,7 @@ mod tests {
         let phi = PathConstraint::parse("a -> a", &mut labels).unwrap();
         for (engine, outcome) in both_engines(&[], &phi, &budget()) {
             match outcome {
-                Outcome::Implied(Evidence::ChaseForced { steps: 0 }) => {}
+                Outcome::Implied(Evidence::ChaseForced { steps: 0, .. }) => {}
                 other => panic!("{engine}: expected immediate Implied, got {other:?}"),
             }
         }

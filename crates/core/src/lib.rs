@@ -43,6 +43,9 @@ pub use outcome::{
 // Re-exported so downstream crates can attach recorders to a `Budget`
 // without naming the telemetry crate themselves.
 pub use pathcons_telemetry::{self as telemetry, Recorder, Telemetry};
+// Re-exported so downstream crates can build and check certificates
+// without naming the cert crate themselves.
+pub use pathcons_cert as cert;
 pub use query_opt::{optimize_path, OptimizeError, OptimizedPath};
 pub use search::{
     exhaustive_search_countermodel, exhaustive_search_countermodel_within, is_countermodel,

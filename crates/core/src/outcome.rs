@@ -259,6 +259,13 @@ pub enum Evidence {
     ChaseForced {
         /// Number of chase steps applied before the conclusion held.
         steps: usize,
+        /// The applied steps themselves, replayable by the
+        /// solver-independent `pathcons-cert` checker. Empty when the
+        /// engine could not record a replayable trace (the reference
+        /// chase renumbers node ids on merge, so only the incremental
+        /// engine records one); `trace.steps.len() == steps` marks a
+        /// complete trace.
+        trace: pathcons_cert::ChaseTrace,
     },
     /// Implication over all (untyped) structures, transferred to the
     /// typed context (`U(σ)` is a subclass of all structures).

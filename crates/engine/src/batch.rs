@@ -1,10 +1,13 @@
 //! The batch engine: cached, parallel, deadline-bounded implication.
 
 use crate::cache::{AnswerCache, CacheStats, CachedEntry};
-use crate::canon::{self, CanonicalQuery, Renaming};
+use crate::canon::{self, snapshot_id, CanonicalQuery, Renaming};
+use crate::certify::certify;
+use crate::certwire;
 use crate::executor;
 use crate::json::Json;
 use crate::resilience::{self, FaultKind, FaultPlan, RetryPolicy, ShedPolicy};
+use pathcons_cert::{self as cert, Certificate, CertificateBody};
 use pathcons_constraints::PathConstraint;
 use pathcons_core::{
     Answer, Budget, DataContext, Deadline, Evidence, Method, Outcome, SchemaContext, Solver,
@@ -18,6 +21,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+/// How cache hits are verified before being served.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Serve hits as-is (the production default).
+    #[default]
+    Off,
+    /// Validate each hit's stored certificate with the solver-independent
+    /// checker (`pathcons-cert`); an invalid certificate evicts the
+    /// entry and falls through to a fresh solve. Hits without a
+    /// certificate are served unchecked.
+    Check,
+    /// Re-solve every hit and compare answer shapes — the expensive
+    /// oracle the certificate checker is measured against.
+    Resolve,
+}
+
 /// Configuration of a [`BatchEngine`].
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -25,9 +44,8 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Answer-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
-    /// Correctness mode: re-solve every cache hit and compare against
-    /// the cached answer, counting mismatches.
-    pub verify: bool,
+    /// Hit-verification mode: off, certificate check, or re-solve.
+    pub verify: VerifyMode,
     /// Base budget for every job (per-job deadlines are layered on top).
     pub budget: Budget,
     /// Supervised-recovery policy: how often a panicked job is retried
@@ -47,7 +65,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             cache_capacity: 4096,
-            verify: false,
+            verify: VerifyMode::Off,
             budget: Budget::default(),
             retry: RetryPolicy::default(),
             shed: ShedPolicy::unlimited(),
@@ -186,6 +204,26 @@ impl BatchEngine {
         phi: &PathConstraint,
         budget: Budget,
     ) -> Result<(Answer, CacheOutcome), SolverError> {
+        self.solve_full(context, sigma, phi, budget)
+            .map(|(answer, cache, _certificate)| (answer, cache))
+    }
+
+    /// [`BatchEngine::solve_with_budget`] plus the answer's certificate.
+    ///
+    /// The certificate (when present) lives in the *canonical* label
+    /// space and is bound to the canonical key's snapshot id — see
+    /// [`crate::certify`]. On a hit it is the cached certificate; on a
+    /// miss it is freshly emitted (and stored alongside the entry). In
+    /// [`VerifyMode::Check`] a hit's certificate is validated by the
+    /// trusted checker before the entry is served; an invalid one
+    /// evicts the entry and the query is re-solved fresh.
+    pub fn solve_full(
+        &self,
+        context: &DataContext,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+        budget: Budget,
+    ) -> Result<(Answer, CacheOutcome, Option<Certificate>), SolverError> {
         let telemetry = budget.telemetry.clone();
         let rec = telemetry.active();
         let canon = canon::canonicalize(context, sigma, phi);
@@ -193,7 +231,7 @@ impl BatchEngine {
         // Hit-validation: never serve a structurally implausible entry.
         // A torn write (chaos-injected or real) is detected here, the
         // entry evicted, and the query falls through to a fresh solve.
-        let cached = match cached {
+        let mut cached = match cached {
             Some(entry) => match resilience::validate_hit(&entry) {
                 Ok(()) => Some(entry),
                 Err(_why) => {
@@ -206,12 +244,41 @@ impl BatchEngine {
             },
             None => None,
         };
+        // Check mode: validate the stored certificate with the trusted
+        // checker before serving. Orders of magnitude cheaper than a
+        // re-solve (O(|certificate|) graph walks), and independent of
+        // every solver code path it audits.
+        if self.config.verify == VerifyMode::Check {
+            if let Some(entry) = &cached {
+                match entry_certificate_status(entry, &canon) {
+                    CertStatus::Absent => {}
+                    CertStatus::Valid => {
+                        self.cache_guard().note_certcheck(true);
+                        if let Some(rec) = rec {
+                            rec.counter("cache.cert_valid", 1);
+                        }
+                    }
+                    CertStatus::Invalid => {
+                        // A corrupted certificate impeaches the whole
+                        // entry: evict and re-solve, exactly like a
+                        // failed structural validation.
+                        self.cache_guard().note_certcheck(false);
+                        self.cache_guard().evict_invalid(&canon.key);
+                        if let Some(rec) = rec {
+                            rec.counter("cache.cert_invalid", 1);
+                        }
+                        cached = None;
+                    }
+                }
+            }
+        }
         if let Some(entry) = cached {
             if let Some(rec) = rec {
                 rec.counter("cache.hit", 1);
             }
+            let certificate = entry.certificate.clone();
             let answer = adapt_answer(entry, &canon);
-            if self.config.verify {
+            if self.config.verify == VerifyMode::Resolve {
                 let fresh = Solver::new(context.clone())
                     .with_budget(budget)
                     .implies(sigma, phi)?;
@@ -225,11 +292,12 @@ impl BatchEngine {
                 }
                 if !agreed {
                     // Trust the fresh answer; the mismatch counter is
-                    // the alarm bell.
-                    return Ok((fresh, CacheOutcome::Hit));
+                    // the alarm bell. The cached certificate belongs to
+                    // the impeached answer, so it is dropped with it.
+                    return Ok((fresh, CacheOutcome::Hit, None));
                 }
             }
-            return Ok((answer, CacheOutcome::Hit));
+            return Ok((answer, CacheOutcome::Hit, certificate));
         }
 
         if let Some(rec) = rec {
@@ -238,6 +306,9 @@ impl BatchEngine {
         let answer = Solver::new(context.clone())
             .with_budget(budget)
             .implies(sigma, phi)?;
+        // Emission is self-checking: `certify` runs the trusted checker
+        // and returns `None` rather than an invalid certificate.
+        let certificate = certify(&canon, sigma, &answer);
         if cacheable(&answer) {
             if self.degraded.load(Ordering::Relaxed) {
                 // Degraded read-only mode: keep answering, stop writing.
@@ -254,11 +325,12 @@ impl BatchEngine {
                     CachedEntry {
                         answer: answer.clone(),
                         renaming: canon.renaming,
+                        certificate: certificate.clone(),
                     },
                 );
             }
         }
-        Ok((answer, CacheOutcome::Miss))
+        Ok((answer, CacheOutcome::Miss, certificate))
     }
 
     /// Runs a batch of JSONL jobs across the worker pool and reports
@@ -348,6 +420,7 @@ impl BatchEngine {
                     unknown_kind: None,
                     unknown_phase: None,
                     cache: None,
+                    certificate: None,
                     micros: 0,
                 })
             })
@@ -362,6 +435,7 @@ impl BatchEngine {
                 unknown_kind: Some("overloaded".to_owned()),
                 unknown_phase: None,
                 cache: None,
+                certificate: None,
                 micros: 0,
             });
         }
@@ -403,6 +477,8 @@ impl BatchEngine {
                     ("queued_expired", stats.queued_expired),
                     ("poison_resets", stats.poison_resets),
                     ("validation_evictions", stats.validation_evictions),
+                    ("checked_hits", stats.checked_hits),
+                    ("cert_invalid", stats.cert_invalid),
                 ],
                 &[(schema::LABEL_ENGINE, "batch")],
             );
@@ -441,6 +517,32 @@ impl BatchEngine {
                     ),
                 ],
             );
+            // In `--verify` check mode, a third record attributes the
+            // certificate work on the hit path: every checked hit was
+            // either validated or rejected, so the two phases partition
+            // `steps_total` exactly.
+            if self.config.verify == VerifyMode::Check {
+                let checks = stats.checked_hits + stats.cert_invalid;
+                rec.event(
+                    schema::EVENT_ATTRIBUTION,
+                    &[
+                        (schema::FIELD_STEPS_TOTAL, checks),
+                        (schema::PHASE_CERT_VALID, stats.checked_hits),
+                        (schema::PHASE_CERT_INVALID, stats.cert_invalid),
+                    ],
+                    &[
+                        (schema::LABEL_ENGINE, schema::ENGINE_CERTCHECK),
+                        (
+                            schema::LABEL_OUTCOME,
+                            if stats.cert_invalid > 0 {
+                                "invalid"
+                            } else {
+                                "clean"
+                            },
+                        ),
+                    ],
+                );
+            }
         }
         BatchReport { results, stats }
     }
@@ -477,7 +579,7 @@ impl BatchEngine {
             }
             // The stalled worker gives up as if the deadline supervisor
             // cut it off: deterministic, honest, and never cached.
-            return deadline_result(job.id, start.elapsed());
+            return deadline_result(job.id, start);
         }
 
         // Deadline-expired-in-queue fast path: a job whose absolute
@@ -490,7 +592,7 @@ impl BatchEngine {
                 if let Some(rec) = rec {
                     rec.counter("batch.queued_expired", 1);
                 }
-                return deadline_result(job.id, start.elapsed());
+                return deadline_result(job.id, start);
             }
         }
 
@@ -509,6 +611,7 @@ impl BatchEngine {
             unknown_kind: None,
             unknown_phase: None,
             cache: None,
+            certificate: None,
             micros: start.elapsed().as_micros() as u64,
         };
 
@@ -534,9 +637,9 @@ impl BatchEngine {
             budget = budget.with_deadline_at(Deadline::at(deadline));
         }
 
-        match self.solve_with_budget(&context, &sigma, &phi, budget) {
+        match self.solve_full(&context, &sigma, &phi, budget) {
             Err(e) => fail(e.to_string()),
-            Ok((answer, cache)) => {
+            Ok((answer, cache, certificate)) => {
                 if fault == Some(FaultKind::TornCacheWrite) {
                     // Overwrite this job's cache slot with a forged,
                     // never-cacheable entry — a torn write for the
@@ -571,6 +674,7 @@ impl BatchEngine {
                     unknown_kind,
                     unknown_phase,
                     cache: Some(cache),
+                    certificate,
                     micros: start.elapsed().as_micros() as u64,
                 }
             }
@@ -613,6 +717,7 @@ impl BatchEngine {
                     method: Method::Chase,
                 },
                 renaming: canon.renaming,
+                certificate: None,
             },
         );
     }
@@ -621,7 +726,13 @@ impl BatchEngine {
 /// The result shape shared by the two deadline-induced early exits
 /// (expired-in-queue and chaos stall): an uncached `Unknown` whose
 /// detail matches the solver's own `DeadlineExceeded` rendering.
-fn deadline_result(id: String, elapsed: Duration) -> JobResult {
+///
+/// `micros` is measured *here*, once, at result construction — the
+/// single measurement point for the whole deadline path. (It used to be
+/// computed at each call site; the two points could drift, and a job
+/// expired in queue must report only the time it actually spent, never
+/// solver time it never reached.)
+fn deadline_result(id: String, start: Instant) -> JobResult {
     JobResult {
         id,
         verdict: Verdict::Unknown,
@@ -630,7 +741,46 @@ fn deadline_result(id: String, elapsed: Duration) -> JobResult {
         unknown_kind: Some("deadline".to_owned()),
         unknown_phase: None,
         cache: None,
-        micros: elapsed.as_micros() as u64,
+        certificate: None,
+        micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// What check mode learned about a cached entry's certificate.
+enum CertStatus {
+    /// No certificate stored; the hit is served unchecked.
+    Absent,
+    /// The certificate validated against the canonical query.
+    Valid,
+    /// Class mismatch or checker rejection; the entry is impeached.
+    Invalid,
+}
+
+/// Validates a cached entry's certificate against the canonical query
+/// it is keyed under: the certificate's verdict class must match the
+/// stored answer's, and the trusted checker must accept it.
+fn entry_certificate_status(entry: &CachedEntry, canon: &CanonicalQuery) -> CertStatus {
+    let Some(certificate) = &entry.certificate else {
+        return CertStatus::Absent;
+    };
+    let class_matches = matches!(
+        (&certificate.body, &entry.answer.outcome),
+        (CertificateBody::Implied(_), Outcome::Implied(_))
+            | (CertificateBody::NotImplied(_), Outcome::NotImplied(_))
+            | (CertificateBody::Unknown(_), Outcome::Unknown(_))
+    );
+    if !class_matches {
+        return CertStatus::Invalid;
+    }
+    let context = cert::CheckContext {
+        snapshot: snapshot_id(&canon.key),
+        sigma: &canon.key.sigma,
+        phi: &canon.key.phi,
+    };
+    if cert::check(certificate, &context).is_valid() {
+        CertStatus::Valid
+    } else {
+        CertStatus::Invalid
     }
 }
 
@@ -724,7 +874,7 @@ pub fn evidence_kind(evidence: &Evidence) -> &'static str {
 /// Schema contexts are limited to the named example schemas (the JSONL
 /// format has no schema syntax); the CLI's `implies` subcommand remains
 /// the way to query arbitrary schema files.
-fn build_context(name: &str, labels: &mut LabelInterner) -> Result<DataContext, String> {
+pub fn build_context(name: &str, labels: &mut LabelInterner) -> Result<DataContext, String> {
     match name {
         "" | "semistructured" | "untyped" => Ok(DataContext::Semistructured),
         "m-bibliography" => {
@@ -905,6 +1055,13 @@ pub struct JobResult {
     pub unknown_phase: Option<String>,
     /// Cache hit/miss (absent for jobs that never reached the solver).
     pub cache: Option<CacheOutcome>,
+    /// A checkable certificate for the verdict, in the canonical label
+    /// space of the job's query (see [`crate::certify`]); absent when
+    /// the evidence kind has no certificate form or the job never
+    /// reached the solver. Serialized under the `certificate` key; a
+    /// results file carrying them can be audited offline with
+    /// `pathcons check --results`.
+    pub certificate: Option<Certificate>,
     /// Wall-clock latency of the job, in microseconds.
     pub micros: u64,
 }
@@ -937,6 +1094,12 @@ impl JobResult {
                 CacheOutcome::Miss => "miss",
             };
             members.push(("cache".to_owned(), Json::Str(text.to_owned())));
+        }
+        if let Some(certificate) = &self.certificate {
+            members.push((
+                "certificate".to_owned(),
+                certwire::certificate_to_json(certificate),
+            ));
         }
         members.push(("micros".to_owned(), Json::Num(self.micros as f64)));
         Json::Obj(members)
@@ -991,6 +1154,17 @@ pub struct BatchStats {
     pub degraded_skips: u64,
     /// Whether the engine ended the batch in degraded read-only mode.
     pub degraded: bool,
+    /// Hits served after certificate validation (`--verify` check mode).
+    pub checked_hits: u64,
+    /// Hits whose certificate the checker rejected (entry evicted, job
+    /// re-solved fresh). Any non-zero value is an alarm bell.
+    pub cert_invalid: u64,
+    /// Whether a cache counter moved *backwards* between the batch's
+    /// before/after snapshots — the signature of a poison reset (or
+    /// other cache reset) inside the window. When set, the cache deltas
+    /// above are lower bounds, not exact counts; previously the
+    /// saturating subtraction masked this silently.
+    pub counters_reset: bool,
 }
 
 /// Recovery-action tallies handed from `run_batch` to
@@ -1025,13 +1199,30 @@ impl BatchStats {
         };
         let count = |v: Verdict| results.iter().filter(|r| r.verdict == v).count();
         // The two snapshots come from separate lock acquisitions (see
-        // `run_batch`); a poison reset between them could make `after`
-        // lag `before`, so saturate instead of underflowing.
+        // `run_batch`); a poison reset between them can make `after`
+        // lag `before`. Saturating alone would silently mask that
+        // regression, so any backwards-moving counter additionally
+        // raises `counters_reset` — the deltas are then lower bounds.
+        let mut counters_reset = false;
+        let mut delta = |a: u64, b: u64| {
+            if a < b {
+                counters_reset = true;
+            }
+            a.saturating_sub(b)
+        };
+        let hits = delta(after.hits, before.hits);
+        let misses = delta(after.misses, before.misses);
+        let evictions = delta(after.evictions, before.evictions);
+        let verify_mismatches = delta(after.verify_mismatches, before.verify_mismatches);
+        let poison_resets = delta(after.poison_resets, before.poison_resets);
+        let validation_evictions = delta(after.validation_evictions, before.validation_evictions);
+        let checked_hits = delta(after.checked_hits, before.checked_hits);
+        let cert_invalid = delta(after.cert_invalid, before.cert_invalid);
         BatchStats {
             jobs: results.len(),
-            hits: after.hits.saturating_sub(before.hits),
-            misses: after.misses.saturating_sub(before.misses),
-            evictions: after.evictions.saturating_sub(before.evictions),
+            hits,
+            misses,
+            evictions,
             implied: count(Verdict::Implied),
             not_implied: count(Verdict::NotImplied),
             unknown: count(Verdict::Unknown),
@@ -1040,20 +1231,19 @@ impl BatchStats {
             p99_micros: percentile(0.99),
             max_micros: latencies.last().copied().unwrap_or(0),
             wall_micros: wall.as_micros() as u64,
-            verify_mismatches: after
-                .verify_mismatches
-                .saturating_sub(before.verify_mismatches),
+            verify_mismatches,
             respawns: tallies.respawns,
             retries: tallies.retries,
             abandoned: tallies.abandoned,
             shed: tallies.shed,
             queued_expired: tallies.queued_expired,
-            poison_resets: after.poison_resets.saturating_sub(before.poison_resets),
-            validation_evictions: after
-                .validation_evictions
-                .saturating_sub(before.validation_evictions),
+            poison_resets,
+            validation_evictions,
             degraded_skips: tallies.degraded_skips,
             degraded: tallies.degraded,
+            checked_hits,
+            cert_invalid,
+            counters_reset,
         }
     }
 
@@ -1109,6 +1299,15 @@ impl BatchStats {
                     Json::Num(self.degraded_skips as f64),
                 ),
                 ("degraded".to_owned(), Json::Bool(self.degraded)),
+                (
+                    "checked_hits".to_owned(),
+                    Json::Num(self.checked_hits as f64),
+                ),
+                (
+                    "cert_invalid".to_owned(),
+                    Json::Num(self.cert_invalid as f64),
+                ),
+                ("counters_reset".to_owned(), Json::Bool(self.counters_reset)),
             ]),
         )])
     }
@@ -1133,12 +1332,27 @@ impl BatchStats {
             self.p99_micros,
             self.max_micros,
             self.render_resilience(),
-            if self.verify_mismatches > 0 {
-                format!("; {} VERIFY MISMATCHES", self.verify_mismatches)
-            } else {
-                String::new()
-            }
+            self.render_verification()
         )
+    }
+
+    /// The verification clause of [`BatchStats::render`]: silent unless
+    /// something was checked or something went wrong.
+    fn render_verification(&self) -> String {
+        let mut out = String::new();
+        if self.checked_hits > 0 {
+            out.push_str(&format!("; {} hits certificate-checked", self.checked_hits));
+        }
+        if self.cert_invalid > 0 {
+            out.push_str(&format!("; {} INVALID CERTIFICATES", self.cert_invalid));
+        }
+        if self.verify_mismatches > 0 {
+            out.push_str(&format!("; {} VERIFY MISMATCHES", self.verify_mismatches));
+        }
+        if self.counters_reset {
+            out.push_str("; COUNTERS RESET (cache deltas are lower bounds)");
+        }
+        out
     }
 
     /// The resilience clause of [`BatchStats::render`]: empty for a
@@ -1231,7 +1445,7 @@ mod tests {
     #[test]
     fn verify_mode_counts_and_agrees() {
         let engine = BatchEngine::new(EngineConfig {
-            verify: true,
+            verify: VerifyMode::Resolve,
             ..EngineConfig::default()
         });
         solve_text(&engine, "a -> b", "a -> b");
@@ -1451,5 +1665,154 @@ mod tests {
         assert_eq!(report.stats.hits, 1);
         assert_eq!(report.stats.misses, 1);
         assert_eq!(report.stats.implied, 2);
+    }
+
+    #[test]
+    fn check_mode_validates_hits_with_certificates() {
+        let engine = BatchEngine::new(EngineConfig {
+            verify: VerifyMode::Check,
+            ..EngineConfig::default()
+        });
+        let (a1, c1) = solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        let (a2, c2) = solve_text(&engine, "a -> b\nb -> c", "a -> c");
+        assert_eq!((c1, c2), (CacheOutcome::Miss, CacheOutcome::Hit));
+        assert!(a1.outcome.is_implied() && a2.outcome.is_implied());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.checked_hits, 1, "the hit was certificate-checked");
+        assert_eq!(stats.cert_invalid, 0);
+        // No re-solves happened: the checker replaced the oracle.
+        assert_eq!(stats.verifications, 0);
+    }
+
+    #[test]
+    fn corrupted_certificates_are_detected_and_evicted() {
+        let engine = BatchEngine::new(EngineConfig {
+            verify: VerifyMode::Check,
+            ..EngineConfig::default()
+        });
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b\nb -> c", &mut labels).unwrap();
+        let phi = PathConstraint::parse("a -> c", &mut labels).unwrap();
+        let (_, c1) = engine
+            .solve(&DataContext::Semistructured, &sigma, &phi)
+            .unwrap();
+        assert_eq!(c1, CacheOutcome::Miss);
+
+        // Corrupt the stored certificate in place: flip one bit of its
+        // snapshot binding (the checker must reject any tampering).
+        let canon = canon::canonicalize(&DataContext::Semistructured, &sigma, &phi);
+        {
+            let mut guard = engine.cache_guard();
+            let mut entry = guard.lookup(&canon.key).expect("entry cached");
+            let certificate = entry.certificate.as_mut().expect("entry certified");
+            certificate.snapshot ^= 1;
+            guard.insert(canon.key.clone(), entry);
+        }
+
+        let (answer, c2) = engine
+            .solve(&DataContext::Semistructured, &sigma, &phi)
+            .unwrap();
+        // The corrupted entry was impeached and evicted; the job was
+        // re-solved fresh and still got the right answer.
+        assert_eq!(c2, CacheOutcome::Miss);
+        assert!(answer.outcome.is_implied());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.cert_invalid, 1);
+        assert_eq!(stats.checked_hits, 0);
+    }
+
+    #[test]
+    fn stalled_jobs_report_wall_time_actually_spent() {
+        // Regression: `micros` used to be measured at a different point
+        // from the deadline decision, so a stalled job could report
+        // solver time it never spent. The stall fault sleeps 1–4 ms;
+        // the reported latency must cover it.
+        let engine = BatchEngine::new(EngineConfig {
+            chaos: Some(
+                FaultPlan::from_seed(1)
+                    .with_rate(256)
+                    .with_kind(FaultKind::Stall),
+            ),
+            ..EngineConfig::default()
+        });
+        let job = Job {
+            id: "stalled".into(),
+            context: String::new(),
+            sigma: vec!["a -> b".into()],
+            phi: "a -> b".into(),
+            deadline_ms: None,
+        };
+        let report = engine.run_batch(vec![job]);
+        let result = &report.results[0];
+        assert_eq!(result.verdict, Verdict::Unknown);
+        assert_eq!(result.unknown_kind.as_deref(), Some("deadline"));
+        assert!(
+            result.micros >= 1000,
+            "stalled ≥ 1 ms but reported {} µs",
+            result.micros
+        );
+    }
+
+    #[test]
+    fn queued_expired_jobs_report_queue_time_not_solver_time() {
+        // A deadline of 0 ms expires at admission: the job takes the
+        // queued-expiry fast path and must report only the (tiny) time
+        // it actually spent, not a solver latency.
+        let engine = BatchEngine::new(EngineConfig::default());
+        let job = Job {
+            id: "expired".into(),
+            context: String::new(),
+            sigma: vec!["p: a -> a.b".into(), "p: b <- c".into()],
+            phi: "p: a -> c".into(),
+            deadline_ms: Some(0),
+        };
+        let report = engine.run_batch(vec![job]);
+        assert_eq!(report.stats.queued_expired, 1);
+        let result = &report.results[0];
+        assert_eq!(result.unknown_kind.as_deref(), Some("deadline"));
+        assert!(
+            result.micros < 1_000_000,
+            "fast-path answer reported {} µs of solver time",
+            result.micros
+        );
+    }
+
+    #[test]
+    fn counter_regressions_surface_counters_reset() {
+        let tallies = || ResilienceTallies {
+            respawns: 0,
+            retries: 0,
+            abandoned: 0,
+            shed: 0,
+            queued_expired: 0,
+            degraded_skips: 0,
+            degraded: false,
+        };
+        // Monotone counters: exact deltas, no reset flag.
+        let before = CacheStats {
+            hits: 2,
+            ..CacheStats::default()
+        };
+        let after = CacheStats {
+            hits: 5,
+            ..CacheStats::default()
+        };
+        let clean = BatchStats::collect(&[], after, before, Duration::ZERO, tallies());
+        assert_eq!(clean.hits, 3);
+        assert!(!clean.counters_reset);
+        // A counter that moved backwards (cache reset mid-batch) must
+        // raise the flag instead of being silently saturated away.
+        let before = CacheStats {
+            hits: 10,
+            ..CacheStats::default()
+        };
+        let after = CacheStats {
+            hits: 4,
+            ..CacheStats::default()
+        };
+        let reset = BatchStats::collect(&[], after, before, Duration::ZERO, tallies());
+        assert_eq!(reset.hits, 0, "delta is a lower bound, not a panic");
+        assert!(reset.counters_reset);
+        assert!(reset.render().contains("COUNTERS RESET"));
     }
 }

@@ -8,6 +8,7 @@
 //! [`crate::BatchEngine`] for the adaptation step.
 
 use crate::canon::{QueryKey, Renaming};
+use pathcons_cert::Certificate;
 use pathcons_core::Answer;
 use std::collections::HashMap;
 
@@ -32,6 +33,12 @@ pub struct CacheStats {
     /// or by the cache's own map/slot consistency check — and evicted
     /// instead of served.
     pub validation_evictions: u64,
+    /// Hits served after their stored certificate validated
+    /// (`--verify` check mode).
+    pub checked_hits: u64,
+    /// Hits whose stored certificate failed the checker; the entry was
+    /// evicted and the query re-solved fresh.
+    pub cert_invalid: u64,
 }
 
 /// A cached answer plus the inserting query's renaming into the
@@ -42,6 +49,11 @@ pub struct CachedEntry {
     pub answer: Answer,
     /// Inserting query's labels → canonical labels.
     pub renaming: Renaming,
+    /// A checkable certificate for the answer, in the *canonical* label
+    /// space and bound to the canonical key's snapshot id — valid for
+    /// every alpha-variant that hits this entry. Absent when the
+    /// solver's evidence kind has no certificate form.
+    pub certificate: Option<Certificate>,
 }
 
 const NIL: usize = usize::MAX;
@@ -259,6 +271,15 @@ impl AnswerCache {
         }
     }
 
+    /// Records a check-mode certificate validation on a hit.
+    pub fn note_certcheck(&mut self, valid: bool) {
+        if valid {
+            self.stats.checked_hits += 1;
+        } else {
+            self.stats.cert_invalid += 1;
+        }
+    }
+
     fn unlink(&mut self, idx: usize) {
         let (prev, next) = {
             let slot = self.slots[idx].as_ref().expect("unlink of live slot");
@@ -326,6 +347,7 @@ mod tests {
                 method: Method::WordAutomaton,
             },
             renaming: Renaming::new(),
+            certificate: None,
         }
     }
 

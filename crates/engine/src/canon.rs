@@ -81,6 +81,19 @@ fn schema_fingerprint(text: &str) -> u64 {
     hash
 }
 
+/// A stable fingerprint of a canonical query — the *snapshot id*
+/// certificates are bound to.
+///
+/// Computed over the structural debug rendering of the key with the
+/// same FNV-1a used for schema fingerprints. Canonicalization renames
+/// labels to first-occurrence order anchored at φ, so alpha-variants of
+/// a query share a snapshot id across processes — an offline checker
+/// that re-canonicalizes a job recovers the id the engine issued the
+/// certificate under.
+pub fn snapshot_id(key: &QueryKey) -> u64 {
+    schema_fingerprint(&format!("{key:?}"))
+}
+
 /// The cache key: the alpha-renamed normal form itself.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
@@ -119,23 +132,7 @@ pub fn canonicalize(
     }
 
     if !context_key.renames_labels() {
-        // Identity renaming over every mentioned label.
-        let mut renaming = Renaming::new();
-        for c in uniq.iter().copied().chain(std::iter::once(phi)) {
-            for l in constraint_labels(c) {
-                renaming.insert(l, l);
-            }
-        }
-        let mut sigma: Vec<PathConstraint> = uniq.into_iter().cloned().collect();
-        sigma.sort_by_key(sort_key);
-        return CanonicalQuery {
-            key: QueryKey {
-                context: context_key,
-                sigma,
-                phi: phi.clone(),
-            },
-            renaming,
-        };
+        return identity_canonical(context_key, sigma, phi);
     }
 
     // Alpha-renaming, anchored at φ: φ's labels get the smallest ids in
@@ -157,7 +154,14 @@ pub fn canonicalize(
             let mut trial = renaming.clone();
             let mut trial_next = next;
             assign_first_occurrence(&mut trial, &mut trial_next, c);
-            let rc = rename_constraint(c, &trial).expect("trial renaming is total");
+            // `assign_first_occurrence` just covered every label of
+            // `c`, so the rename is total. If that invariant is ever
+            // broken, degrade to the identity form instead of aborting
+            // — the query stays solvable and cacheable, just without
+            // alpha-variant sharing.
+            let Some(rc) = rename_constraint(c, &trial) else {
+                return identity_canonical(context_key, sigma, phi);
+            };
             let better = match &best {
                 None => true,
                 Some((_, bc, _, _)) => sort_key(&rc) < sort_key(bc),
@@ -166,7 +170,10 @@ pub fn canonicalize(
                 best = Some((i, rc, trial, trial_next));
             }
         }
-        let (i, rc, committed, committed_next) = best.expect("remaining is non-empty");
+        let Some((i, rc, committed, committed_next)) = best else {
+            // Unreachable (`remaining` is non-empty), but never abort.
+            return identity_canonical(context_key, sigma, phi);
+        };
         renaming = committed;
         next = committed_next;
         renamed_sigma.push(rc);
@@ -175,12 +182,49 @@ pub fn canonicalize(
     renamed_sigma.sort_by_key(sort_key);
     renamed_sigma.dedup();
 
-    let phi = rename_constraint(phi, &renaming).expect("φ labels assigned first");
+    let Some(phi) = rename_constraint(phi, &renaming) else {
+        // Unreachable (φ's labels were assigned first), but never abort.
+        return identity_canonical(context_key, sigma, phi);
+    };
     CanonicalQuery {
         key: QueryKey {
             context: context_key,
             sigma: renamed_sigma,
             phi,
+        },
+        renaming,
+    }
+}
+
+/// The identity-renamed canonical form: Σ de-duplicated and sorted,
+/// labels kept as-is. The normal form for schema contexts (labels are
+/// pinned by the schema), and the never-abort fallback should the
+/// alpha-renaming pass ever fail to cover a label.
+fn identity_canonical(
+    context_key: ContextKey,
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+) -> CanonicalQuery {
+    let mut seen: HashSet<&PathConstraint> = HashSet::new();
+    let mut uniq: Vec<&PathConstraint> = Vec::new();
+    for c in sigma {
+        if seen.insert(c) {
+            uniq.push(c);
+        }
+    }
+    let mut renaming = Renaming::new();
+    for c in uniq.iter().copied().chain(std::iter::once(phi)) {
+        for l in constraint_labels(c) {
+            renaming.insert(l, l);
+        }
+    }
+    let mut sigma: Vec<PathConstraint> = uniq.into_iter().cloned().collect();
+    sigma.sort_by_key(sort_key);
+    CanonicalQuery {
+        key: QueryKey {
+            context: context_key,
+            sigma,
+            phi: phi.clone(),
         },
         renaming,
     }
@@ -267,7 +311,11 @@ fn self_key(c: &PathConstraint) -> (u8, Vec<u32>, Vec<u32>, Vec<u32>) {
     let mut map = Renaming::new();
     let mut next = 0usize;
     assign_first_occurrence(&mut map, &mut next, c);
-    sort_key(&rename_constraint(c, &map).expect("self renaming is total"))
+    // Total by construction; fall back to the raw shape, never panic.
+    match rename_constraint(c, &map) {
+        Some(rc) => sort_key(&rc),
+        None => sort_key(c),
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +375,15 @@ mod tests {
         let phi = PathConstraint::parse("z -> z", &mut labels).unwrap();
         let canon = canonicalize(&DataContext::Semistructured, &sigma, &phi);
         assert_eq!(canon.renaming[&z], Label::from_index(0));
+    }
+
+    #[test]
+    fn snapshot_ids_track_alpha_equivalence() {
+        let a = canon("a -> b\nb -> c", "a -> c");
+        let b = canon("y -> z\nx -> y", "x -> z");
+        assert_eq!(snapshot_id(&a), snapshot_id(&b), "alpha-variants share");
+        let c = canon("a -> b", "a -> b");
+        assert_ne!(snapshot_id(&a), snapshot_id(&c), "different queries differ");
     }
 
     #[test]

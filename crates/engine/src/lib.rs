@@ -42,16 +42,20 @@
 mod batch;
 pub mod cache;
 pub mod canon;
+pub mod certify;
+pub mod certwire;
 pub mod executor;
 pub mod json;
 pub mod resilience;
 
 pub use batch::{
-    evidence_kind, unknown_reason_wire, BatchEngine, BatchReport, BatchStats, CacheOutcome,
-    EngineConfig, Job, JobResult, Verdict,
+    build_context, evidence_kind, unknown_reason_wire, BatchEngine, BatchReport, BatchStats,
+    CacheOutcome, EngineConfig, Job, JobResult, Verdict, VerifyMode,
 };
 pub use cache::{AnswerCache, CacheStats, CachedEntry};
-pub use canon::{canonicalize, CanonicalQuery, ContextKey, QueryKey, Renaming};
+pub use canon::{canonicalize, snapshot_id, CanonicalQuery, ContextKey, QueryKey, Renaming};
+pub use certify::certify;
+pub use certwire::{certificate_from_json, certificate_to_json};
 pub use executor::ExecStats;
 pub use json::{Json, JsonError};
 pub use resilience::{validate_hit, FaultKind, FaultPlan, HitInvalid, RetryPolicy, ShedPolicy};

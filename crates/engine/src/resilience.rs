@@ -360,6 +360,7 @@ mod tests {
                 method: Method::WordAutomaton,
             },
             renaming,
+            certificate: None,
         }
     }
 
@@ -432,6 +433,7 @@ mod tests {
                 method: Method::Chase,
             },
             renaming: Renaming::new(),
+            certificate: None,
         };
         assert_eq!(validate_hit(&torn), Err(HitInvalid::UncacheableOutcome));
 
@@ -444,6 +446,7 @@ mod tests {
                 method: Method::CounterModelSearch,
             },
             renaming: Renaming::new(),
+            certificate: None,
         };
         assert_eq!(validate_hit(&missing), Err(HitInvalid::MissingCountermodel));
 
@@ -457,6 +460,7 @@ mod tests {
                 method: Method::CounterModelSearch,
             },
             renaming: Renaming::new(),
+            certificate: None,
         };
         assert_eq!(validate_hit(&sound), Ok(()));
     }

@@ -96,6 +96,16 @@ pub mod schema {
     /// Resilience phase: jobs found already past their deadline while
     /// queued, answered without solving.
     pub const PHASE_DEADLINE_QUEUE: &str = "phase.deadline-queue";
+    /// The batch engine's certificate-checking attribution record: how
+    /// many cache hits were validated by the solver-independent
+    /// certificate checker instead of a re-solve. Its `phase.*` fields
+    /// sum to [`FIELD_STEPS_TOTAL`], so `trace-check` validates it.
+    pub const ENGINE_CERTCHECK: &str = "batch.certcheck";
+    /// Certcheck phase: cached certificates that validated.
+    pub const PHASE_CERT_VALID: &str = "phase.cert-valid";
+    /// Certcheck phase: cached certificates rejected (entry evicted and
+    /// the query re-solved fresh).
+    pub const PHASE_CERT_INVALID: &str = "phase.cert-invalid";
 }
 
 /// A sink for instrumentation: spans, counters, histograms and events.
