@@ -24,6 +24,13 @@
 //!                                                     print a profile summary to stderr
 //! pathcons trace-check --trace F.jsonl               validate a trace: every line parses,
 //!                                                     spans balance, attributions add up
+//! pathcons snapshot build --contexts F.jsonl --out S.pcs
+//!                                                     compile contexts (or a jobs file)
+//!                                                     into a binary snapshot
+//! pathcons snapshot info  --snapshot S.pcs            describe a snapshot
+//! pathcons serve    --listen unix:PATH|tcp:ADDR       resident store + JSONL protocol:
+//!                   [--snapshot S.pcs | --contexts F] jobs in, batch-identical results
+//!                   [engine flags as for batch]       out; `{"op": "shutdown"}` stops it
 //! ```
 //!
 //! Graphs are read from the line format of `pathcons-graph` or, when the
@@ -40,10 +47,11 @@ use pathcons_core::{
     Budget, DataContext, Evidence, Outcome, RefutationBasis, SchemaContext, Solver, Telemetry,
 };
 use pathcons_engine::{
-    build_context, canonicalize, certificate_from_json, snapshot_id, BatchEngine, EngineConfig,
+    canonicalize, certificate_from_json, prepare_job, snapshot_id, BatchEngine, EngineConfig,
     FaultPlan, Job, JobResult, Json, RetryPolicy, ShedPolicy, Verdict, VerifyMode,
 };
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
+use pathcons_store::{ConstraintStore, Endpoint, Server};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -110,7 +118,24 @@ usage:
                      --trace writes a structured event log and profiles it on stderr)
   pathcons trace-check --trace FILE.jsonl
                     (validate a --trace log: lines parse, spans balance,
-                     budget attributions sum correctly)";
+                     budget attributions sum correctly)
+  pathcons snapshot build --contexts FILE.jsonl --out FILE.pcs
+                    (compile context specs -- or the contexts referenced
+                     by a jobs file -- into a versioned binary snapshot;
+                     `-` reads the JSONL from stdin)
+  pathcons snapshot info --snapshot FILE.pcs
+                    (validate a snapshot and describe its contents)
+  pathcons serve    --listen unix:PATH|tcp:HOST:PORT
+                    [--snapshot FILE.pcs | --contexts FILE.jsonl]
+                    [--threads N] [--cache-size N] [--deadline-ms N]
+                    [--chase-rounds N] [--chase-max-nodes N]
+                    [--search-samples N] [--retries N] [--shed-depth N]
+                    [--verify[=check|resolve]] [--quiet]
+                    (long-lived JSONL service: job lines get the same
+                     verdicts `pathcons batch` gives; control ops are
+                     {\"op\": \"ping\"|\"stats\"|\"check\"|\"shutdown\"})
+
+`--jobs`/`--results` accept `-` for stdin/stdout in batch and check.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -134,6 +159,20 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (command, rest) = argv
         .split_first()
         .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    // `snapshot` nests an action word before its options.
+    if command == "snapshot" {
+        let (action, rest) = rest
+            .split_first()
+            .ok_or_else(|| CliError::Usage("snapshot needs an action: `build` or `info`".into()))?;
+        let args = Args::parse(rest).map_err(CliError::Usage)?;
+        return match action.as_str() {
+            "build" => cmd_snapshot_build(&args),
+            "info" => cmd_snapshot_info(&args),
+            other => Err(CliError::Usage(format!(
+                "unknown snapshot action `{other}` (expected `build` or `info`)"
+            ))),
+        };
+    }
     let args = Args::parse(rest).map_err(CliError::Usage)?;
     match command.as_str() {
         "check" => cmd_check(&args),
@@ -142,8 +181,23 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "dot" => cmd_dot(&args),
         "optimize" => cmd_optimize(&args),
         "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
         "trace-check" => cmd_trace_check(&args),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Reads a file, or stdin when the path is `-`.
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| CliError::Failed(format!("cannot read stdin: {e}")))?;
+        Ok(buffer)
+    } else {
+        read_file(path)
     }
 }
 
@@ -291,8 +345,13 @@ fn cmd_check_results(args: &Args) -> Result<String, CliError> {
     let results_path = args.required("results")?;
     let jobs_path = args.required("jobs")?;
     args.finish(&["results", "jobs"])?;
+    if results_path == "-" && jobs_path == "-" {
+        return Err(CliError::Usage(
+            "only one of --results and --jobs can read stdin (`-`)".into(),
+        ));
+    }
 
-    let (jobs, _bad) = Job::parse_jobs_lossy(&read_file(&jobs_path)?);
+    let (jobs, _bad) = Job::parse_jobs_lossy(&read_input(&jobs_path)?);
     let jobs: std::collections::HashMap<String, Job> =
         jobs.into_iter().map(|j| (j.id.clone(), j)).collect();
 
@@ -304,7 +363,7 @@ fn cmd_check_results(args: &Args) -> Result<String, CliError> {
         *invalid += 1;
         let _ = writeln!(out, "INVALID  {id}: {why}");
     };
-    for (lineno, raw) in read_file(&results_path)?.lines().enumerate() {
+    for (lineno, raw) in read_input(&results_path)?.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -353,38 +412,21 @@ fn cmd_check_results(args: &Args) -> Result<String, CliError> {
             fail(&mut out, &mut invalid, &id, "no such job id".to_owned());
             continue;
         };
-        // Rebuild the canonical query exactly as the engine did.
-        let mut labels = LabelInterner::new();
-        let context = match build_context(&job.context, &mut labels) {
-            Ok(c) => c,
+        // Rebuild the canonical query exactly as the engine did, via
+        // the same helper the batch and serve paths resolve jobs with.
+        let prepared = match prepare_job(
+            &job.context,
+            &job.sigma,
+            &job.phi,
+            &mut LabelInterner::new(),
+        ) {
+            Ok(prepared) => prepared,
             Err(e) => {
                 fail(&mut out, &mut invalid, &id, e);
                 continue;
             }
         };
-        let mut sigma = Vec::with_capacity(job.sigma.len());
-        let mut parse_error = None;
-        for text in &job.sigma {
-            match PathConstraint::parse(text, &mut labels) {
-                Ok(c) => sigma.push(c),
-                Err(e) => {
-                    parse_error = Some(format!("bad constraint `{text}`: {e}"));
-                    break;
-                }
-            }
-        }
-        if let Some(e) = parse_error {
-            fail(&mut out, &mut invalid, &id, e);
-            continue;
-        }
-        let phi = match PathConstraint::parse(&job.phi, &mut labels) {
-            Ok(phi) => phi,
-            Err(e) => {
-                fail(&mut out, &mut invalid, &id, format!("bad query: {e}"));
-                continue;
-            }
-        };
-        let canon = canonicalize(&context, &sigma, &phi);
+        let canon = canonicalize(&prepared.context, &prepared.sigma, &prepared.phi);
         let check_context = cert::CheckContext {
             snapshot: snapshot_id(&canon.key),
             sigma: &canon.key.sigma,
@@ -749,16 +791,54 @@ fn parse_verify_mode(args: &Args) -> Result<VerifyMode, CliError> {
     }
 }
 
+/// Engine knobs shared by `batch` and `serve` (chaos and trace stay
+/// batch-only); include in the subcommand's `finish` list.
+const ENGINE_ARGS: &[&str] = &[
+    "threads",
+    "cache-size",
+    "chase-rounds",
+    "chase-max-nodes",
+    "search-samples",
+    "retries",
+    "shed-depth",
+    "verify",
+    "verify=check",
+    "verify=resolve",
+];
+
+/// Builds an [`EngineConfig`] from the shared engine flags — the one
+/// place `batch` and `serve` agree on what an engine looks like, so a
+/// served job runs under exactly the flags a batch job would.
+fn engine_config_from_args(args: &Args) -> Result<EngineConfig, CliError> {
+    let mut budget = pathcons_core::Budget::default();
+    if let Some(rounds) = parse_numeric(args, "chase-rounds")? {
+        budget.chase_rounds = rounds;
+    }
+    if let Some(nodes) = parse_numeric(args, "chase-max-nodes")? {
+        budget.chase_max_nodes = nodes;
+    }
+    if let Some(samples) = parse_numeric(args, "search-samples")? {
+        budget.search_samples = samples;
+    }
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = parse_numeric(args, "retries")? {
+        retry.max_retries = n;
+    }
+    Ok(EngineConfig {
+        threads: parse_numeric(args, "threads")?.unwrap_or(0),
+        cache_capacity: parse_numeric(args, "cache-size")?.unwrap_or(4096),
+        verify: parse_verify_mode(args)?,
+        budget,
+        retry,
+        shed: ShedPolicy::queue_depth(parse_numeric(args, "shed-depth")?.unwrap_or(0)),
+        chaos: None,
+    })
+}
+
 fn cmd_batch(args: &Args) -> Result<String, CliError> {
     let jobs_path = args.optional("jobs");
-    let threads = parse_numeric(args, "threads")?.unwrap_or(0);
-    let cache_size = parse_numeric(args, "cache-size")?.unwrap_or(4096);
+    let results_path = args.optional("results");
     let deadline_ms = parse_numeric(args, "deadline-ms")?;
-    let chase_rounds = parse_numeric(args, "chase-rounds")?;
-    let chase_max_nodes = parse_numeric(args, "chase-max-nodes")?;
-    let search_samples = parse_numeric(args, "search-samples")?;
-    let retries = parse_numeric(args, "retries")?;
-    let shed_depth = parse_numeric(args, "shed-depth")?.unwrap_or(0);
     let chaos = match args.optional("chaos") {
         None => None,
         Some(spec) => Some(FaultPlan::parse(&spec).map_err(CliError::Usage)?),
@@ -766,38 +846,13 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
     if chaos.is_some() {
         quiet_injected_panics();
     }
-    let verify = parse_verify_mode(args)?;
     let quiet = args.flag("quiet");
     let trace_path = args.optional("trace");
-    args.finish(&[
-        "jobs",
-        "threads",
-        "cache-size",
-        "deadline-ms",
-        "chase-rounds",
-        "chase-max-nodes",
-        "search-samples",
-        "retries",
-        "shed-depth",
-        "chaos",
-        "verify",
-        "verify=check",
-        "verify=resolve",
-        "quiet",
-        "trace",
-    ])?;
+    let mut known = vec!["jobs", "results", "deadline-ms", "chaos", "quiet", "trace"];
+    known.extend_from_slice(ENGINE_ARGS);
+    args.finish(&known)?;
 
-    let text = match jobs_path.as_deref() {
-        None | Some("-") => {
-            use std::io::Read as _;
-            let mut buffer = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buffer)
-                .map_err(|e| CliError::Failed(format!("cannot read stdin: {e}")))?;
-            buffer
-        }
-        Some(path) => read_file(path)?,
-    };
+    let text = read_input(jobs_path.as_deref().unwrap_or("-"))?;
     // Malformed lines never abort the batch: each becomes an error
     // record keyed by its line number, emitted ahead of the results.
     let (mut jobs, bad_lines) = Job::parse_jobs_lossy(&text);
@@ -808,16 +863,8 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
         }
     }
 
-    let mut budget = pathcons_core::Budget::default();
-    if let Some(rounds) = chase_rounds {
-        budget.chase_rounds = rounds;
-    }
-    if let Some(nodes) = chase_max_nodes {
-        budget.chase_max_nodes = nodes;
-    }
-    if let Some(samples) = search_samples {
-        budget.search_samples = samples;
-    }
+    let mut config = engine_config_from_args(args)?;
+    config.chaos = chaos;
     // --trace tees every engine event into a JSONL file (the durable
     // log, checkable with `pathcons trace-check`) and an in-memory
     // aggregate (the profile printed to stderr).
@@ -827,23 +874,11 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             let file = FileRecorder::create(path)
                 .map_err(|e| CliError::Failed(format!("cannot create trace `{path}`: {e}")))?;
             let memory = Arc::new(InMemoryRecorder::new());
-            budget.telemetry = Telemetry::tee(vec![Arc::new(file), memory.clone()]);
+            config.budget.telemetry = Telemetry::tee(vec![Arc::new(file), memory.clone()]);
             Some(memory)
         }
     };
-    let mut retry = RetryPolicy::default();
-    if let Some(n) = retries {
-        retry.max_retries = n;
-    }
-    let engine = BatchEngine::new(EngineConfig {
-        threads,
-        cache_capacity: cache_size,
-        verify,
-        budget,
-        retry,
-        shed: ShedPolicy::queue_depth(shed_depth),
-        chaos,
-    });
+    let engine = BatchEngine::new(config);
     let report = engine.run_batch(jobs);
 
     let mut out = String::new();
@@ -880,7 +915,125 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             ));
         }
     }
-    Ok(out)
+    match results_path.as_deref() {
+        None | Some("-") => Ok(out),
+        Some(path) => {
+            std::fs::write(path, &out)
+                .map_err(|e| CliError::Failed(format!("cannot write `{path}`: {e}")))?;
+            Ok(format!(
+                "{} result line(s) written to {path}\n",
+                bad_lines.len() + report.results.len()
+            ))
+        }
+    }
+}
+
+/// `pathcons snapshot build`: compile a JSONL contexts (or jobs) file
+/// into a binary snapshot.
+fn cmd_snapshot_build(args: &Args) -> Result<String, CliError> {
+    // `--contexts` is the canonical spelling; `--jobs` is accepted so a
+    // snapshot can be built straight from an existing batch jobs file.
+    let contexts_path = match (args.optional("contexts"), args.optional("jobs")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "pass one of --contexts or --jobs, not both".into(),
+            ))
+        }
+        (Some(p), None) | (None, Some(p)) => p,
+        (None, None) => {
+            return Err(CliError::Usage(
+                "missing required option `--contexts`".into(),
+            ))
+        }
+    };
+    let out_path = args.required("out")?;
+    args.finish(&["contexts", "jobs", "out"])?;
+
+    let store =
+        ConstraintStore::from_jsonl(&read_input(&contexts_path)?).map_err(CliError::Failed)?;
+    let bytes = store.to_bytes();
+    std::fs::write(&out_path, &bytes)
+        .map_err(|e| CliError::Failed(format!("cannot write `{out_path}`: {e}")))?;
+    Ok(format!(
+        "wrote {} ({} bytes)\n{}",
+        out_path,
+        bytes.len(),
+        store.describe()
+    ))
+}
+
+/// `pathcons snapshot info`: validate a snapshot file and describe it.
+fn cmd_snapshot_info(args: &Args) -> Result<String, CliError> {
+    let path = args.required("snapshot")?;
+    args.finish(&["snapshot"])?;
+    let bytes =
+        std::fs::read(&path).map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
+    let store = ConstraintStore::from_bytes(&bytes)
+        .map_err(|e| CliError::Failed(format!("`{path}`: {e}")))?;
+    Ok(store.describe())
+}
+
+/// `pathcons serve`: load the store once, answer JSONL jobs over a
+/// socket until a `{"op": "shutdown"}` line (or the process is killed).
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let listen = args.required("listen")?;
+    let snapshot_path = args.optional("snapshot");
+    let contexts_path = args.optional("contexts");
+    let deadline_ms = parse_numeric(args, "deadline-ms")?;
+    let quiet = args.flag("quiet");
+    let mut known = vec!["listen", "snapshot", "contexts", "deadline-ms", "quiet"];
+    known.extend_from_slice(ENGINE_ARGS);
+    args.finish(&known)?;
+
+    let load_start = std::time::Instant::now();
+    let store = match (snapshot_path.as_deref(), contexts_path.as_deref()) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "pass one of --snapshot or --contexts, not both".into(),
+            ))
+        }
+        (Some(path), None) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| CliError::Failed(format!("cannot read `{path}`: {e}")))?;
+            ConstraintStore::from_bytes(&bytes)
+                .map_err(|e| CliError::Failed(format!("`{path}`: {e}")))?
+        }
+        (None, Some(path)) => {
+            ConstraintStore::from_jsonl(&read_input(path)?).map_err(CliError::Failed)?
+        }
+        // No context data: every job resolves through the builtin
+        // contexts, exactly as `pathcons batch` would.
+        (None, None) => ConstraintStore::from_jsonl("").map_err(CliError::Failed)?,
+    };
+    let load_elapsed = load_start.elapsed();
+
+    let endpoint = Endpoint::parse(&listen).map_err(CliError::Usage)?;
+    let engine = Arc::new(BatchEngine::new(engine_config_from_args(args)?));
+    let server = Server::bind(
+        &endpoint,
+        Arc::new(store),
+        engine,
+        deadline_ms.map(|ms| ms as u64),
+    )
+    .map_err(|e| CliError::Failed(format!("cannot bind `{endpoint}`: {e}")))?;
+    if !quiet {
+        write_stderr(&format!(
+            "serving on {} (store loaded in {:.1} ms)\n",
+            server.endpoint(),
+            load_elapsed.as_secs_f64() * 1e3,
+        ));
+    }
+    let stats = server.stats();
+    server
+        .run()
+        .map_err(|e| CliError::Failed(format!("serve failed: {e}")))?;
+    Ok(format!(
+        "served {} job(s) over {} connection(s) ({} malformed line(s), {} shed)\n",
+        stats.jobs.load(std::sync::atomic::Ordering::Relaxed),
+        stats.connections.load(std::sync::atomic::Ordering::Relaxed),
+        stats.malformed.load(std::sync::atomic::Ordering::Relaxed),
+        stats.shed.load(std::sync::atomic::Ordering::Relaxed),
+    ))
 }
 
 /// Renders the human-readable side of `batch --trace`: span balance,

@@ -573,3 +573,115 @@ fn batch_chaos_recovers_and_loses_no_jobs() {
     );
     assert!(shed_out.contains(r#""shed":22"#), "{shed_out}");
 }
+
+#[test]
+fn snapshot_build_info_and_serve_errors() {
+    let dir = tempdir("snapshot");
+    let contexts = write(
+        &dir,
+        "contexts.jsonl",
+        r#"{"name": "lib", "sigma": ["a -> b"], "edges": [["n0", "a", "n1"], ["n1", "b", "n2"]], "root": "n0"}
+"#,
+    );
+    let snap = dir.join("world.pcs");
+    let out = run(&[
+        "snapshot",
+        "build",
+        "--contexts",
+        contexts.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(stdout.contains("lib"), "{stdout}");
+
+    let info = run(&["snapshot", "info", "--snapshot", snap.to_str().unwrap()]);
+    assert!(info.status.success(), "{info:?}");
+    let info_out = String::from_utf8_lossy(&info.stdout);
+    assert!(info_out.contains("snapshot "), "{info_out}");
+    assert!(
+        info_out.contains("graph 3 node(s) / 2 edge(s)"),
+        "{info_out}"
+    );
+
+    // Corruption is a clean exit-1 diagnostic, not a panic.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    let bad = write(&dir, "bad.pcs", "");
+    std::fs::write(&bad, &bytes).unwrap();
+    let info = run(&["snapshot", "info", "--snapshot", bad.to_str().unwrap()]);
+    assert_eq!(info.status.code(), Some(1), "{info:?}");
+    let err = String::from_utf8_lossy(&info.stderr);
+    assert!(err.contains("checksum"), "{err}");
+
+    // serve refuses ambiguous store sources.
+    let out = run(&[
+        "serve",
+        "--listen",
+        "unix:/tmp/unused.sock",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--contexts",
+        contexts.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn batch_reads_stdin_and_writes_results_file() {
+    use std::io::Write as _;
+    let dir = tempdir("stdin-batch");
+    let results = dir.join("results.jsonl");
+    let mut child = Command::new(bin())
+        .args([
+            "batch",
+            "--jobs",
+            "-",
+            "--results",
+            results.to_str().unwrap(),
+            "--quiet",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"id\": \"s1\", \"sigma\": [\"a -> b\", \"b -> c\"], \"phi\": \"a -> c\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let written = std::fs::read_to_string(&results).unwrap();
+    assert!(
+        written.contains(r#""id":"s1","verdict":"implied""#),
+        "{written}"
+    );
+
+    // And the results file audits cleanly with check --jobs -.
+    let results_arg = results.to_str().unwrap().to_owned();
+    let mut child = Command::new(bin())
+        .args(["check", "--results", &results_arg, "--jobs", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"id\": \"s1\", \"sigma\": [\"a -> b\", \"b -> c\"], \"phi\": \"a -> c\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Both streams can't be stdin.
+    let out = run(&["check", "--results", "-", "--jobs", "-"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

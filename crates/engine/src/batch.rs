@@ -603,49 +603,74 @@ impl BatchEngine {
             self.chaos_poison_lock();
         }
 
-        let fail = |detail: String| JobResult {
-            id: job.id.clone(),
-            verdict: Verdict::Error,
-            method: None,
-            detail: Some(detail),
-            unknown_kind: None,
-            unknown_phase: None,
-            cache: None,
-            certificate: None,
-            micros: start.elapsed().as_micros() as u64,
-        };
-
-        let mut labels = LabelInterner::new();
-        let context = match build_context(&job.context, &mut labels) {
-            Ok(context) => context,
-            Err(e) => return fail(e),
-        };
-        let mut sigma = Vec::with_capacity(job.sigma.len());
-        for text in &job.sigma {
-            match PathConstraint::parse(text, &mut labels) {
-                Ok(c) => sigma.push(c),
-                Err(e) => return fail(format!("bad constraint `{text}`: {e}")),
+        let prepared = match prepare_job(
+            &job.context,
+            &job.sigma,
+            &job.phi,
+            &mut LabelInterner::new(),
+        ) {
+            Ok(prepared) => prepared,
+            Err(detail) => {
+                return JobResult {
+                    id: job.id,
+                    verdict: Verdict::Error,
+                    method: None,
+                    detail: Some(detail),
+                    unknown_kind: None,
+                    unknown_phase: None,
+                    cache: None,
+                    certificate: None,
+                    micros: start.elapsed().as_micros() as u64,
+                }
             }
-        }
-        let phi = match PathConstraint::parse(&job.phi, &mut labels) {
-            Ok(phi) => phi,
-            Err(e) => return fail(format!("bad query `{}`: {e}", job.phi)),
         };
+        let mut result = self.solve_prepared(job.id.clone(), &prepared, deadline_at, start);
+        if fault == Some(FaultKind::TornCacheWrite) {
+            // Overwrite this job's cache slot with a forged,
+            // never-cacheable entry — a torn write for the
+            // hit-validator to catch on the next lookup.
+            self.chaos_torn_write(&prepared.context, &prepared.sigma, &prepared.phi);
+        }
+        if fault == Some(FaultKind::MalformedResult) && result.verdict != Verdict::Error {
+            // Corrupt the result id; `run_batch`'s echo check
+            // turns this into a retried job panic.
+            result.id = format!("chaos:corrupted:{}", job.id);
+        }
+        result
+    }
 
+    /// Solves one prepared query and shapes the wire result — the
+    /// single job-answering path shared by the batch worker
+    /// ([`BatchEngine::run_one`] internals) and the resident serve loop
+    /// (`pathcons serve`), so both produce identical verdicts for
+    /// identical inputs. `deadline_at` is the job's absolute wall-clock
+    /// deadline (already armed by the caller); `start` is the instant
+    /// the job was accepted, so `micros` covers queueing and parsing the
+    /// caller already performed.
+    pub fn solve_prepared(
+        &self,
+        id: String,
+        prepared: &PreparedJob,
+        deadline_at: Option<Instant>,
+        start: Instant,
+    ) -> JobResult {
         let mut budget = self.config.budget.clone();
         if let Some(deadline) = deadline_at {
             budget = budget.with_deadline_at(Deadline::at(deadline));
         }
-
-        match self.solve_full(&context, &sigma, &phi, budget) {
-            Err(e) => fail(e.to_string()),
+        match self.solve_full(&prepared.context, &prepared.sigma, &prepared.phi, budget) {
+            Err(e) => JobResult {
+                id,
+                verdict: Verdict::Error,
+                method: None,
+                detail: Some(e.to_string()),
+                unknown_kind: None,
+                unknown_phase: None,
+                cache: None,
+                certificate: None,
+                micros: start.elapsed().as_micros() as u64,
+            },
             Ok((answer, cache, certificate)) => {
-                if fault == Some(FaultKind::TornCacheWrite) {
-                    // Overwrite this job's cache slot with a forged,
-                    // never-cacheable entry — a torn write for the
-                    // hit-validator to catch on the next lookup.
-                    self.chaos_torn_write(&context, &sigma, &phi);
-                }
                 let (verdict, detail, unknown) = match &answer.outcome {
                     Outcome::Implied(_) => (Verdict::Implied, None, None),
                     Outcome::NotImplied(_) => (Verdict::NotImplied, None, None),
@@ -658,13 +683,6 @@ impl BatchEngine {
                 let (unknown_kind, unknown_phase) = match unknown {
                     Some((kind, phase)) => (Some(kind.to_owned()), phase.map(str::to_owned)),
                     None => (None, None),
-                };
-                let id = if fault == Some(FaultKind::MalformedResult) {
-                    // Corrupt the result id; `run_batch`'s echo check
-                    // turns this into a retried job panic.
-                    format!("chaos:corrupted:{}", job.id)
-                } else {
-                    job.id
                 };
                 JobResult {
                     id,
@@ -891,6 +909,49 @@ pub fn build_context(name: &str, labels: &mut LabelInterner) -> Result<DataConte
             "unknown context `{other}` (expected semistructured, m-bibliography or mplus-bibliography)"
         )),
     }
+}
+
+/// A job's query parsed into one label space and ready to solve: the
+/// context built, the hypotheses and the goal parsed.
+///
+/// Produced by [`prepare_job`] (the cold path: everything rebuilt from
+/// the job's texts) or assembled directly by a resident context store
+/// that already holds a prebuilt [`DataContext`] and parsed base Σ.
+#[derive(Clone, Debug)]
+pub struct PreparedJob {
+    /// The solver context the query runs in.
+    pub context: DataContext,
+    /// Σ, parsed.
+    pub sigma: Vec<PathConstraint>,
+    /// φ, parsed.
+    pub phi: PathConstraint,
+}
+
+/// Parses a job's `(context, sigma, phi)` triple into `labels` — the
+/// one context-building path shared by the batch worker, the offline
+/// certificate auditor (`pathcons check --results`), and the serve
+/// loop's fallback for jobs naming no stored context.
+pub fn prepare_job(
+    context_name: &str,
+    sigma_texts: &[String],
+    phi_text: &str,
+    labels: &mut LabelInterner,
+) -> Result<PreparedJob, String> {
+    let context = build_context(context_name, labels)?;
+    let mut sigma = Vec::with_capacity(sigma_texts.len());
+    for text in sigma_texts {
+        sigma.push(
+            PathConstraint::parse(text, labels)
+                .map_err(|e| format!("bad constraint `{text}`: {e}"))?,
+        );
+    }
+    let phi = PathConstraint::parse(phi_text, labels)
+        .map_err(|e| format!("bad query `{phi_text}`: {e}"))?;
+    Ok(PreparedJob {
+        context,
+        sigma,
+        phi,
+    })
 }
 
 /// One implication job, as read from a JSONL line.

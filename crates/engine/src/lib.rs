@@ -49,8 +49,8 @@ pub mod json;
 pub mod resilience;
 
 pub use batch::{
-    build_context, evidence_kind, unknown_reason_wire, BatchEngine, BatchReport, BatchStats,
-    CacheOutcome, EngineConfig, Job, JobResult, Verdict, VerifyMode,
+    build_context, evidence_kind, prepare_job, unknown_reason_wire, BatchEngine, BatchReport,
+    BatchStats, CacheOutcome, EngineConfig, Job, JobResult, PreparedJob, Verdict, VerifyMode,
 };
 pub use cache::{AnswerCache, CacheStats, CachedEntry};
 pub use canon::{canonicalize, snapshot_id, CanonicalQuery, ContextKey, QueryKey, Renaming};

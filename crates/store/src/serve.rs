@@ -1,0 +1,626 @@
+//! The `pathcons serve` socket front-end.
+//!
+//! A [`Server`] owns an [`Arc<ConstraintStore>`] and an
+//! [`Arc<BatchEngine>`] and answers a JSONL line protocol over a unix
+//! socket or TCP, one thread per connection:
+//!
+//! - a line shaped like a batch **job** (`{"id": ..., "phi": ...,
+//!   "sigma": [...], "context": ..., "deadline_ms": ...}`) is resolved
+//!   against the store and solved through the engine — same answer
+//!   cache, same deadlines, same verify mode as `pathcons batch` — and
+//!   answered with the batch result line, verbatim;
+//! - `{"op": "ping"}`, `{"op": "stats"}`, `{"op": "check", ...}` and
+//!   `{"op": "shutdown"}` are control operations;
+//! - a malformed line is answered with a per-line error record
+//!   (`"id": "line-N"`), mirroring `pathcons batch` — the connection is
+//!   **never** dropped for bad input.
+//!
+//! Admission control is global: when more than the engine's configured
+//! shed depth jobs are in flight across all connections, new jobs get
+//! an immediate `unknown`/`overloaded` answer instead of queueing
+//! without bound (the same honest-shedding contract as the batch path;
+//! shed answers are never cached).
+
+use crate::store::ConstraintStore;
+use pathcons_engine::{BatchEngine, Job, JobResult, Json, Verdict};
+use std::fmt;
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a server listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7878` (port 0 picks a free port).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses a CLI endpoint spec: `unix:PATH`, `tcp:ADDR`, or a bare
+    /// value (containing `/` → unix path, otherwise a TCP address).
+    pub fn parse(spec: &str) -> Result<Endpoint, String> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
+        if spec.contains('/') {
+            return Ok(Endpoint::Unix(PathBuf::from(spec)));
+        }
+        if spec.contains(':') {
+            return Ok(Endpoint::Tcp(spec.to_owned()));
+        }
+        Err(format!(
+            "bad endpoint `{spec}`: expected unix:PATH or tcp:HOST:PORT"
+        ))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Monotonic counters a running server exposes via `{"op": "stats"}`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Job lines answered (any verdict).
+    pub jobs: AtomicU64,
+    /// Malformed lines answered with error records.
+    pub malformed: AtomicU64,
+    /// Jobs shed by admission control.
+    pub shed: AtomicU64,
+    /// Control operations handled (ping/stats/check/shutdown).
+    pub ops: AtomicU64,
+    /// Jobs currently being solved, across all connections.
+    pub inflight: AtomicU64,
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.write_all(buf),
+            Stream::Tcp(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    store: Arc<ConstraintStore>,
+    engine: Arc<BatchEngine>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    /// Applied to jobs that do not carry their own `deadline_ms`.
+    default_deadline_ms: Option<u64>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds a listener. For unix endpoints a stale socket file from a
+    /// previous run is removed first; for TCP, port 0 resolves to the
+    /// actual bound port in [`Server::endpoint`].
+    pub fn bind(
+        endpoint: &Endpoint,
+        store: Arc<ConstraintStore>,
+        engine: Arc<BatchEngine>,
+        default_deadline_ms: Option<u64>,
+    ) -> io::Result<Server> {
+        let (listener, endpoint) = match endpoint {
+            Endpoint::Unix(path) => {
+                // A dead server leaves its socket file behind; binding
+                // over it fails with AddrInUse. Remove only socket
+                // files, never ordinary files someone else owns.
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    use std::os::unix::fs::FileTypeExt as _;
+                    if meta.file_type().is_socket() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                let listener = UnixListener::bind(path)?;
+                (Listener::Unix(listener), Endpoint::Unix(path.clone()))
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let local = listener.local_addr()?;
+                (Listener::Tcp(listener), Endpoint::Tcp(local.to_string()))
+            }
+        };
+        match &listener {
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+        Ok(Server {
+            listener,
+            endpoint,
+            store,
+            engine,
+            stats: Arc::new(ServeStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            default_deadline_ms,
+            started: Instant::now(),
+        })
+    }
+
+    /// The resolved endpoint (with TCP port 0 replaced by the real
+    /// port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The stop flag; setting it makes [`Server::run`] return after at
+    /// most one accept-poll interval, and makes connection threads
+    /// finish after their current line.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// The server's counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        self.stats.clone()
+    }
+
+    /// Accept loop: runs until the stop flag is set (by
+    /// [`ServerHandle::stop`], a `{"op": "shutdown"}` line, or a signal
+    /// handler flipping the shared flag). Each connection gets its own
+    /// thread; connection threads are detached and observe the stop
+    /// flag via read timeouts.
+    pub fn run(&self) -> io::Result<()> {
+        while !self.stop.load(Ordering::Relaxed) {
+            let accepted = match &self.listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match accepted {
+                Ok(stream) => {
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let worker = ConnectionWorker {
+                        store: self.store.clone(),
+                        engine: self.engine.clone(),
+                        stats: self.stats.clone(),
+                        stop: self.stop.clone(),
+                        default_deadline_ms: self.default_deadline_ms,
+                        started: self.started,
+                    };
+                    std::thread::spawn(move || worker.serve(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle
+    /// to stop and join it (the in-process harness tests and the bench
+    /// runner use this; the CLI calls [`Server::run`] directly).
+    pub fn spawn(self) -> ServerHandle {
+        let endpoint = self.endpoint.clone();
+        let stop = self.stop_flag();
+        let stats = self.stats();
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle {
+            endpoint,
+            stop,
+            stats,
+            join,
+        }
+    }
+}
+
+/// A handle to a server running on a background thread.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    join: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The resolved endpoint clients should connect to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The server's counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Signals the accept loop to stop and joins it.
+    pub fn stop(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Everything one connection thread needs, cloned out of the server so
+/// the thread borrows nothing.
+struct ConnectionWorker {
+    store: Arc<ConstraintStore>,
+    engine: Arc<BatchEngine>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    default_deadline_ms: Option<u64>,
+    started: Instant,
+}
+
+impl ConnectionWorker {
+    fn serve(&self, mut stream: Stream) {
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            return;
+        }
+        // A hand-rolled line splitter instead of `BufRead::read_line`:
+        // read_line's UTF-8 guard discards partially-read bytes when a
+        // read times out, and timeouts are routine here (they are how
+        // the thread polls the stop flag).
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 8192];
+        let mut lineno = 0usize;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => return, // client closed
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            };
+            pending.extend_from_slice(&chunk[..n]);
+            while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = pending.drain(..=nl).collect();
+                lineno += 1;
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                if let Some(response) = self.handle_line(lineno, text.trim()) {
+                    let mut payload = response.into_bytes();
+                    payload.push(b'\n');
+                    if stream.write_all(&payload).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers one protocol line; `None` for blank/comment lines.
+    fn handle_line(&self, lineno: usize, line: &str) -> Option<String> {
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        // Control operations use an `op` member; anything else is a job
+        // line parsed exactly as `pathcons batch` parses it.
+        if let Ok(value) = Json::parse(line) {
+            if let Some(op) = value.get("op").and_then(Json::as_str) {
+                self.stats.ops.fetch_add(1, Ordering::Relaxed);
+                return Some(self.handle_op(lineno, op, &value));
+            }
+        }
+        match Job::from_json_line(line) {
+            Ok(job) => Some(self.handle_job(job)),
+            Err(e) => {
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                Some(
+                    error_record(lineno, &format!("malformed request: {e}"))
+                        .to_json()
+                        .to_string(),
+                )
+            }
+        }
+    }
+
+    fn handle_op(&self, lineno: usize, op: &str, value: &Json) -> String {
+        match op {
+            "ping" => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("ping".into())),
+                ("snapshot", Json::Str(self.store.content_id_hex())),
+            ]),
+            "stats" => {
+                let cache = self.engine.cache_stats();
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("stats".into())),
+                    ("snapshot", Json::Str(self.store.content_id_hex())),
+                    ("contexts", Json::Num(self.store.context_count() as f64)),
+                    (
+                        "uptime_ms",
+                        Json::Num(self.started.elapsed().as_millis() as f64),
+                    ),
+                    ("connections", counter(&self.stats.connections)),
+                    ("jobs", counter(&self.stats.jobs)),
+                    ("malformed", counter(&self.stats.malformed)),
+                    ("shed", counter(&self.stats.shed)),
+                    ("inflight", counter(&self.stats.inflight)),
+                    ("cache_hits", Json::Num(cache.hits as f64)),
+                    ("cache_misses", Json::Num(cache.misses as f64)),
+                    ("degraded", Json::Bool(self.engine.is_degraded())),
+                ])
+            }
+            "shutdown" => {
+                self.stop.store(true, Ordering::Relaxed);
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("shutdown".into())),
+                ])
+            }
+            "check" => self.handle_check(lineno, value),
+            other => error_record(lineno, &format!("unknown op `{other}`"))
+                .to_json()
+                .to_string(),
+        }
+    }
+
+    /// `{"op": "check", "context": NAME, "constraints": [...]}` —
+    /// satisfaction of constraint texts against a resident context's
+    /// data graph, answered from the columnar store.
+    fn handle_check(&self, lineno: usize, value: &Json) -> String {
+        let context = value.get("context").and_then(Json::as_str).unwrap_or("");
+        let texts: Vec<String> = match value.get("constraints") {
+            Some(Json::Arr(items)) => {
+                match items
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_owned))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(texts) => texts,
+                    None => {
+                        return error_record(lineno, "`constraints` entries must be strings")
+                            .to_json()
+                            .to_string()
+                    }
+                }
+            }
+            _ => {
+                return error_record(lineno, "check needs a `constraints` array")
+                    .to_json()
+                    .to_string()
+            }
+        };
+        match self.store.check(context, &texts) {
+            Err(e) => error_record(lineno, &e).to_json().to_string(),
+            Ok(verdicts) => {
+                let all_hold = verdicts.iter().all(|(_, holds)| *holds);
+                let results = verdicts
+                    .into_iter()
+                    .map(|(text, holds)| {
+                        obj_json(vec![
+                            ("constraint", Json::Str(text)),
+                            ("holds", Json::Bool(holds)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("check".into())),
+                    ("context", Json::Str(context.to_owned())),
+                    ("all_hold", Json::Bool(all_hold)),
+                    ("results", Json::Arr(results)),
+                ])
+            }
+        }
+    }
+
+    fn handle_job(&self, mut job: Job) -> String {
+        let start = Instant::now();
+        if job.deadline_ms.is_none() {
+            job.deadline_ms = self.default_deadline_ms;
+        }
+        // Global admission control: the engine's shed depth bounds the
+        // number of jobs solving at once across every connection.
+        let depth = self.engine.config().shed.max_queue_depth;
+        let inflight = self.stats.inflight.fetch_add(1, Ordering::Relaxed);
+        let result = if depth > 0 && inflight as usize >= depth {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            overloaded_record(job.id.clone())
+        } else {
+            let deadline_at = job.deadline_ms.map(|ms| start + Duration::from_millis(ms));
+            match self.store.prepare(&job) {
+                Err(detail) => error_result(job.id.clone(), detail),
+                Ok(prepared) => {
+                    self.engine
+                        .solve_prepared(job.id.clone(), &prepared, deadline_at, start)
+                }
+            }
+        };
+        self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        result.to_json().to_string()
+    }
+}
+
+fn counter(counter: &AtomicU64) -> Json {
+    Json::Num(counter.load(Ordering::Relaxed) as f64)
+}
+
+fn obj_json(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn obj(members: Vec<(&str, Json)>) -> String {
+    obj_json(members).to_string()
+}
+
+/// The per-line error record, shaped exactly like `pathcons batch`'s
+/// records for malformed job lines.
+fn error_record(lineno: usize, detail: &str) -> JobResult {
+    error_result(format!("line-{lineno}"), detail.to_owned())
+}
+
+fn error_result(id: String, detail: String) -> JobResult {
+    JobResult {
+        id,
+        verdict: Verdict::Error,
+        method: None,
+        detail: Some(detail),
+        unknown_kind: None,
+        unknown_phase: None,
+        cache: None,
+        certificate: None,
+        micros: 0,
+    }
+}
+
+/// The shed answer, shaped exactly like the batch engine's
+/// `Unknown(Overloaded)` records.
+fn overloaded_record(id: String) -> JobResult {
+    JobResult {
+        id,
+        verdict: Verdict::Unknown,
+        method: None,
+        detail: Some(pathcons_core::UnknownReason::Overloaded.to_string()),
+        unknown_kind: Some("overloaded".to_owned()),
+        unknown_phase: None,
+        cache: None,
+        certificate: None,
+        micros: 0,
+    }
+}
+
+/// A minimal blocking JSONL client for tests, the bench runner, and the
+/// CI smoke: connect, send request lines, read response lines.
+pub struct Client {
+    stream: Stream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a serve endpoint.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = match endpoint {
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        Ok(Client {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one request line (a newline is appended).
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        let mut payload = line.as_bytes().to_vec();
+        payload.push(b'\n');
+        self.stream.write_all(&payload)
+    }
+
+    /// Reads the next response line (blocking).
+    pub fn recv(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=nl).collect();
+                return Ok(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+            }
+            let mut chunk = [0u8; 8192];
+            let n = match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn round_trip(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/s.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/s.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/s.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/s.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:0").unwrap(),
+            Endpoint::Tcp("127.0.0.1:0".into())
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7878").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7878".into())
+        );
+        assert!(Endpoint::parse("nonsense").is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! The resident constraint store.
+//!
+//! A [`ConstraintStore`] is built **once** — from a binary snapshot or
+//! from JSONL — and then answers arbitrarily many jobs without
+//! re-parsing context data: labels are interned to `u32` in one
+//! store-wide table, each context's base Σ is parsed up front, solver
+//! contexts are prebuilt, and data graphs live in columnar form with
+//! forward/backward adjacency indexes ([`ColumnarGraph`]).
+//!
+//! Job resolution ([`ConstraintStore::prepare`]) clones the shared
+//! interner (cheap: one `Vec<String>` + map), parses only the job's own
+//! sigma/phi texts against it, and concatenates the context's resident
+//! base Σ in front. Context names not in the store fall back to the
+//! engine's builtin contexts, so a store-backed server answers every
+//! job a bare `pathcons batch` would. Verdicts are identical either
+//! way: the engine's cache canonicalizes queries by alpha-renaming, so
+//! the interner's contents never leak into an answer.
+
+use crate::columnar::ColumnarGraph;
+use crate::snapshot::{self, ContextRecord, GraphColumns, SnapshotDoc, SnapshotError};
+use pathcons_constraints::PathConstraint;
+use pathcons_core::DataContext;
+use pathcons_engine::{build_context, prepare_job, Job, Json, PreparedJob};
+use pathcons_graph::{Graph, LabelInterner};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// One context resident in the store: prebuilt solver context, parsed
+/// base Σ, and (optionally) a columnar data graph.
+#[derive(Debug)]
+pub struct ResidentContext {
+    kind: String,
+    context: DataContext,
+    base_sigma: Vec<PathConstraint>,
+    sigma_texts: Vec<String>,
+    columnar: Option<ColumnarGraph>,
+    /// Arena-form rehydration of `columnar`, built on first use by the
+    /// satisfaction checkers (`graph()`); job solving never needs it.
+    graph: OnceLock<Graph>,
+}
+
+impl ResidentContext {
+    /// The solver-context kind this context was built from.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The parsed base Σ, prepended to every job's own sigma.
+    pub fn base_sigma(&self) -> &[PathConstraint] {
+        &self.base_sigma
+    }
+
+    /// The columnar data graph, if the context carries one.
+    pub fn columnar(&self) -> Option<&ColumnarGraph> {
+        self.columnar.as_ref()
+    }
+
+    /// The data graph in arena form, rehydrated lazily from the columns
+    /// (and cached) for checkers that need [`Graph`].
+    pub fn graph(&self) -> Option<&Graph> {
+        let columnar = self.columnar.as_ref()?;
+        Some(self.graph.get_or_init(|| columnar.to_graph()))
+    }
+}
+
+/// The resident store: one shared label table plus named contexts.
+#[derive(Debug)]
+pub struct ConstraintStore {
+    labels: LabelInterner,
+    contexts: BTreeMap<String, ResidentContext>,
+    content_id: u64,
+}
+
+impl ConstraintStore {
+    /// Builds a store from a decoded snapshot document.
+    pub fn from_doc(doc: &SnapshotDoc) -> Result<ConstraintStore, SnapshotError> {
+        let corrupt = SnapshotError::Corrupt;
+        let mut labels = LabelInterner::with_labels(doc.labels.iter());
+        let mut contexts = BTreeMap::new();
+        for record in &doc.contexts {
+            if contexts.contains_key(&record.name) {
+                return Err(corrupt(format!("duplicate context `{}`", record.name)));
+            }
+            let context = build_context(&record.kind, &mut labels)
+                .map_err(|e| corrupt(format!("context `{}`: {e}", record.name)))?;
+            let mut base_sigma = Vec::with_capacity(record.sigma.len());
+            for text in &record.sigma {
+                base_sigma.push(PathConstraint::parse(text, &mut labels).map_err(|e| {
+                    corrupt(format!(
+                        "context `{}`: bad constraint `{text}`: {e}",
+                        record.name
+                    ))
+                })?);
+            }
+            let columnar = match &record.graph {
+                None => None,
+                Some(g) => Some(
+                    ColumnarGraph::from_columns(
+                        g.node_count,
+                        g.root,
+                        g.src.clone(),
+                        g.label.clone(),
+                        g.dst.clone(),
+                    )
+                    .map_err(|e| corrupt(format!("context `{}`: {e}", record.name)))?,
+                ),
+            };
+            contexts.insert(
+                record.name.clone(),
+                ResidentContext {
+                    kind: record.kind.clone(),
+                    context,
+                    base_sigma,
+                    sigma_texts: record.sigma.clone(),
+                    columnar,
+                    graph: OnceLock::new(),
+                },
+            );
+        }
+        let content_id = snapshot::content_id(&snapshot::encode(doc))?;
+        Ok(ConstraintStore {
+            labels,
+            contexts,
+            content_id,
+        })
+    }
+
+    /// Loads a store from snapshot bytes (the fast path at serve
+    /// startup): validate the frame, decode, build.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ConstraintStore, SnapshotError> {
+        let doc = snapshot::decode(bytes)?;
+        let mut store = Self::from_doc(&doc)?;
+        store.content_id = snapshot::content_id(bytes)?;
+        Ok(store)
+    }
+
+    /// Builds a store from JSONL text (the cold path, and what
+    /// `pathcons snapshot build` runs once). Two line shapes are
+    /// accepted and may be mixed:
+    ///
+    /// - a **context spec**: `{"name": "...", "kind": "semistructured",
+    ///   "sigma": ["a -> b"], "edges": [["n0", "label", "n1"], ...],
+    ///   "root": "n0"}` — `kind`, `sigma`, `edges` and `root` optional;
+    ///   node names are numbered by first appearance, the root defaults
+    ///   to the first node mentioned;
+    /// - a **batch job** (`{"id": ..., "phi": ...}` — the
+    ///   `examples/batch_jobs.jsonl` format): its `context` name is
+    ///   registered as a builtin-kind context with empty base Σ, so a
+    ///   snapshot can be built straight from an existing jobs file.
+    pub fn from_jsonl(text: &str) -> Result<ConstraintStore, String> {
+        let mut doc = SnapshotDoc::default();
+        // One document-wide interner for edge-label names, so the graph
+        // columns of every record index one shared string table.
+        let mut doc_labels = LabelInterner::new();
+        let mut names: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            let value = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            if value.get("phi").is_some() {
+                // A batch job: register its context name once.
+                let name = value
+                    .get("context")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned();
+                if !names.contains_key(&name) {
+                    names.insert(name.clone(), doc.contexts.len());
+                    doc.contexts.push(ContextRecord {
+                        kind: name.clone(),
+                        name,
+                        sigma: Vec::new(),
+                        graph: None,
+                    });
+                }
+                continue;
+            }
+            let record = parse_context_spec(&value, &mut doc_labels)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            if names.contains_key(&record.name) {
+                return Err(format!(
+                    "line {lineno}: duplicate context `{}`",
+                    record.name
+                ));
+            }
+            names.insert(record.name.clone(), doc.contexts.len());
+            doc.contexts.push(record);
+        }
+        doc.labels = label_names(&doc_labels);
+        let mut store = Self::from_doc(&doc).map_err(|e| e.to_string())?;
+        // The store's own table may have grown past the document's
+        // (schema contexts and sigma texts intern extra names), so the
+        // id this store reports is the id of the snapshot it would
+        // *write* — `to_bytes` is a fixpoint: loading those bytes back
+        // re-interns the same names in the same order.
+        store.content_id = snapshot::content_id(&store.to_bytes()).map_err(|e| e.to_string())?;
+        Ok(store)
+    }
+
+    /// Re-encodes the store as a snapshot document. `from_doc ∘ to_doc`
+    /// is the identity on content: encoding the result yields the same
+    /// bytes (and therefore the same content id).
+    pub fn to_doc(&self) -> SnapshotDoc {
+        let contexts = self
+            .contexts
+            .iter()
+            .map(|(name, resident)| ContextRecord {
+                name: name.clone(),
+                kind: resident.kind.clone(),
+                sigma: resident.sigma_texts.clone(),
+                graph: resident.columnar.as_ref().map(|col| {
+                    let (src, label, dst) = col.columns();
+                    GraphColumns {
+                        node_count: col.node_count() as u32,
+                        root: col.root(),
+                        src: src.to_vec(),
+                        label: label.to_vec(),
+                        dst: dst.to_vec(),
+                    }
+                }),
+            })
+            .collect();
+        SnapshotDoc {
+            labels: label_names(&self.labels),
+            contexts,
+        }
+    }
+
+    /// Encodes the store to snapshot bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        snapshot::encode(&self.to_doc())
+    }
+
+    /// The content id (payload checksum) of the snapshot this store was
+    /// loaded from or would encode to, as raw `u64`.
+    pub fn content_id(&self) -> u64 {
+        self.content_id
+    }
+
+    /// The content id rendered the way the certificate layer renders
+    /// snapshot ids: 16 lowercase hex digits.
+    pub fn content_id_hex(&self) -> String {
+        format!("{:016x}", self.content_id)
+    }
+
+    /// Number of resident contexts.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Looks up a resident context by name.
+    pub fn context(&self, name: &str) -> Option<&ResidentContext> {
+        self.contexts.get(name)
+    }
+
+    /// Iterates `(name, context)` pairs in name order.
+    pub fn contexts(&self) -> impl Iterator<Item = (&str, &ResidentContext)> {
+        self.contexts.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// The shared label table.
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Resolves a job against the store: resident contexts get the
+    /// prebuilt solver context, a cloned interner, and base Σ prepended
+    /// to the job's own sigma; unknown names fall back to the engine's
+    /// builtin contexts (fresh interner), exactly as `pathcons batch`
+    /// builds them.
+    pub fn prepare(&self, job: &Job) -> Result<PreparedJob, String> {
+        let Some(resident) = self.contexts.get(&job.context) else {
+            return prepare_job(
+                &job.context,
+                &job.sigma,
+                &job.phi,
+                &mut LabelInterner::new(),
+            );
+        };
+        let mut labels = self.labels.clone();
+        let mut sigma = resident.base_sigma.clone();
+        sigma.reserve(job.sigma.len());
+        for text in &job.sigma {
+            sigma.push(
+                PathConstraint::parse(text, &mut labels)
+                    .map_err(|e| format!("bad constraint `{text}`: {e}"))?,
+            );
+        }
+        let phi = PathConstraint::parse(&job.phi, &mut labels)
+            .map_err(|e| format!("bad query `{}`: {e}", job.phi))?;
+        Ok(PreparedJob {
+            context: resident.context.clone(),
+            sigma,
+            phi,
+        })
+    }
+
+    /// Checks constraint texts against a resident context's data graph
+    /// (the `check` protocol op): returns `(text, holds)` per
+    /// constraint. Errors when the context is unknown or has no graph.
+    pub fn check(
+        &self,
+        context_name: &str,
+        texts: &[String],
+    ) -> Result<Vec<(String, bool)>, String> {
+        let resident = self
+            .contexts
+            .get(context_name)
+            .ok_or_else(|| format!("unknown context `{context_name}`"))?;
+        let graph = resident
+            .graph()
+            .ok_or_else(|| format!("context `{context_name}` has no data graph"))?;
+        let mut labels = self.labels.clone();
+        let mut verdicts = Vec::with_capacity(texts.len());
+        for text in texts {
+            let constraint = PathConstraint::parse(text, &mut labels)
+                .map_err(|e| format!("bad constraint `{text}`: {e}"))?;
+            verdicts.push((
+                text.clone(),
+                pathcons_constraints::holds(graph, &constraint),
+            ));
+        }
+        Ok(verdicts)
+    }
+
+    /// A human-readable description (what `pathcons snapshot info`
+    /// prints): content id, label count, per-context shape.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "snapshot {}", self.content_id_hex());
+        let _ = writeln!(
+            out,
+            "{} label(s), {} context(s)",
+            self.labels.len(),
+            self.contexts.len()
+        );
+        for (name, resident) in &self.contexts {
+            let shown = if name.is_empty() { "(default)" } else { name };
+            let _ = write!(
+                out,
+                "  {shown}: kind {}, {} base constraint(s)",
+                if resident.kind.is_empty() {
+                    "semistructured"
+                } else {
+                    &resident.kind
+                },
+                resident.base_sigma.len()
+            );
+            match &resident.columnar {
+                None => {
+                    let _ = writeln!(out, ", no graph");
+                }
+                Some(col) => {
+                    let _ = writeln!(
+                        out,
+                        ", graph {} node(s) / {} edge(s)",
+                        col.node_count(),
+                        col.edge_count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders the interner back to its name list, in id order.
+fn label_names(labels: &LabelInterner) -> Vec<String> {
+    labels.iter().map(|(_, name)| name.to_owned()).collect()
+}
+
+/// Parses one context-spec JSONL line into a [`ContextRecord`],
+/// interning edge-label names into the shared document table so graph
+/// columns of every record index one string table.
+fn parse_context_spec(
+    value: &Json,
+    doc_labels: &mut LabelInterner,
+) -> Result<ContextRecord, String> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("context spec needs a string `name` (or a job line needs `phi`)")?
+        .to_owned();
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or("semistructured")
+        .to_owned();
+    let sigma = match value.get("sigma") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => {
+            let mut texts = Vec::with_capacity(items.len());
+            for item in items {
+                texts.push(
+                    item.as_str()
+                        .ok_or("`sigma` entries must be strings")?
+                        .to_owned(),
+                );
+            }
+            texts
+        }
+        Some(_) => return Err("`sigma` must be an array of strings".into()),
+    };
+    let graph = match value.get("edges") {
+        None => None,
+        Some(Json::Arr(items)) => Some(parse_edges(items, value, doc_labels)?),
+        Some(_) => return Err("`edges` must be an array of [src, label, dst] triples".into()),
+    };
+    Ok(ContextRecord {
+        name,
+        kind,
+        sigma,
+        graph,
+    })
+}
+
+/// Builds graph columns from `[["n0", "label", "n1"], …]` triples. Node
+/// names are numbered by first appearance; the optional `root` names
+/// the root node (default: the first node mentioned). Label ids index
+/// the shared document string table (`doc_labels`).
+fn parse_edges(
+    items: &[Json],
+    value: &Json,
+    doc_labels: &mut LabelInterner,
+) -> Result<GraphColumns, String> {
+    let mut nodes: BTreeMap<String, u32> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let node_id = |name: &str, nodes: &mut BTreeMap<String, u32>, order: &mut Vec<String>| {
+        if let Some(&id) = nodes.get(name) {
+            return id;
+        }
+        let id = order.len() as u32;
+        nodes.insert(name.to_owned(), id);
+        order.push(name.to_owned());
+        id
+    };
+    let mut src = Vec::with_capacity(items.len());
+    let mut label = Vec::with_capacity(items.len());
+    let mut dst = Vec::with_capacity(items.len());
+    for item in items {
+        let Json::Arr(triple) = item else {
+            return Err("each edge must be a [src, label, dst] triple".into());
+        };
+        let [s, l, d] = triple.as_slice() else {
+            return Err("each edge must be a [src, label, dst] triple".into());
+        };
+        let (s, l, d) = match (s.as_str(), l.as_str(), d.as_str()) {
+            (Some(s), Some(l), Some(d)) => (s, l, d),
+            _ => return Err("edge triple entries must be strings".into()),
+        };
+        src.push(node_id(s, &mut nodes, &mut order));
+        label.push(doc_labels.intern(l).index() as u32);
+        dst.push(node_id(d, &mut nodes, &mut order));
+    }
+    if order.is_empty() {
+        return Err("`edges` must name at least one node".into());
+    }
+    let root = match value.get("root").and_then(Json::as_str) {
+        None => 0,
+        Some(name) => *nodes
+            .get(name)
+            .ok_or_else(|| format!("root `{name}` does not appear in `edges`"))?,
+    };
+    Ok(GraphColumns {
+        node_count: order.len() as u32,
+        root,
+        src,
+        label,
+        dst,
+    })
+}

@@ -1,0 +1,139 @@
+//! Snapshot format integration: build → write → load round trips, and
+//! clean rejection of corrupt, truncated, and version-mismatched files.
+
+use pathcons_store::{ConstraintStore, SnapshotError, FORMAT_VERSION, MAGIC};
+
+const SPECS: &str = r#"
+# two resident contexts: one with a data graph, one schema-backed
+{"name": "library", "sigma": ["book: author <- wrote"], "edges": [["root", "book", "b1"], ["b1", "author", "a1"], ["a1", "wrote", "b1"]], "root": "root"}
+{"name": "typed", "kind": "m-bibliography", "sigma": []}
+"#;
+
+fn sample_store() -> ConstraintStore {
+    ConstraintStore::from_jsonl(SPECS).expect("specs build")
+}
+
+#[test]
+fn build_write_load_round_trips() {
+    let store = sample_store();
+    let bytes = store.to_bytes();
+    assert_eq!(&bytes[..8], &MAGIC);
+
+    let loaded = ConstraintStore::from_bytes(&bytes).expect("snapshot loads");
+    // The encoding is a fixpoint: re-encoding the loaded store yields
+    // the same bytes, hence the same content id.
+    assert_eq!(loaded.to_bytes(), bytes);
+    assert_eq!(loaded.content_id(), store.content_id());
+    assert_eq!(loaded.content_id_hex().len(), 16);
+
+    // The resident shape survives.
+    assert_eq!(loaded.context_count(), 2);
+    let library = loaded.context("library").expect("library resident");
+    assert_eq!(library.base_sigma().len(), 1);
+    let graph = library.columnar().expect("library graph resident");
+    assert_eq!(graph.node_count(), 3);
+    assert_eq!(graph.edge_count(), 3);
+    assert!(loaded.context("typed").is_some());
+    assert!(loaded.context("nope").is_none());
+
+    let info = loaded.describe();
+    assert!(info.contains("library"), "describe lists contexts: {info}");
+    assert!(info.contains(&loaded.content_id_hex()));
+}
+
+#[test]
+fn snapshot_from_a_jobs_file_registers_builtin_contexts() {
+    let jobs = r#"
+{"id": "j1", "sigma": ["a -> b"], "phi": "a -> b"}
+{"id": "j2", "context": "m-bibliography", "sigma": [], "phi": "book -> book"}
+{"id": "j3", "context": "m-bibliography", "sigma": [], "phi": "book . author -> book . author"}
+"#;
+    let store = ConstraintStore::from_jsonl(jobs).expect("jobs build");
+    assert_eq!(store.context_count(), 2, "one per distinct context name");
+    assert!(store.context("").is_some());
+    assert!(store.context("m-bibliography").is_some());
+
+    let reloaded = ConstraintStore::from_bytes(&store.to_bytes()).expect("reload");
+    assert_eq!(reloaded.context_count(), 2);
+}
+
+#[test]
+fn resident_check_answers_from_the_columnar_graph() {
+    let store = sample_store();
+    let verdicts = store
+        .check(
+            "library",
+            &[
+                "book: author <- wrote".to_owned(),
+                "book -> book".to_owned(),
+            ],
+        )
+        .expect("check runs");
+    assert_eq!(verdicts.len(), 2);
+    assert!(verdicts[0].1, "stored base sigma holds on the stored graph");
+
+    assert!(store.check("typed", &[]).is_err(), "no graph resident");
+    assert!(store.check("nope", &[]).is_err(), "unknown context");
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = sample_store().to_bytes();
+    bytes[0] = b'X';
+    assert!(matches!(
+        ConstraintStore::from_bytes(&bytes),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_the_found_version() {
+    let mut bytes = sample_store().to_bytes();
+    let future = (FORMAT_VERSION + 7).to_le_bytes();
+    bytes[8..12].copy_from_slice(&future);
+    match ConstraintStore::from_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found }) => {
+            assert_eq!(found, FORMAT_VERSION + 7)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_is_a_clean_error() {
+    let bytes = sample_store().to_bytes();
+    for len in 0..bytes.len() {
+        match ConstraintStore::from_bytes(&bytes[..len]) {
+            Ok(_) => panic!(
+                "accepted a {len}-byte prefix of a {}-byte snapshot",
+                bytes.len()
+            ),
+            Err(e) => {
+                // Any typed error is fine; what must not happen is a
+                // panic or a silently-wrong store.
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_bit_flips_are_rejected() {
+    let clean = sample_store().to_bytes();
+    // Every byte of the payload region, one bit each.
+    for i in 20..clean.len() - 8 {
+        let mut bytes = clean.clone();
+        bytes[i] ^= 0x01;
+        assert!(
+            ConstraintStore::from_bytes(&bytes).is_err(),
+            "bit flip at byte {i} accepted"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = sample_store().to_bytes();
+    bytes.extend_from_slice(b"extra");
+    assert!(ConstraintStore::from_bytes(&bytes).is_err());
+}
