@@ -18,6 +18,14 @@
 
 use pathcons_graph::{Graph, Label, NodeId};
 
+/// Isolated-node budget for [`ColumnarGraph::from_columns`]: the node
+/// count may exceed the `2 × edge_count` nodes the edges themselves can
+/// touch by at most this many isolated nodes. Snapshot payloads carry
+/// no per-node data, so without this bound a tiny checksum-valid file
+/// declaring `node_count = u32::MAX` would force multi-GiB CSR offset
+/// tables before any edge data is read.
+pub const MAX_ISOLATED_NODES: u32 = 1 << 20;
+
 /// An immutable graph in columnar form: sorted edge columns plus
 /// forward/backward adjacency offset tables.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +93,14 @@ impl ColumnarGraph {
                 src.len(),
                 label.len(),
                 dst.len()
+            ));
+        }
+        let node_budget = 2 * src.len() as u64 + u64::from(MAX_ISOLATED_NODES);
+        if u64::from(node_count) > node_budget {
+            return Err(format!(
+                "node count {node_count} exceeds what {} edges plus {MAX_ISOLATED_NODES} \
+                 isolated nodes can account for",
+                src.len()
             ));
         }
         for (&s, &d) in src.iter().zip(&dst) {
@@ -326,6 +342,24 @@ mod tests {
         assert!(ColumnarGraph::from_columns(2, 2, vec![], vec![], vec![]).is_err());
         assert!(ColumnarGraph::from_columns(2, 0, vec![0], vec![0], vec![5]).is_err());
         assert!(ColumnarGraph::from_columns(2, 0, vec![0, 1], vec![0], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn declared_node_counts_are_bounded_by_the_payload() {
+        // An edgeless graph claiming u32::MAX nodes must be rejected
+        // before the CSR offset tables (node_count + 1 entries each)
+        // are allocated — not after an OOM.
+        assert!(ColumnarGraph::from_columns(u32::MAX, 0, vec![], vec![], vec![]).is_err());
+        assert!(
+            ColumnarGraph::from_columns(MAX_ISOLATED_NODES + 3, 0, vec![0], vec![0], vec![1])
+                .is_err(),
+            "one edge accounts for at most two nodes beyond the budget"
+        );
+        // At the budget boundary the graph is accepted.
+        assert!(
+            ColumnarGraph::from_columns(MAX_ISOLATED_NODES + 2, 0, vec![0], vec![0], vec![1])
+                .is_ok()
+        );
     }
 
     #[test]

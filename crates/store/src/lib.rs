@@ -30,8 +30,8 @@ pub mod serve;
 pub mod snapshot;
 pub mod store;
 
-pub use columnar::ColumnarGraph;
-pub use serve::{Client, Endpoint, ServeStats, Server, ServerHandle};
+pub use columnar::{ColumnarGraph, MAX_ISOLATED_NODES};
+pub use serve::{Client, Endpoint, ServeStats, Server, ServerHandle, MAX_LINE_BYTES};
 pub use snapshot::{
     ContextRecord, GraphColumns, SnapshotDoc, SnapshotError, FORMAT_VERSION, MAGIC,
 };

@@ -32,6 +32,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Longest request line a connection may buffer. A peer that streams
+/// bytes without ever sending a newline gets a per-line error record at
+/// this threshold and the rest of its line is discarded — the buffer
+/// never grows without bound, and the connection stays usable.
+pub const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
 /// Where a server listens (or a client connects).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Endpoint {
@@ -149,11 +155,31 @@ impl Server {
             Endpoint::Unix(path) => {
                 // A dead server leaves its socket file behind; binding
                 // over it fails with AddrInUse. Remove only socket
-                // files, never ordinary files someone else owns.
+                // files, never ordinary files someone else owns — and
+                // only *stale* sockets: a connect probe distinguishes a
+                // live server (accepts) from a leftover file (refuses),
+                // so binding a second server on a served path fails
+                // instead of silently stealing the endpoint.
                 if let Ok(meta) = std::fs::symlink_metadata(path) {
                     use std::os::unix::fs::FileTypeExt as _;
                     if meta.file_type().is_socket() {
-                        let _ = std::fs::remove_file(path);
+                        match UnixStream::connect(path) {
+                            Ok(_) => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::AddrInUse,
+                                    format!(
+                                        "{} is in use by a live server",
+                                        path.display()
+                                    ),
+                                ));
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                                let _ = std::fs::remove_file(path);
+                            }
+                            // Other probe failures (e.g. permissions):
+                            // leave the file alone and let bind report.
+                            Err(_) => {}
+                        }
                     }
                 }
                 let listener = UnixListener::bind(path)?;
@@ -308,6 +334,9 @@ impl ConnectionWorker {
         let mut pending: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 8192];
         let mut lineno = 0usize;
+        // When a line overflows MAX_LINE_BYTES its remainder is
+        // discarded (not buffered) until the next newline.
+        let mut discarding = false;
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return;
@@ -327,7 +356,17 @@ impl ConnectionWorker {
                 }
                 Err(_) => return,
             };
-            pending.extend_from_slice(&chunk[..n]);
+            let mut data = &chunk[..n];
+            if discarding {
+                match data.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        data = &data[nl + 1..];
+                        discarding = false;
+                    }
+                    None => continue,
+                }
+            }
+            pending.extend_from_slice(data);
             while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
                 let line: Vec<u8> = pending.drain(..=nl).collect();
                 lineno += 1;
@@ -339,6 +378,24 @@ impl ConnectionWorker {
                         return;
                     }
                 }
+            }
+            if pending.len() > MAX_LINE_BYTES {
+                lineno += 1;
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let mut payload = error_record(
+                    lineno,
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                )
+                .to_json()
+                .to_string()
+                .into_bytes();
+                payload.push(b'\n');
+                if stream.write_all(&payload).is_err() {
+                    return;
+                }
+                pending.clear();
+                pending.shrink_to_fit();
+                discarding = true;
             }
         }
     }

@@ -291,16 +291,23 @@ fn frame(bytes: &[u8]) -> Result<(&[u8], u64), SnapshotError> {
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
-    let length = r.u64("payload length")? as usize;
+    // The declared length is attacker-controlled: both the usize
+    // conversion and the +8 for the trailing checksum must be checked,
+    // or a crafted length near u64::MAX wraps and indexes out of range.
+    let length = usize::try_from(r.u64("payload length")?)
+        .map_err(|_| SnapshotError::Truncated { at: "payload" })?;
     let payload_start = r.pos;
     let rest = bytes.len() - payload_start;
-    if rest < length + 8 {
+    let need = length
+        .checked_add(8)
+        .ok_or(SnapshotError::Truncated { at: "payload" })?;
+    if rest < need {
         return Err(SnapshotError::Truncated { at: "payload" });
     }
-    if rest > length + 8 {
+    if rest > need {
         return Err(SnapshotError::Corrupt(format!(
             "{} trailing bytes after the checksum",
-            rest - length - 8
+            rest - need
         )));
     }
     let payload = &bytes[payload_start..payload_start + length];
@@ -465,6 +472,25 @@ mod tests {
                         | SnapshotError::ChecksumMismatch { .. }
                 ),
                 "prefix of {len} bytes: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_huge_lengths_are_truncation_errors_not_panics() {
+        // A file whose declared payload length is near u64::MAX must
+        // not wrap the `length + 8` framing arithmetic into a passing
+        // comparison (and an out-of-range slice).
+        for length in [u64::MAX, u64::MAX - 7, u64::MAX - 8, 1 << 62] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            put_u32(&mut bytes, FORMAT_VERSION);
+            put_u64(&mut bytes, length);
+            bytes.extend_from_slice(&[0u8; 7]); // a few "payload" bytes
+            assert_eq!(
+                decode(&bytes),
+                Err(SnapshotError::Truncated { at: "payload" }),
+                "declared length {length:#x}"
             );
         }
     }

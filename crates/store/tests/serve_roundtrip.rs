@@ -156,6 +156,73 @@ fn malformed_lines_get_error_records_and_the_connection_survives() {
 }
 
 #[test]
+fn oversized_lines_get_an_error_record_and_the_connection_survives() {
+    let store = ConstraintStore::from_jsonl("").expect("empty store");
+    let handle = spawn_server("big", store, BatchEngine::new(EngineConfig::default()));
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+
+    // One line well past the server's buffer cap (the cap is enforced
+    // at read-chunk granularity, so overshoot by more than one chunk):
+    // the server must answer a per-line error record — not grow its
+    // buffer without bound, not drop the connection — and discard the
+    // line's tail.
+    let oversized = "x".repeat(pathcons_store::MAX_LINE_BYTES + 64 * 1024);
+    let r1 = client.round_trip(&oversized).expect("r1");
+    let (id, verdict, _) = verdict_key(&r1);
+    assert_eq!((id.as_str(), verdict.as_str()), ("line-1", "error"));
+    assert!(r1.contains("exceeds"), "names the cap: {r1}");
+
+    // The same connection still answers a real job afterwards.
+    let r2 = client
+        .round_trip(r#"{"id": "after", "sigma": ["a -> b"], "phi": "a -> b"}"#)
+        .expect("r2");
+    let (id, verdict, _) = verdict_key(&r2);
+    assert_eq!((id.as_str(), verdict.as_str()), ("after", "implied"));
+
+    assert_eq!(handle.stats().malformed.load(Ordering::Relaxed), 1);
+    handle.stop().expect("server stops");
+}
+
+#[test]
+fn binding_over_a_live_server_fails_but_a_stale_socket_is_reclaimed() {
+    let store = ConstraintStore::from_jsonl("").expect("empty store");
+    let handle = spawn_server("live", store, BatchEngine::new(EngineConfig::default()));
+    let endpoint = handle.endpoint().clone();
+
+    // A second server on the same path must not steal the endpoint.
+    let second = Server::bind(
+        &endpoint,
+        Arc::new(ConstraintStore::from_jsonl("").expect("store")),
+        Arc::new(BatchEngine::new(EngineConfig::default())),
+        None,
+    );
+    match second {
+        Ok(_) => panic!("bound over a live server"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "got {e}"),
+    }
+    // The first server is unharmed.
+    let mut client = Client::connect(&endpoint).expect("connect to first");
+    let pong = client.round_trip(r#"{"op": "ping"}"#).expect("ping");
+    assert!(pong.contains("\"ok\""));
+    handle.stop().expect("server stops");
+
+    // A stale socket file (its listener is gone, connects are refused)
+    // is still reclaimed.
+    let stale = socket_path("stale");
+    drop(std::os::unix::net::UnixListener::bind(&stale).expect("stale listener"));
+    assert!(stale.exists(), "listener left its socket file behind");
+    let reclaimed = Server::bind(
+        &Endpoint::Unix(stale),
+        Arc::new(ConstraintStore::from_jsonl("").expect("store")),
+        Arc::new(BatchEngine::new(EngineConfig::default())),
+        None,
+    )
+    .expect("stale socket reclaimed")
+    .spawn();
+    reclaimed.stop().expect("reclaimed server stops");
+}
+
+#[test]
 fn control_ops_answer_and_shutdown_stops_the_server() {
     let specs = r#"{"name": "g", "sigma": [], "edges": [["r", "a", "n1"], ["n1", "b", "n2"]], "root": "r"}"#;
     let store = ConstraintStore::from_jsonl(specs).expect("store");

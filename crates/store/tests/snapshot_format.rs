@@ -132,6 +132,49 @@ fn payload_bit_flips_are_rejected() {
 }
 
 #[test]
+fn crafted_payload_length_is_a_clean_error() {
+    // 27 bytes total: magic, version, a declared payload length of
+    // u64::MAX, and 7 junk bytes. The framing arithmetic must not wrap.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 7]);
+    assert!(matches!(
+        ConstraintStore::from_bytes(&bytes),
+        Err(SnapshotError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn huge_declared_node_counts_are_rejected_not_allocated() {
+    use pathcons_store::snapshot::{encode, ContextRecord, GraphColumns, SnapshotDoc};
+    // Checksum-valid tiny snapshot declaring ~4 billion nodes and no
+    // edges: must be a typed error, not a multi-GiB index allocation.
+    let doc = SnapshotDoc {
+        labels: vec![],
+        contexts: vec![ContextRecord {
+            name: "g".into(),
+            kind: "semistructured".into(),
+            sigma: vec![],
+            graph: Some(GraphColumns {
+                node_count: u32::MAX,
+                root: 0,
+                src: vec![],
+                label: vec![],
+                dst: vec![],
+            }),
+        }],
+    };
+    match ConstraintStore::from_bytes(&encode(&doc)) {
+        Err(SnapshotError::Corrupt(why)) => {
+            assert!(why.contains("node count"), "names the bound: {why}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
 fn trailing_garbage_is_rejected() {
     let mut bytes = sample_store().to_bytes();
     bytes.extend_from_slice(b"extra");
