@@ -20,7 +20,7 @@ mod dfa;
 mod nfa;
 mod rewrite;
 
-pub use dfa::{determinize, Dfa};
+pub use dfa::{determinize, determinize_capped, Dfa};
 pub use nfa::{Nfa, StateId};
 pub use rewrite::{PrefixRewriteSystem, RewriteRule};
 

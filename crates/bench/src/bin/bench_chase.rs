@@ -22,7 +22,7 @@
 //! — the ceiling on what instrumentation can possibly cost, since the
 //! disabled path does strictly less work than the discard path.
 
-use pathcons_bench::{gen_chase_instance, median_time_ms, time_ms};
+use pathcons_bench::{bench_meta, gen_chase_instance, median_time_ms, time_ms};
 use pathcons_core::telemetry::{schema, DiscardRecorder, InMemoryRecorder};
 use pathcons_core::{chase_implication, chase_implication_reference, Budget, Outcome, Telemetry};
 use std::fmt::Write as _;
@@ -239,12 +239,11 @@ fn main() {
         None
     };
 
+    let workload = "cascade l0 -> l_i.l0 (never-terminating growth), phi = l0 -> q (never implied)";
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"workload\": \"cascade l0 -> l_i.l0 (never-terminating growth), phi = l0 -> q (never implied)\","
-    );
+    let _ = writeln!(json, "  \"meta\": {},", bench_meta(workload));
+    let _ = writeln!(json, "  \"workload\": \"{workload}\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

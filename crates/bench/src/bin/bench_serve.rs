@@ -14,7 +14,7 @@
 //! acceptance floor: snapshot load at least 10x faster than parsing the
 //! same contexts from JSONL.
 
-use pathcons_bench::median_time_ms;
+use pathcons_bench::{bench_meta, median_time_ms};
 use pathcons_engine::{BatchEngine, EngineConfig};
 use pathcons_store::{Client, ConstraintStore, Endpoint, Server};
 use std::fmt::Write as _;
@@ -220,13 +220,13 @@ fn main() {
     }
     handle.stop().expect("server stops");
 
+    let workload = format!(
+        "startup: {contexts} contexts x {edges_per} edges; throughput: word-chain implication jobs, 64 distinct queries, pipeline window 32"
+    );
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"workload\": \"startup: {} contexts x {} edges; throughput: word-chain implication jobs, 64 distinct queries, pipeline window 32\",",
-        contexts, edges_per
-    );
+    let _ = writeln!(json, "  \"meta\": {},", bench_meta(&workload));
+    let _ = writeln!(json, "  \"workload\": \"{workload}\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",

@@ -447,6 +447,53 @@ pub fn gen_bibliography(books: usize, persons: usize, seed: u64) -> Bibliography
     }
 }
 
+/// Schema version of the shared `meta` header embedded in every
+/// `BENCH_*.json` file. Bump when the header shape changes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the shared `"meta"` header object every `BENCH_*.json`
+/// emitter embeds: schema version, the rustc that built the bench,
+/// available hardware threads, and a one-line workload-shape
+/// description. One helper so the files stay comparable across
+/// benchmarks and machines.
+pub fn bench_meta(workload: &str) -> String {
+    let rustc =
+        std::process::Command::new(std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into()))
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|v| v.trim().to_owned())
+            .unwrap_or_else(|| "unknown".to_owned());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        r#"{{"schema": {BENCH_SCHEMA_VERSION}, "rustc": "{}", "threads": {threads}, "workload": "{}"}}"#,
+        json_escape(&rustc),
+        json_escape(workload)
+    )
+}
+
+/// Minimal JSON string escaping for the metadata header (the inputs are
+/// version strings and our own workload descriptions, so quotes and
+/// backslashes are the realistic hazards; control characters are
+/// escaped for completeness).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Milliseconds elapsed running `f` once.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -589,6 +636,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bench_meta_header_is_valid_json() {
+        let meta = bench_meta("shape with \"quotes\" and \\slashes");
+        let parsed = pathcons_engine::Json::parse(&meta).expect("meta header parses as JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(pathcons_engine::Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(
+            parsed
+                .get("workload")
+                .and_then(pathcons_engine::Json::as_str),
+            Some("shape with \"quotes\" and \\slashes")
+        );
+        assert!(parsed
+            .get("threads")
+            .and_then(pathcons_engine::Json::as_u64)
+            .is_some_and(|n| n >= 1));
+        assert!(parsed
+            .get("rustc")
+            .and_then(pathcons_engine::Json::as_str)
+            .is_some());
     }
 
     #[test]

@@ -130,10 +130,14 @@ usage:
                     [--threads N] [--cache-size N] [--deadline-ms N]
                     [--chase-rounds N] [--chase-max-nodes N]
                     [--search-samples N] [--retries N] [--shed-depth N]
-                    [--verify[=check|resolve]] [--quiet]
+                    [--verify[=check|resolve]] [--warm] [--no-shared] [--quiet]
                     (long-lived JSONL service: job lines get the same
                      verdicts `pathcons batch` gives; control ops are
-                     {\"op\": \"ping\"|\"stats\"|\"check\"|\"shutdown\"})
+                     {\"op\": \"ping\"|\"stats\"|\"check\"|\"shutdown\"};
+                     resident contexts amortize work across jobs —
+                     shared chase prefixes and cached post* automata —
+                     built lazily, or at startup with --warm; --no-shared
+                     solves every job cold)
 
 `--jobs`/`--results` accept `-` for stdin/stdout in batch and check.";
 
@@ -981,12 +985,27 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let contexts_path = args.optional("contexts");
     let deadline_ms = parse_numeric(args, "deadline-ms")?;
     let quiet = args.flag("quiet");
-    let mut known = vec!["listen", "snapshot", "contexts", "deadline-ms", "quiet"];
+    let warm = args.flag("warm");
+    let no_shared = args.flag("no-shared");
+    let mut known = vec![
+        "listen",
+        "snapshot",
+        "contexts",
+        "deadline-ms",
+        "quiet",
+        "warm",
+        "no-shared",
+    ];
     known.extend_from_slice(ENGINE_ARGS);
     args.finish(&known)?;
+    if warm && no_shared {
+        return Err(CliError::Usage(
+            "--warm builds the shared state --no-shared disables; pass one".into(),
+        ));
+    }
 
     let load_start = std::time::Instant::now();
-    let store = match (snapshot_path.as_deref(), contexts_path.as_deref()) {
+    let mut store = match (snapshot_path.as_deref(), contexts_path.as_deref()) {
         (Some(_), Some(_)) => {
             return Err(CliError::Usage(
                 "pass one of --snapshot or --contexts, not both".into(),
@@ -1008,7 +1027,19 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let load_elapsed = load_start.elapsed();
 
     let endpoint = Endpoint::parse(&listen).map_err(CliError::Usage)?;
-    let engine = Arc::new(BatchEngine::new(engine_config_from_args(args)?));
+    let config = engine_config_from_args(args)?;
+    // Shared amortization state must be built under the very budget the
+    // engine solves with: the solver-side reuse guards compare budget
+    // caps exactly and quietly fall back to cold solving on mismatch.
+    store.set_shared_budget(if no_shared {
+        None
+    } else {
+        Some(config.budget.clone())
+    });
+    let warm_start = std::time::Instant::now();
+    let warmed = if warm { store.warm_all() } else { 0 };
+    let warm_elapsed = warm_start.elapsed();
+    let engine = Arc::new(BatchEngine::new(config));
     let server = Server::bind(
         &endpoint,
         Arc::new(store),
@@ -1017,8 +1048,16 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     )
     .map_err(|e| CliError::Failed(format!("cannot bind `{endpoint}`: {e}")))?;
     if !quiet {
+        let warm_note = if warm {
+            format!(
+                ", {warmed} context(s) warmed in {:.1} ms",
+                warm_elapsed.as_secs_f64() * 1e3
+            )
+        } else {
+            String::new()
+        };
         write_stderr(&format!(
-            "serving on {} (store loaded in {:.1} ms)\n",
+            "serving on {} (store loaded in {:.1} ms{warm_note})\n",
             server.endpoint(),
             load_elapsed.as_secs_f64() * 1e3,
         ));

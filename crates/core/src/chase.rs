@@ -119,9 +119,33 @@ pub fn chase_implication(
     phi: &PathConstraint,
     budget: &Budget,
 ) -> Outcome {
+    chase_implication_with(sigma, phi, budget, None)
+}
+
+/// [`chase_implication`] with an optional pre-computed Σ-only prefix.
+///
+/// The chase is *prefix-first*: goal-independent rounds over the bare
+/// root graph run before the ¬φ pattern is grafted (only constraints
+/// with an empty hypothesis can fire there, so for most Σ the prefix is
+/// empty and this is the classic pattern-first chase). Because the
+/// prefix is a deterministic function of `(Σ, chase_rounds,
+/// chase_max_nodes)` alone, a [`SharedChase`] snapshot of it can be
+/// resumed by every query against the same context — producing the
+/// byte-identical outcome, trace, and countermodel a cold run computes,
+/// because both paths execute the same rounds in the same order. An
+/// incompatible snapshot (different Σ or caps) is ignored and the
+/// prefix is recomputed inline; the only cold/warm divergence window is
+/// a wall-clock deadline expiring mid-prefix on the cold path (deadline
+/// answers are never cached or shared).
+pub fn chase_implication_with(
+    sigma: &[PathConstraint],
+    phi: &PathConstraint,
+    budget: &Budget,
+    shared: Option<&SharedChase>,
+) -> Outcome {
     match budget.telemetry.active() {
-        Some(rec) => chase_incremental(sigma, phi, budget, rec),
-        None => chase_incremental(sigma, phi, budget, &NoopRecorder),
+        Some(rec) => chase_incremental(sigma, phi, budget, rec, shared),
+        None => chase_incremental(sigma, phi, budget, &NoopRecorder, shared),
     }
 }
 
@@ -130,17 +154,211 @@ fn chase_incremental<R: Recorder + ?Sized>(
     phi: &PathConstraint,
     budget: &Budget,
     rec: &R,
+    shared: Option<&SharedChase>,
 ) -> Outcome {
     let _span = SpanGuard::enter(rec, "chase");
-    let mut metrics = ChaseMetrics::default();
-    let mut state = ChaseState::new(sigma, phi);
-    let outcome = chase_incremental_loop(sigma, phi, budget, rec, &mut metrics, &mut state);
+    let mut metrics;
+    let mut state;
+    match shared.filter(|sc| sc.compatible(sigma, budget)) {
+        Some(sc) => {
+            state = sc.state.clone();
+            metrics = sc.metrics;
+            if rec.enabled() {
+                rec.counter("chase.prefix.reused_rounds", metrics.rounds_used);
+            }
+        }
+        None => {
+            metrics = ChaseMetrics::default();
+            state = ChaseState::bare(sigma);
+            if let PrefixEnd::Deadline = run_prefix(sigma, budget, rec, &mut metrics, &mut state) {
+                let outcome = Outcome::Unknown(UnknownReason::DeadlineExceeded);
+                state.flush_scan_telemetry(rec);
+                emit_chase_attribution(rec, "chase", budget, &metrics, &outcome);
+                return outcome;
+            }
+        }
+    }
+    state.graft_pattern(phi);
+    let outcome = chase_pattern_loop(sigma, phi, budget, rec, &mut metrics, &mut state);
     state.flush_scan_telemetry(rec);
     emit_chase_attribution(rec, "chase", budget, &metrics, &outcome);
     outcome
 }
 
-fn chase_incremental_loop<R: Recorder + ?Sized>(
+/// How a Σ-only prefix run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefixEnd {
+    /// Every constraint scanned clean: the prefix graph models Σ.
+    Fixpoint,
+    /// The round budget was consumed before a fixpoint.
+    RoundsExhausted,
+    /// The node budget was exceeded; the state stops at the violating
+    /// repair (with every constraint re-marked dirty, so no reported
+    /// violation is lost) and the pattern phase re-detects the cap.
+    NodeCap,
+    /// The wall-clock deadline expired. A deadline-truncated prefix is
+    /// nondeterministic and must never be shared.
+    Deadline,
+}
+
+/// Runs the goal-independent Σ-only rounds of a prefix-first chase over
+/// `state` (which must be [`ChaseState::bare`]). Rounds are counted
+/// against `metrics.rounds_used` only when they repair something, so
+/// for Σ without empty-hypothesis constraints this is one clean scan
+/// that consumes no budget.
+fn run_prefix<R: Recorder + ?Sized>(
+    sigma: &[PathConstraint],
+    budget: &Budget,
+    rec: &R,
+    metrics: &mut ChaseMetrics,
+    state: &mut ChaseState,
+) -> PrefixEnd {
+    let armed = budget.deadline.is_armed();
+    loop {
+        if armed && budget.deadline.expired() {
+            return PrefixEnd::Deadline;
+        }
+        if metrics.rounds_used >= budget.chase_rounds as u64 {
+            return PrefixEnd::RoundsExhausted;
+        }
+        let round = metrics.rounds_used;
+        let _round_span = SpanGuard::enter(rec, "chase.round");
+        let round_revision = state.graph.revision();
+        let round_merges = state.merged;
+        let batch = state.scan_dirty(rec);
+        if batch.is_empty() {
+            return PrefixEnd::Fixpoint;
+        }
+        metrics.rounds_used += 1;
+        let violations_found = batch.len();
+        for (index, a, b) in batch {
+            let a = state.uf.find(a);
+            let b = state.uf.find(b);
+            if state.satisfied(&sigma[index], a, b) {
+                continue;
+            }
+            state.trace.push(ChaseStep {
+                constraint: index,
+                a: a.index(),
+                b: b.index(),
+            });
+            let merged = state.repair(&sigma[index], a, b);
+            if merged {
+                metrics.steps_merge += 1;
+            } else {
+                metrics.steps_path += 1;
+            }
+            if state.live_node_count() > budget.chase_max_nodes {
+                // Stop the prefix *without* failing the query: the goal
+                // has not even been built yet, and a pattern-true φ must
+                // still answer Implied. Re-mark everything dirty so the
+                // reported-but-unrepaired remainder of this batch is
+                // re-reported by the next scan (pending pairs persist in
+                // the ViolationIndex until satisfied).
+                state.dirty.extend(0..state.indexes.len());
+                return PrefixEnd::NodeCap;
+            }
+            if armed && budget.deadline.expired() {
+                return PrefixEnd::Deadline;
+            }
+            if merged {
+                break;
+            }
+        }
+        if rec.enabled() {
+            rec.histogram("chase.round.violations", violations_found as u64);
+            rec.event(
+                schema::EVENT_CHASE_ROUND,
+                &[
+                    ("round", round),
+                    ("violations", violations_found as u64),
+                    (
+                        "edges_added",
+                        state.graph.revision().saturating_sub(round_revision),
+                    ),
+                    ("merges", (state.merged - round_merges) as u64),
+                    ("requeued", state.dirty.len() as u64),
+                    ("live_nodes", state.live_node_count() as u64),
+                    ("revision", state.graph.revision()),
+                ],
+                &[(schema::LABEL_ENGINE, "chase")],
+            );
+        }
+    }
+}
+
+/// A snapshot of the Σ-only chase prefix, shared across every query
+/// against the same context. Built once (ideally at a fixpoint) and
+/// resumed by [`chase_implication_with`]: the warm continuation executes
+/// exactly the rounds a cold run would after its inline prefix, so
+/// verdicts, traces, and countermodels are byte-identical.
+///
+/// Build with an *unarmed* deadline: a deadline-truncated prefix is
+/// refused by [`SharedChase::compatible`] (it is not a deterministic
+/// function of Σ and the caps).
+#[derive(Clone)]
+pub struct SharedChase {
+    sigma: Vec<PathConstraint>,
+    chase_rounds: usize,
+    chase_max_nodes: usize,
+    end: PrefixEnd,
+    state: ChaseState,
+    metrics: ChaseMetrics,
+}
+
+impl SharedChase {
+    /// Runs the Σ-only prefix under `budget`'s caps and snapshots it.
+    pub fn build(sigma: &[PathConstraint], budget: &Budget) -> SharedChase {
+        let mut metrics = ChaseMetrics::default();
+        let mut state = ChaseState::bare(sigma);
+        let end = match budget.telemetry.active() {
+            Some(rec) => run_prefix(sigma, budget, rec, &mut metrics, &mut state),
+            None => run_prefix(sigma, budget, &NoopRecorder, &mut metrics, &mut state),
+        };
+        // Scan tallies are per-run observability; resumed clones must
+        // not re-flush the build's.
+        state.tallies = ScanTallies {
+            per_constraint: vec![(0, 0); sigma.len()],
+            ..ScanTallies::default()
+        };
+        SharedChase {
+            sigma: sigma.to_vec(),
+            chase_rounds: budget.chase_rounds,
+            chase_max_nodes: budget.chase_max_nodes,
+            end,
+            state,
+            metrics,
+        }
+    }
+
+    /// Whether this snapshot may serve a query with this Σ and budget.
+    /// Reuse requires the identical Σ (in order) and identical caps —
+    /// the prefix is a deterministic function of exactly those — and a
+    /// deterministic ending (not [`PrefixEnd::Deadline`]).
+    pub fn compatible(&self, sigma: &[PathConstraint], budget: &Budget) -> bool {
+        self.end != PrefixEnd::Deadline
+            && self.chase_rounds == budget.chase_rounds
+            && self.chase_max_nodes == budget.chase_max_nodes
+            && self.sigma == sigma
+    }
+
+    /// How the prefix run ended.
+    pub fn end(&self) -> PrefixEnd {
+        self.end
+    }
+
+    /// Chase rounds the prefix consumed — the per-query saving.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds_used
+    }
+
+    /// Repair steps the prefix applied.
+    pub fn steps(&self) -> usize {
+        self.metrics.steps()
+    }
+}
+
+fn chase_pattern_loop<R: Recorder + ?Sized>(
     sigma: &[PathConstraint],
     phi: &PathConstraint,
     budget: &Budget,
@@ -150,7 +368,7 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
 ) -> Outcome {
     let armed = budget.deadline.is_armed();
 
-    for round in 0..budget.chase_rounds {
+    while metrics.rounds_used < budget.chase_rounds as u64 {
         if state.goal_holds(phi) {
             return Outcome::Implied(Evidence::ChaseForced {
                 steps: metrics.steps(),
@@ -160,7 +378,8 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
         if armed && budget.deadline.expired() {
             return Outcome::Unknown(UnknownReason::DeadlineExceeded);
         }
-        metrics.rounds_used = round as u64 + 1;
+        let round = metrics.rounds_used;
+        metrics.rounds_used += 1;
         let _round_span = SpanGuard::enter(rec, "chase.round");
         let round_revision = state.graph.revision();
         let round_merges = state.merged;
@@ -227,7 +446,7 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
             rec.event(
                 schema::EVENT_CHASE_ROUND,
                 &[
-                    ("round", round as u64),
+                    ("round", round),
                     ("violations", violations_found as u64),
                     (
                         "edges_added",
@@ -256,6 +475,11 @@ fn chase_incremental_loop<R: Recorder + ?Sized>(
 /// Incremental chase state: the growing graph, the union-find mapping
 /// merged-away ids to their survivors, one [`ViolationIndex`] per
 /// constraint, and the dirty-constraint worklist.
+///
+/// `Clone` so a [`SharedChase`] prefix snapshot can be resumed by many
+/// queries: every component (graph, union-find, violation indexes,
+/// worklist, trace) is a value type with no interior mutability.
+#[derive(Clone)]
 struct ChaseState {
     graph: Graph,
     uf: UnionFind,
@@ -283,6 +507,9 @@ struct ChaseState {
     /// replaying the same repairs from the same pattern reproduces the
     /// same ids.
     trace: Vec<ChaseStep>,
+    /// How many leading trace entries were Σ-only prefix steps applied
+    /// before the ¬φ pattern was grafted (see [`ChaseTrace::pattern_at`]).
+    pattern_at: usize,
 }
 
 /// Frontier-scan telemetry accumulated while a recorder is enabled and
@@ -301,36 +528,69 @@ struct ScanTallies {
 }
 
 impl ChaseState {
-    fn new(sigma: &[PathConstraint], phi: &PathConstraint) -> ChaseState {
-        let mut graph = Graph::new();
-        let x = graph.add_path(graph.root(), phi.prefix());
-        let y = graph.add_path(x, phi.lhs());
-        let mut goal_labels: Vec<Label> = phi.rhs().labels().to_vec();
-        goal_labels.sort_unstable();
-        goal_labels.dedup();
+    /// State over the bare root graph, before any ¬φ pattern exists —
+    /// the starting point of the Σ-only prefix. The goal fields are
+    /// inert placeholders until [`ChaseState::graft_pattern`].
+    fn bare(sigma: &[PathConstraint]) -> ChaseState {
+        let graph = Graph::new();
+        let root = graph.root();
         ChaseState {
             graph,
             uf: UnionFind::new(),
-            x,
-            y,
+            x: root,
+            y: root,
             merged: 0,
             indexes: sigma.iter().map(ViolationIndex::new).collect(),
             dirty: (0..sigma.len()).collect(),
-            goal_labels,
-            goal_dirty: true,
+            goal_labels: Vec::new(),
+            goal_dirty: false,
             goal_done: false,
             tallies: ScanTallies {
                 per_constraint: vec![(0, 0); sigma.len()],
                 ..ScanTallies::default()
             },
             trace: Vec::new(),
+            pattern_at: 0,
         }
+    }
+
+    /// Grafts the canonical ¬φ pattern onto the (prefix-chased) graph
+    /// and arms the goal machinery. Node-id allocation is append-only,
+    /// so the pattern lands at the same ids in a cold run and in a
+    /// resumed [`SharedChase`] clone.
+    fn graft_pattern(&mut self, phi: &PathConstraint) {
+        self.pattern_at = self.trace.len();
+        let x = self.graph.add_path(self.graph.root(), phi.prefix());
+        let y = self.graph.add_path(x, phi.lhs());
+        self.uf.ensure(self.graph.node_count());
+        self.x = x;
+        self.y = y;
+        let mut goal_labels: Vec<Label> = phi.rhs().labels().to_vec();
+        goal_labels.sort_unstable();
+        goal_labels.dedup();
+        self.goal_labels = goal_labels;
+        self.goal_dirty = true;
+        self.goal_done = false;
+        // The pattern edges can create hypothesis pairs only for
+        // constraints whose hypothesis mentions one of their labels
+        // (empty-hypothesis constraints already fired in the prefix).
+        let mut pattern_labels: Vec<Label> = phi
+            .prefix()
+            .labels()
+            .iter()
+            .chain(phi.lhs().labels())
+            .copied()
+            .collect();
+        pattern_labels.sort_unstable();
+        pattern_labels.dedup();
+        self.mark_dirty_for(&pattern_labels);
     }
 
     /// Hands the recorded derivation trace to the `Implied` evidence.
     fn take_trace(&mut self) -> ChaseTrace {
         ChaseTrace {
             steps: std::mem::take(&mut self.trace),
+            pattern_at: self.pattern_at,
         }
     }
 
@@ -860,6 +1120,73 @@ mod tests {
                 other => panic!("{engine}: expected immediate Implied, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn shared_prefix_resume_is_byte_identical_to_cold() {
+        let mut labels = LabelInterner::new();
+        // Σ with real prefix activity: the empty-hypothesis constraint
+        // fires on the bare root before any pattern exists.
+        let sigma = parse_constraints("() -> k\nk.m -> k", &mut labels).unwrap();
+        let budget = budget();
+        let shared = SharedChase::build(&sigma, &budget);
+        assert_eq!(shared.end(), PrefixEnd::Fixpoint);
+        assert!(shared.steps() > 0, "the prefix should have fired () -> k");
+        let queries = ["k -> k.k", "k.m -> k", "m -> k", "a -> k.a", "k: m.m -> m"];
+        for text in queries {
+            let phi = PathConstraint::parse(text, &mut labels).unwrap();
+            let cold = chase_implication(&sigma, &phi, &budget);
+            let warm = chase_implication_with(&sigma, &phi, &budget, Some(&shared));
+            // Debug output covers verdict, evidence, trace (steps, node
+            // ids, pattern_at), and countermodel structure.
+            assert_eq!(format!("{cold:?}"), format!("{warm:?}"), "{text}");
+        }
+    }
+
+    #[test]
+    fn incompatible_shared_prefix_falls_back_to_cold() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("() -> k\nk.m -> k", &mut labels).unwrap();
+        let phi = PathConstraint::parse("k -> k.k", &mut labels).unwrap();
+        let budget = budget();
+        let tighter = Budget {
+            chase_rounds: budget.chase_rounds / 2,
+            ..budget.clone()
+        };
+        // Built under different caps: must be refused, and the inline
+        // cold prefix must still give the cold answer.
+        let mismatched = SharedChase::build(&sigma, &tighter);
+        assert!(!mismatched.compatible(&sigma, &budget));
+        let cold = chase_implication(&sigma, &phi, &budget);
+        let warm = chase_implication_with(&sigma, &phi, &budget, Some(&mismatched));
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+    }
+
+    #[test]
+    fn prefix_respects_node_cap_without_failing_pattern_true_goals() {
+        let mut labels = LabelInterner::new();
+        // The prefix alone diverges: () -> k seeds the root, k -> k.n
+        // keeps growing. A tiny node cap stops the prefix early.
+        let sigma = parse_constraints("() -> k\nk -> k.n\nn -> n.n", &mut labels).unwrap();
+        let tight = Budget {
+            chase_rounds: 32,
+            chase_max_nodes: 6,
+            ..Budget::small()
+        };
+        let shared = SharedChase::build(&sigma, &tight);
+        assert_eq!(shared.end(), PrefixEnd::NodeCap);
+        // A pattern-true goal still answers Implied (goal is checked
+        // before any pattern round repairs), warm and cold alike.
+        let phi = PathConstraint::parse("p: x.y -> x.y", &mut labels).unwrap();
+        let cold = chase_implication(&sigma, &phi, &tight);
+        let warm = chase_implication_with(&sigma, &phi, &tight, Some(&shared));
+        assert!(matches!(cold, Outcome::Implied(_)), "{cold:?}");
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        // A goal needing more chase work reports the node cap.
+        let phi2 = PathConstraint::parse("k -> q", &mut labels).unwrap();
+        let cold2 = chase_implication(&sigma, &phi2, &tight);
+        let warm2 = chase_implication_with(&sigma, &phi2, &tight, Some(&shared));
+        assert_eq!(format!("{cold2:?}"), format!("{warm2:?}"));
     }
 
     #[test]

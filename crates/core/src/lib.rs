@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod amortize;
 mod chase;
 mod ir;
 mod local_extent;
@@ -31,7 +32,10 @@ mod solver;
 mod typed_m;
 mod word;
 
-pub use chase::{chase_implication, chase_implication_reference};
+pub use amortize::{SharedContext, SharedStats, SharedWord};
+pub use chase::{
+    chase_implication, chase_implication_reference, chase_implication_with, PrefixEnd, SharedChase,
+};
 pub use ir::{Proof, ProofError, ProofStep};
 pub use local_extent::{
     figure3_structure, lift_countermodel, local_extent_implies, LocalExtentAnswer, LocalExtentError,
@@ -56,4 +60,6 @@ pub use typed_m::{m_implies, m_satisfiable, MSatisfiability, NotAnMSchema};
 pub use word::{word_implication_naive, NotAWordConstraint, WordEngine};
 
 mod word_evidence;
-pub use word_evidence::{canonical_countermodel, derivation, Derivation, DerivationStep};
+pub use word_evidence::{
+    canonical_countermodel, derivation, derivation_guided, Derivation, DerivationStep,
+};

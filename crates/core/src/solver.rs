@@ -16,7 +16,8 @@
 //! chase/search pair answers both soundly (chase proofs hold in all
 //! models, countermodels are finite).
 
-use crate::chase::chase_implication;
+use crate::amortize::SharedContext;
+use crate::chase::chase_implication_with;
 use crate::local_extent::{local_extent_implies, LocalExtentError};
 use crate::outcome::{
     Budget, CounterModel, CounterModelProvenance, Evidence, Outcome, Refutation, UnknownReason,
@@ -28,6 +29,7 @@ use pathcons_constraints::PathConstraint;
 use pathcons_telemetry::SpanGuard;
 use pathcons_types::{Model, Schema, TypeGraph};
 use std::fmt;
+use std::sync::Arc;
 
 /// The data context an implication question is asked in (the rows of
 /// Table 1).
@@ -128,6 +130,7 @@ impl From<NotAnMSchema> for SolverError {
 pub struct Solver {
     context: DataContext,
     budget: Budget,
+    shared: Option<Arc<SharedContext>>,
 }
 
 impl Solver {
@@ -136,12 +139,22 @@ impl Solver {
         Solver {
             context,
             budget: Budget::default(),
+            shared: None,
         }
     }
 
     /// Overrides the budget for the semi-decidable paths.
     pub fn with_budget(mut self, budget: Budget) -> Solver {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches per-context shared state ([`SharedContext`]). Reuse is
+    /// guarded component-by-component (exact Σ and budget-cap match);
+    /// an attached context that does not match a query is ignored for
+    /// it, so answers are always those of a cold solver.
+    pub fn with_shared(mut self, shared: Arc<SharedContext>) -> Solver {
+        self.shared = Some(shared);
         self
     }
 
@@ -201,9 +214,26 @@ impl Solver {
     fn solve_untyped(&self, sigma: &[PathConstraint], phi: &PathConstraint) -> Answer {
         // Fragment dispatch: pure word constraints → PTIME decision.
         if phi.is_word() && sigma.iter().all(|c| c.is_word()) {
-            let engine = WordEngine::new(sigma).expect("all word constraints");
-            let implied = engine.implies(phi).expect("query is a word constraint");
-            if !implied && engine.has_epsilon_collapse() {
+            // Warm path: a shared context built from exactly this Σ
+            // answers via the cached saturated post* automaton —
+            // `reaches(α, β)` is defined as `post*(α) ∋ β`, so this is
+            // the identical computation with the saturation amortized.
+            let shared = self.shared.as_deref().and_then(|s| s.word_for(sigma));
+            let (implied, collapse) = match shared {
+                Some(sw) => (
+                    sw.implies_word(phi.lhs(), phi.rhs()),
+                    sw.has_epsilon_collapse(),
+                ),
+                None => {
+                    let engine = WordEngine::new(sigma).expect("all word constraints");
+                    let implied = engine.implies(phi).expect("query is a word constraint");
+                    // The collapse predicate only matters for negative
+                    // answers; the cold path skips it otherwise (the
+                    // warm path precomputed it at build).
+                    (implied, !implied && engine.has_epsilon_collapse())
+                }
+            };
+            if !implied && collapse {
                 // The three-rule system is incomplete for ε-collapsing
                 // theories (see WordEngine::has_epsilon_collapse): a
                 // negative answer is unreliable here, so fall through to
@@ -256,7 +286,11 @@ impl Solver {
     /// The general-`P_c` semi-decider stack: chase, then countermodel
     /// search (exhaustive while tiny, random beyond).
     fn solve_general_untyped(&self, sigma: &[PathConstraint], phi: &PathConstraint) -> Answer {
-        let chase = chase_implication(sigma, phi, &self.budget);
+        let shared_chase = self
+            .shared
+            .as_deref()
+            .and_then(|s| s.chase_for(sigma, &self.budget));
+        let chase = chase_implication_with(sigma, phi, &self.budget, shared_chase);
         if !chase.is_unknown() {
             return Answer {
                 outcome: chase,

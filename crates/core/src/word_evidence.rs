@@ -152,6 +152,112 @@ pub fn derivation(
     Some(Derivation { start, steps })
 }
 
+/// Extracts a derivation of `Σ ⊢ α → β` by *backward* BFS from `β`,
+/// pruned to words reachable from `α` — `member` must answer membership
+/// in `post*(α)`, which is exactly the language the decision procedure
+/// already saturated to answer the query. A shared context hands in
+/// (the determinized form of) its cached automaton, so extraction costs
+/// membership queries instead of the fresh `pre*(β)` saturation
+/// [`derivation`] pays per query.
+///
+/// Every word on a forward derivation `α ⇒* β` lies in `post*(α)`, so
+/// the pruning keeps the search complete while confining it to the cone
+/// between `α` and `β`. The result is a function of `(Σ, α, β)` alone
+/// (candidates scan in Σ index order, FIFO queue) for any `member`
+/// deciding the same language: callers that share the saturation and
+/// callers that rebuild it extract the identical derivation.
+pub fn derivation_guided(
+    sigma: &[PathConstraint],
+    alpha: &Path,
+    beta: &Path,
+    fuel: usize,
+    mut member: impl FnMut(&[Label]) -> bool,
+) -> Option<Derivation> {
+    let mut system = PrefixRewriteSystem::new();
+    for c in sigma {
+        if !c.is_word() {
+            return None;
+        }
+        system.add_rule(c.lhs().to_vec(), c.rhs().to_vec());
+    }
+    let start: Vec<Label> = alpha.to_vec();
+    let target: Vec<Label> = beta.to_vec();
+    if start == target {
+        return Some(Derivation {
+            start,
+            steps: Vec::new(),
+        });
+    }
+    if !member(&target) {
+        return None;
+    }
+    // A backward step requires the rule's rhs to be a prefix of the
+    // current word, so bucketing rules by the rhs' first label cuts the
+    // per-word scan to the bucket (plus the everywhere-applicable
+    // empty-rhs rules). Candidates stay in Σ index order, so the
+    // derivation found does not depend on the bucketing.
+    let mut by_first: HashMap<Label, Vec<usize>> = HashMap::new();
+    let mut empty_rhs: Vec<usize> = Vec::new();
+    for (i, rule) in system.rules().iter().enumerate() {
+        match rule.rhs.first() {
+            Some(l) => by_first.entry(*l).or_default().push(i),
+            None => empty_rhs.push(i),
+        }
+    }
+
+    // Backward step: a word `r·t` un-rewrites to `l·t` for each rule
+    // `l → r`. `next_hop` records the forward edge each discovery
+    // witnesses, so reaching `α` leaves a ready-made forward chain.
+    let mut next_hop: HashMap<Vec<Label>, (Vec<Label>, usize)> = HashMap::new();
+    let mut queue: VecDeque<Vec<Label>> = VecDeque::new();
+    let mut seen: HashSet<Vec<Label>> = HashSet::new();
+    seen.insert(target.clone());
+    queue.push_back(target.clone());
+    let mut found = false;
+    let mut candidates: Vec<usize> = Vec::new();
+    'bfs: while let Some(word) = queue.pop_front() {
+        if seen.len() > fuel {
+            return None;
+        }
+        candidates.clear();
+        if let Some(bucket) = word.first().and_then(|l| by_first.get(l)) {
+            candidates.extend_from_slice(bucket);
+        }
+        candidates.extend_from_slice(&empty_rhs);
+        candidates.sort_unstable();
+        for &rule_idx in &candidates {
+            let rule = &system.rules()[rule_idx];
+            if word.len() >= rule.rhs.len() && word[..rule.rhs.len()] == rule.rhs[..] {
+                let mut pred: Vec<Label> = rule.lhs.clone();
+                pred.extend_from_slice(&word[rule.rhs.len()..]);
+                if !seen.contains(&pred) && member(&pred) {
+                    seen.insert(pred.clone());
+                    next_hop.insert(pred.clone(), (word.clone(), rule_idx));
+                    if pred == start {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(pred);
+                }
+            }
+        }
+    }
+    if !found {
+        return None;
+    }
+    let mut steps = Vec::new();
+    let mut cursor = start.clone();
+    while cursor != target {
+        let (succ, rule) = next_hop.get(&cursor).expect("BFS next-hop");
+        steps.push(DerivationStep {
+            rule: *rule,
+            result: succ.clone(),
+        });
+        cursor = succ.clone();
+    }
+    Some(Derivation { start, steps })
+}
+
 /// Attempts to build a finite countermodel of `Σ ∧ ¬φ` by truncating the
 /// canonical model of Σ.
 ///
@@ -322,6 +428,52 @@ mod tests {
             }],
         };
         honest.check(&sigma).unwrap();
+    }
+
+    /// A `post*(α)` membership oracle, as the engine supplies to
+    /// [`derivation_guided`] (possibly in determinized form — same
+    /// language either way).
+    fn post_member(sigma: &[PathConstraint], alpha: &Path) -> impl FnMut(&[Label]) -> bool {
+        let mut system = PrefixRewriteSystem::new();
+        for c in sigma {
+            system.add_rule(c.lhs().to_vec(), c.rhs().to_vec());
+        }
+        let post = system.post_star(alpha);
+        move |w: &[Label]| post.accepts(w)
+    }
+
+    #[test]
+    fn guided_derivation_agrees_with_prestar_guided() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b\nb.g -> c", &mut labels).unwrap();
+        let alpha = Path::parse("a.g", &mut labels).unwrap();
+        let beta = Path::parse("c", &mut labels).unwrap();
+        let d = derivation_guided(&sigma, &alpha, &beta, 10_000, post_member(&sigma, &alpha))
+            .expect("derivable");
+        d.check(&sigma).unwrap();
+        assert_eq!(d.start, alpha.to_vec());
+        assert_eq!(d.end(), beta.labels());
+        // Both extractors find the same-length (shortest) derivation.
+        let via_pre = derivation(&sigma, &alpha, &beta, 10_000).unwrap();
+        assert_eq!(d.steps.len(), via_pre.steps.len());
+    }
+
+    #[test]
+    fn guided_derivation_rejects_nonmembers_and_is_reflexive() {
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b", &mut labels).unwrap();
+        let b = Path::parse("b", &mut labels).unwrap();
+        let a = Path::parse("a", &mut labels).unwrap();
+        // b ⇏ a: the oracle rules the target out immediately.
+        assert_eq!(
+            derivation_guided(&sigma, &b, &a, 10_000, post_member(&sigma, &b)),
+            None
+        );
+        let refl = derivation_guided(&sigma, &a, &a, 10_000, |_: &[Label]| {
+            panic!("reflexive case must not consult the oracle")
+        })
+        .unwrap();
+        assert!(refl.steps.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The batch engine: cached, parallel, deadline-bounded implication.
 
 use crate::cache::{AnswerCache, CacheStats, CachedEntry};
-use crate::canon::{self, snapshot_id, CanonicalQuery, Renaming};
+use crate::canon::{self, snapshot_id, CanonicalQuery, QueryKey, Renaming};
 use crate::certify::certify;
 use crate::certwire;
 use crate::executor;
@@ -10,15 +10,15 @@ use crate::resilience::{self, FaultKind, FaultPlan, RetryPolicy, ShedPolicy};
 use pathcons_cert::{self as cert, Certificate, CertificateBody};
 use pathcons_constraints::PathConstraint;
 use pathcons_core::{
-    Answer, Budget, DataContext, Deadline, Evidence, Method, Outcome, SchemaContext, Solver,
-    SolverError, UnknownReason,
+    Answer, Budget, DataContext, Deadline, Evidence, Method, Outcome, SchemaContext, SharedContext,
+    Solver, SolverError, UnknownReason,
 };
 use pathcons_graph::LabelInterner;
 use pathcons_telemetry::{schema, SpanGuard};
 use pathcons_types::{example_bibliography_schema, example_bibliography_schema_m, TypeGraph};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// How cache hits are verified before being served.
@@ -224,10 +224,38 @@ impl BatchEngine {
         phi: &PathConstraint,
         budget: Budget,
     ) -> Result<(Answer, CacheOutcome, Option<Certificate>), SolverError> {
+        self.solve_full_shared(context, sigma, phi, budget, None, 0)
+    }
+
+    /// [`BatchEngine::solve_full`] with per-context amortization state
+    /// and a cache-key revision — the path resident stores use.
+    ///
+    /// `shared` (when given and Σ-compatible) lets the solver resume
+    /// the context's chase prefix and answer word implications against
+    /// cached saturated `post*` automata instead of solving cold; warm
+    /// and cold answers are byte-identical (see
+    /// [`pathcons_core::SharedContext`]). `revision` scopes the cache
+    /// key: entries inserted under an earlier revision of a mutated
+    /// context miss instead of being served, without touching any other
+    /// context's entries. Certificates stay bound to the revisionless
+    /// snapshot id, so serve results audit offline like batch results.
+    pub fn solve_full_shared(
+        &self,
+        context: &DataContext,
+        sigma: &[PathConstraint],
+        phi: &PathConstraint,
+        budget: Budget,
+        shared: Option<&Arc<SharedContext>>,
+        revision: u64,
+    ) -> Result<(Answer, CacheOutcome, Option<Certificate>), SolverError> {
         let telemetry = budget.telemetry.clone();
         let rec = telemetry.active();
         let canon = canon::canonicalize(context, sigma, phi);
-        let cached = self.cache_guard().lookup(&canon.key);
+        let cache_key = QueryKey {
+            revision,
+            ..canon.key.clone()
+        };
+        let cached = self.cache_guard().lookup(&cache_key);
         // Hit-validation: never serve a structurally implausible entry.
         // A torn write (chaos-injected or real) is detected here, the
         // entry evicted, and the query falls through to a fresh solve.
@@ -235,7 +263,7 @@ impl BatchEngine {
             Some(entry) => match resilience::validate_hit(&entry) {
                 Ok(()) => Some(entry),
                 Err(_why) => {
-                    self.cache_guard().evict_invalid(&canon.key);
+                    self.cache_guard().evict_invalid(&cache_key);
                     if let Some(rec) = rec {
                         rec.counter("cache.validation_evict", 1);
                     }
@@ -263,7 +291,7 @@ impl BatchEngine {
                         // entry: evict and re-solve, exactly like a
                         // failed structural validation.
                         self.cache_guard().note_certcheck(false);
-                        self.cache_guard().evict_invalid(&canon.key);
+                        self.cache_guard().evict_invalid(&cache_key);
                         if let Some(rec) = rec {
                             rec.counter("cache.cert_invalid", 1);
                         }
@@ -279,6 +307,9 @@ impl BatchEngine {
             let certificate = entry.certificate.clone();
             let answer = adapt_answer(entry, &canon);
             if self.config.verify == VerifyMode::Resolve {
+                // The re-solve oracle deliberately runs cold (no shared
+                // state): it then also audits the warm path that may
+                // have produced the cached answer.
                 let fresh = Solver::new(context.clone())
                     .with_budget(budget)
                     .implies(sigma, phi)?;
@@ -303,12 +334,16 @@ impl BatchEngine {
         if let Some(rec) = rec {
             rec.counter("cache.miss", 1);
         }
-        let answer = Solver::new(context.clone())
-            .with_budget(budget)
-            .implies(sigma, phi)?;
+        let mut solver = Solver::new(context.clone()).with_budget(budget);
+        if let Some(shared) = shared {
+            solver = solver.with_shared(Arc::clone(shared));
+        }
+        let answer = solver.implies(sigma, phi)?;
         // Emission is self-checking: `certify` runs the trusted checker
-        // and returns `None` rather than an invalid certificate.
-        let certificate = certify(&canon, sigma, &answer);
+        // and returns `None` rather than an invalid certificate. The
+        // shared state is threaded through so word-derivation extraction
+        // reuses the context's cached `post*` saturation.
+        let certificate = certify(&canon, sigma, phi, &answer, shared.map(Arc::as_ref));
         if cacheable(&answer) {
             if self.degraded.load(Ordering::Relaxed) {
                 // Degraded read-only mode: keep answering, stop writing.
@@ -321,7 +356,7 @@ impl BatchEngine {
                     rec.counter("cache.insert", 1);
                 }
                 self.cache_guard().insert(
-                    canon.key,
+                    cache_key,
                     CachedEntry {
                         answer: answer.clone(),
                         renaming: canon.renaming,
@@ -629,7 +664,12 @@ impl BatchEngine {
             // Overwrite this job's cache slot with a forged,
             // never-cacheable entry — a torn write for the
             // hit-validator to catch on the next lookup.
-            self.chaos_torn_write(&prepared.context, &prepared.sigma, &prepared.phi);
+            self.chaos_torn_write(
+                &prepared.context,
+                &prepared.sigma,
+                &prepared.phi,
+                prepared.revision,
+            );
         }
         if fault == Some(FaultKind::MalformedResult) && result.verdict != Verdict::Error {
             // Corrupt the result id; `run_batch`'s echo check
@@ -658,7 +698,14 @@ impl BatchEngine {
         if let Some(deadline) = deadline_at {
             budget = budget.with_deadline_at(Deadline::at(deadline));
         }
-        match self.solve_full(&prepared.context, &prepared.sigma, &prepared.phi, budget) {
+        match self.solve_full_shared(
+            &prepared.context,
+            &prepared.sigma,
+            &prepared.phi,
+            budget,
+            prepared.shared.as_ref(),
+            prepared.revision,
+        ) {
             Err(e) => JobResult {
                 id,
                 verdict: Verdict::Error,
@@ -725,10 +772,14 @@ impl BatchEngine {
         context: &DataContext,
         sigma: &[PathConstraint],
         phi: &PathConstraint,
+        revision: u64,
     ) {
         let canon = canon::canonicalize(context, sigma, phi);
         self.cache_guard().insert(
-            canon.key,
+            QueryKey {
+                revision,
+                ..canon.key
+            },
             CachedEntry {
                 answer: Answer {
                     outcome: Outcome::Unknown(UnknownReason::DeadlineExceeded),
@@ -925,6 +976,14 @@ pub struct PreparedJob {
     pub sigma: Vec<PathConstraint>,
     /// φ, parsed.
     pub phi: PathConstraint,
+    /// Per-context amortization state (chase prefix, `post*` cache) the
+    /// solver may resume instead of solving cold. `None` for cold jobs;
+    /// a resident store attaches its context's state when the job's Σ
+    /// is exactly the context's base Σ.
+    pub shared: Option<Arc<SharedContext>>,
+    /// Revision of the resident context, scoping the engine's cache key
+    /// (see [`QueryKey::revision`]). `0` for cold jobs.
+    pub revision: u64,
 }
 
 /// Parses a job's `(context, sigma, phi)` triple into `labels` — the
@@ -951,6 +1010,8 @@ pub fn prepare_job(
         context,
         sigma,
         phi,
+        shared: None,
+        revision: 0,
     })
 }
 
@@ -1836,6 +1897,91 @@ mod tests {
             "fast-path answer reported {} µs of solver time",
             result.micros
         );
+    }
+
+    #[test]
+    fn revision_scopes_cache_entries_but_not_certificates() {
+        let engine = BatchEngine::new(EngineConfig::default());
+        let mut labels = LabelInterner::new();
+        let sigma = parse_constraints("a -> b\nb -> c", &mut labels).unwrap();
+        let phi = PathConstraint::parse("a -> c", &mut labels).unwrap();
+        let solve = |revision: u64| {
+            engine
+                .solve_full_shared(
+                    &DataContext::Semistructured,
+                    &sigma,
+                    &phi,
+                    Budget::default(),
+                    None,
+                    revision,
+                )
+                .unwrap()
+        };
+        let (_, c1, cert1) = solve(0);
+        let (_, c2, _) = solve(0);
+        // A bumped revision misses — the old entry is unreachable from
+        // the new revision — while the old revision keeps hitting.
+        let (_, c3, cert3) = solve(1);
+        let (_, c4, _) = solve(0);
+        assert_eq!(
+            (c1, c2, c3, c4),
+            (
+                CacheOutcome::Miss,
+                CacheOutcome::Hit,
+                CacheOutcome::Miss,
+                CacheOutcome::Hit
+            )
+        );
+        // One logical query, one snapshot id: the certificate issued
+        // under revision 1 audits identically to the revision-0 one.
+        let (cert1, cert3) = (cert1.unwrap(), cert3.unwrap());
+        assert_eq!(cert1.snapshot, cert3.snapshot);
+    }
+
+    #[test]
+    fn shared_context_answers_match_cold_answers() {
+        use pathcons_core::SharedContext;
+
+        let mut labels = LabelInterner::new();
+        // A root-closure theory: the empty-hypothesis constraint fires
+        // on the bare root, so the shared prefix is non-trivial.
+        let sigma = parse_constraints("() -> k\nk.m -> k", &mut labels).unwrap();
+        let shared = Arc::new(SharedContext::build(&sigma, &Budget::default()));
+        assert!(shared.chase().steps() > 0, "prefix did real work");
+        for phi_text in ["k -> k.m", "k.m.m -> k", "k -> m", "(): m <- k"] {
+            let phi = PathConstraint::parse(phi_text, &mut labels).unwrap();
+            let warm_engine = BatchEngine::new(EngineConfig::default());
+            let cold_engine = BatchEngine::new(EngineConfig::default());
+            let (warm, _, warm_cert) = warm_engine
+                .solve_full_shared(
+                    &DataContext::Semistructured,
+                    &sigma,
+                    &phi,
+                    Budget::default(),
+                    Some(&shared),
+                    1,
+                )
+                .unwrap();
+            let (cold, _, cold_cert) = cold_engine
+                .solve_full(
+                    &DataContext::Semistructured,
+                    &sigma,
+                    &phi,
+                    Budget::default(),
+                )
+                .unwrap();
+            assert_eq!(
+                format!("{warm:?}"),
+                format!("{cold:?}"),
+                "warm and cold answers must be byte-identical for {phi_text}"
+            );
+            assert_eq!(
+                format!("{warm_cert:?}"),
+                format!("{cold_cert:?}"),
+                "warm and cold certificates must be byte-identical for {phi_text}"
+            );
+        }
+        assert!(shared.stats().chase_reuses > 0, "the prefix was resumed");
     }
 
     #[test]

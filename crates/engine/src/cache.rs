@@ -337,6 +337,7 @@ mod tests {
             context: ContextKey::Semistructured,
             sigma: vec![],
             phi: PathConstraint::forward(Path::empty(), Path::single(l), Path::single(l)),
+            revision: 0,
         }
     }
 

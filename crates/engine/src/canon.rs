@@ -90,8 +90,18 @@ fn schema_fingerprint(text: &str) -> u64 {
 /// a query share a snapshot id across processes — an offline checker
 /// that re-canonicalizes a job recovers the id the engine issued the
 /// certificate under.
+///
+/// The [`QueryKey::revision`] field is excluded: it scopes *cache
+/// reuse*, not query identity. The same `(context, Σ, φ)` asked at two
+/// store revisions is one logical query with one certificate, and an
+/// offline auditor re-canonicalizing the job text (which records no
+/// revision) must recover the id the engine issued.
 pub fn snapshot_id(key: &QueryKey) -> u64 {
-    schema_fingerprint(&format!("{key:?}"))
+    let revisionless = QueryKey {
+        revision: 0,
+        ..key.clone()
+    };
+    schema_fingerprint(&format!("{revisionless:?}"))
 }
 
 /// The cache key: the alpha-renamed normal form itself.
@@ -103,6 +113,13 @@ pub struct QueryKey {
     pub sigma: Vec<PathConstraint>,
     /// Renamed φ.
     pub phi: PathConstraint,
+    /// Revision of the resident context the query ran against (`0` for
+    /// queries outside a mutable store). Part of the key's equality, so
+    /// answers cached under an earlier revision of a mutated context
+    /// can never be served to a later one — per-context invalidation by
+    /// construction, without flushing unrelated entries. Excluded from
+    /// [`snapshot_id`]: certificates name the query, not the revision.
+    pub revision: u64,
 }
 
 /// A canonicalized query: the key plus the renaming that produced it.
@@ -191,6 +208,7 @@ pub fn canonicalize(
             context: context_key,
             sigma: renamed_sigma,
             phi,
+            revision: 0,
         },
         renaming,
     }
@@ -225,6 +243,7 @@ fn identity_canonical(
             context: context_key,
             sigma,
             phi: phi.clone(),
+            revision: 0,
         },
         renaming,
     }
@@ -384,6 +403,19 @@ mod tests {
         assert_eq!(snapshot_id(&a), snapshot_id(&b), "alpha-variants share");
         let c = canon("a -> b", "a -> b");
         assert_ne!(snapshot_id(&a), snapshot_id(&c), "different queries differ");
+    }
+
+    #[test]
+    fn revision_scopes_keys_but_not_snapshot_ids() {
+        let base = canon("a -> b\nb -> c", "a -> c");
+        let bumped = QueryKey {
+            revision: 3,
+            ..base.clone()
+        };
+        // Different revisions are different cache keys…
+        assert_ne!(base, bumped);
+        // …but one logical query: certificates bind to one snapshot id.
+        assert_eq!(snapshot_id(&base), snapshot_id(&bumped));
     }
 
     #[test]

@@ -33,16 +33,22 @@ use pathcons_cert::{
     ImpliedCert, RewriteStep,
 };
 use pathcons_constraints::PathConstraint;
-use pathcons_core::{derivation, Answer, Evidence, Outcome};
+use pathcons_core::{derivation_guided, Answer, Evidence, Outcome, SharedContext, SharedWord};
+use pathcons_graph::Label;
 
-/// Visited-word budget for re-extracting a word derivation in canonical
-/// space. Shortest derivations can be exponentially long; extraction is
-/// best-effort (a `None` just means the hit is served unchecked).
+/// Visited-word budget for re-extracting a word derivation. Shortest
+/// derivations can be exponentially long; extraction is best-effort (a
+/// `None` just means the hit is served unchecked).
 const WORD_DERIVATION_FUEL: usize = 20_000;
 
 /// Builds the canonical-space certificate for `answer`, or `None` when
-/// the evidence has no certificate form. `original_sigma` is the Σ the
-/// solver actually ran on (chase trace indices point into it).
+/// the evidence has no certificate form. `original_sigma` and
+/// `original_phi` are the query the solver actually ran on (chase trace
+/// indices point into that Σ; word derivations are extracted in its
+/// label space and renamed). `shared` is the per-context amortization
+/// state, when the query ran against one: word-derivation extraction
+/// reuses its cached `post*` saturation instead of re-saturating per
+/// certificate.
 ///
 /// The returned certificate has already passed the trusted checker
 /// against the canonical query — emission is self-checking, so an
@@ -51,13 +57,19 @@ const WORD_DERIVATION_FUEL: usize = 20_000;
 pub fn certify(
     canonical: &CanonicalQuery,
     original_sigma: &[PathConstraint],
+    original_phi: &PathConstraint,
     answer: &Answer,
+    shared: Option<&SharedContext>,
 ) -> Option<Certificate> {
     let snapshot = canon::snapshot_id(&canonical.key);
     let body = match &answer.outcome {
-        Outcome::Implied(evidence) => {
-            CertificateBody::Implied(implied_cert(canonical, original_sigma, evidence)?)
-        }
+        Outcome::Implied(evidence) => CertificateBody::Implied(implied_cert(
+            canonical,
+            original_sigma,
+            original_phi,
+            evidence,
+            shared,
+        )?),
         Outcome::NotImplied(refutation) => {
             let cm = refutation.countermodel.as_ref()?;
             if cm.types.is_some() {
@@ -90,7 +102,9 @@ pub fn certify(
 fn implied_cert(
     canonical: &CanonicalQuery,
     original_sigma: &[PathConstraint],
+    original_phi: &PathConstraint,
     evidence: &Evidence,
+    shared: Option<&SharedContext>,
 ) -> Option<ImpliedCert> {
     match evidence {
         // Only complete traces certify: the reference chase emits an
@@ -108,33 +122,80 @@ fn implied_cert(
                     b: step.b,
                 });
             }
-            Some(ImpliedCert::ChaseReplay(ChaseTrace { steps: remapped }))
+            Some(ImpliedCert::ChaseReplay(ChaseTrace {
+                steps: remapped,
+                pattern_at: trace.pattern_at,
+            }))
         }
         Evidence::WordDerivation => {
-            let d = derivation(
-                &canonical.key.sigma,
-                canonical.key.phi.lhs(),
-                canonical.key.phi.rhs(),
-                WORD_DERIVATION_FUEL,
-            )?;
-            Some(ImpliedCert::WordRewrite {
-                start: d.start,
-                steps: d
-                    .steps
-                    .into_iter()
-                    .map(|s| RewriteStep {
-                        rule: s.rule,
-                        result: s.result,
-                    })
-                    .collect(),
-            })
+            word_rewrite_cert(canonical, original_sigma, original_phi, shared)
         }
         // The untyped-transfer wrapper is sound to strip: the inner
         // evidence certifies implication over all structures, which
         // the checker's semantics already are.
-        Evidence::UntypedImplication(inner) => implied_cert(canonical, original_sigma, inner),
+        Evidence::UntypedImplication(inner) => {
+            implied_cert(canonical, original_sigma, original_phi, inner, shared)
+        }
         _ => None,
     }
+}
+
+/// Extracts the word-rewrite derivation in the *original* label space —
+/// where the context's cached `post*(α)` saturation lives — then renames
+/// it into canonical space, step indices included, exactly like the
+/// chase branch. Cold callers rebuild the same saturation the decision
+/// procedure used, so the extracted derivation (and hence the
+/// certificate bytes) is identical across cache temperature.
+fn word_rewrite_cert(
+    canonical: &CanonicalQuery,
+    original_sigma: &[PathConstraint],
+    original_phi: &PathConstraint,
+    shared: Option<&SharedContext>,
+) -> Option<ImpliedCert> {
+    let owned;
+    let word = match shared.and_then(|s| s.word_for(original_sigma)) {
+        Some(w) => w,
+        None => {
+            owned = SharedWord::build(original_sigma)?;
+            &owned
+        }
+    };
+    // Determinized membership when the subset construction stays small
+    // (cached per lhs, O(|word|) per query); NFA membership against the
+    // same saturation otherwise. Either way the guide decides the same
+    // language, so the extracted derivation does not depend on which
+    // form answered.
+    let dfa = word.consequences_dfa(original_phi.lhs().labels());
+    let nfa = word.consequences(original_phi.lhs().labels());
+    let member = |w: &[Label]| match &dfa {
+        Some(d) => d.accepts(w),
+        None => nfa.accepts(w),
+    };
+    let d = derivation_guided(
+        original_sigma,
+        original_phi.lhs(),
+        original_phi.rhs(),
+        WORD_DERIVATION_FUEL,
+        member,
+    )?;
+    let start = rename_word(&d.start, canonical)?;
+    let mut steps = Vec::with_capacity(d.steps.len());
+    for s in &d.steps {
+        let original = original_sigma.get(s.rule)?;
+        let renamed = canon::rename_constraint(original, &canonical.renaming)?;
+        let rule = canonical.key.sigma.iter().position(|c| *c == renamed)?;
+        steps.push(RewriteStep {
+            rule,
+            result: rename_word(&s.result, canonical)?,
+        });
+    }
+    Some(ImpliedCert::WordRewrite { start, steps })
+}
+
+fn rename_word(word: &[Label], canonical: &CanonicalQuery) -> Option<Vec<Label>> {
+    word.iter()
+        .map(|l| canonical.renaming.get(l).copied())
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,7 +213,7 @@ mod tests {
             .implies(&sigma, &phi)
             .unwrap();
         let canonical = canon::canonicalize(&DataContext::Semistructured, &sigma, &phi);
-        (certify(&canonical, &sigma, &answer), answer)
+        (certify(&canonical, &sigma, &phi, &answer, None), answer)
     }
 
     #[test]
@@ -178,7 +239,8 @@ mod tests {
             .unwrap();
         assert!(answer.outcome.is_not_implied());
         let canonical = canon::canonicalize(&DataContext::Semistructured, &sigma, &phi);
-        let certificate = certify(&canonical, &sigma, &answer).expect("countermodel certifies");
+        let certificate =
+            certify(&canonical, &sigma, &phi, &answer, None).expect("countermodel certifies");
         assert!(matches!(certificate.body, CertificateBody::NotImplied(_)));
         // It validates against the canonical query, as any alpha-variant
         // hitting the same entry would present it.

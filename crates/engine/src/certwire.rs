@@ -28,6 +28,9 @@ pub fn certificate_to_json(certificate: &Certificate) -> Json {
     match &certificate.body {
         CertificateBody::Implied(ImpliedCert::ChaseReplay(trace)) => {
             members.push(("kind".to_owned(), Json::Str("chase-trace".to_owned())));
+            if trace.pattern_at > 0 {
+                members.push(("pattern".to_owned(), Json::Num(trace.pattern_at as f64)));
+            }
             members.push((
                 "steps".to_owned(),
                 Json::Arr(
@@ -138,7 +141,22 @@ pub fn certificate_from_json(v: &Json) -> Result<Certificate, String> {
                 })
                 .collect::<Result<Vec<_>, &str>>()
                 .map_err(str::to_owned)?;
-            CertificateBody::Implied(ImpliedCert::ChaseReplay(ChaseTrace { steps }))
+            // `pattern` (steps applied before the ¬φ pattern was built)
+            // is omitted for the legacy pattern-first layout.
+            let pattern_at = match v.get("pattern") {
+                None => 0,
+                Some(p) => p
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or("chase-trace `pattern` must be a non-negative integer")?,
+            };
+            if pattern_at > steps.len() {
+                return Err(format!(
+                    "chase-trace `pattern` {pattern_at} exceeds {} steps",
+                    steps.len()
+                ));
+            }
+            CertificateBody::Implied(ImpliedCert::ChaseReplay(ChaseTrace { steps, pattern_at }))
         }
         "word-rewrite" => {
             let start = word_from_json(
@@ -265,6 +283,7 @@ mod tests {
                     a: 0,
                     b: 5,
                 }],
+                pattern_at: 0,
             })),
         };
         let back = round_trip(&certificate);
@@ -279,9 +298,37 @@ mod tests {
                         b: 5
                     }]
                 );
+                assert_eq!(trace.pattern_at, 0);
             }
             other => panic!("wrong body: {other:?}"),
         }
+    }
+
+    #[test]
+    fn prefix_first_chase_trace_round_trips_pattern_marker() {
+        let step = ChaseStep {
+            constraint: 0,
+            a: 0,
+            b: 0,
+        };
+        let certificate = Certificate {
+            snapshot: 3,
+            body: CertificateBody::Implied(ImpliedCert::ChaseReplay(ChaseTrace {
+                steps: vec![step, step],
+                pattern_at: 1,
+            })),
+        };
+        match round_trip(&certificate).body {
+            CertificateBody::Implied(ImpliedCert::ChaseReplay(trace)) => {
+                assert_eq!(trace.pattern_at, 1);
+                assert_eq!(trace.steps.len(), 2);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+        // A marker past the end of the steps array is rejected at decode.
+        let torn =
+            r#"{"snapshot":"0000000000000003","kind":"chase-trace","pattern":3,"steps":[[0,0,0]]}"#;
+        assert!(certificate_from_json(&Json::parse(torn).unwrap()).is_err());
     }
 
     #[test]

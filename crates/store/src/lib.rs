@@ -35,4 +35,4 @@ pub use serve::{Client, Endpoint, ServeStats, Server, ServerHandle, MAX_LINE_BYT
 pub use snapshot::{
     ContextRecord, GraphColumns, SnapshotDoc, SnapshotError, FORMAT_VERSION, MAGIC,
 };
-pub use store::{ConstraintStore, ResidentContext};
+pub use store::{ConstraintStore, ContextStats, ResidentContext};

@@ -167,10 +167,7 @@ impl Server {
                             Ok(_) => {
                                 return Err(io::Error::new(
                                     io::ErrorKind::AddrInUse,
-                                    format!(
-                                        "{} is in use by a live server",
-                                        path.display()
-                                    ),
+                                    format!("{} is in use by a live server", path.display()),
                                 ));
                             }
                             Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
@@ -435,6 +432,31 @@ impl ConnectionWorker {
             ]),
             "stats" => {
                 let cache = self.engine.cache_stats();
+                // Per-context amortization counters: how many jobs each
+                // resident context answered, its revision, and what its
+                // shared state has saved so far (chase-prefix resumes,
+                // saturated-`post*` hits). `warm: false` means no state
+                // is live at the current revision — never warmed, or
+                // invalidated by a mutation and not yet rebuilt.
+                let contexts_detail = self
+                    .store
+                    .context_stats()
+                    .into_iter()
+                    .map(|ctx| {
+                        obj_json(vec![
+                            ("name", Json::Str(ctx.name)),
+                            ("kind", Json::Str(ctx.kind)),
+                            ("revision", Json::Num(ctx.revision as f64)),
+                            ("jobs", Json::Num(ctx.jobs as f64)),
+                            ("warm", Json::Bool(ctx.warm)),
+                            ("chase_reuses", Json::Num(ctx.shared.chase_reuses as f64)),
+                            ("prefix_rounds", Json::Num(ctx.shared.prefix_rounds as f64)),
+                            ("prefix_steps", Json::Num(ctx.shared.prefix_steps as f64)),
+                            ("word_hits", Json::Num(ctx.shared.word_hits as f64)),
+                            ("word_misses", Json::Num(ctx.shared.word_misses as f64)),
+                        ])
+                    })
+                    .collect();
                 obj(vec![
                     ("ok", Json::Bool(true)),
                     ("op", Json::Str("stats".into())),
@@ -452,6 +474,7 @@ impl ConnectionWorker {
                     ("cache_hits", Json::Num(cache.hits as f64)),
                     ("cache_misses", Json::Num(cache.misses as f64)),
                     ("degraded", Json::Bool(self.engine.is_degraded())),
+                    ("contexts_detail", Json::Arr(contexts_detail)),
                 ])
             }
             "shutdown" => {

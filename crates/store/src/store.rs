@@ -19,12 +19,13 @@
 use crate::columnar::ColumnarGraph;
 use crate::snapshot::{self, ContextRecord, GraphColumns, SnapshotDoc, SnapshotError};
 use pathcons_constraints::PathConstraint;
-use pathcons_core::DataContext;
+use pathcons_core::{Budget, DataContext, SharedContext, SharedStats};
 use pathcons_engine::{build_context, prepare_job, Job, Json, PreparedJob};
 use pathcons_graph::{Graph, LabelInterner};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One context resident in the store: prebuilt solver context, parsed
 /// base Σ, and (optionally) a columnar data graph.
@@ -38,9 +39,39 @@ pub struct ResidentContext {
     /// Arena-form rehydration of `columnar`, built on first use by the
     /// satisfaction checkers (`graph()`); job solving never needs it.
     graph: OnceLock<Graph>,
+    /// Monotonic revision, bumped by every constraint or edge mutation.
+    /// Scopes the engine's cache keys and the shared state below: a
+    /// mutation invalidates exactly this context's reuse, nothing else.
+    revision: u64,
+    /// Per-context amortization state, keyed by the revision it was
+    /// built at. Built lazily on first use (or eagerly by
+    /// [`ConstraintStore::warm_all`]); a revision mismatch rebuilds.
+    shared: Mutex<Option<(u64, Arc<SharedContext>)>>,
+    /// Jobs prepared against this context (any verdict).
+    jobs: AtomicU64,
 }
 
 impl ResidentContext {
+    fn new(
+        kind: String,
+        context: DataContext,
+        base_sigma: Vec<PathConstraint>,
+        sigma_texts: Vec<String>,
+        columnar: Option<ColumnarGraph>,
+    ) -> ResidentContext {
+        ResidentContext {
+            kind,
+            context,
+            base_sigma,
+            sigma_texts,
+            columnar,
+            graph: OnceLock::new(),
+            revision: 0,
+            shared: Mutex::new(None),
+            jobs: AtomicU64::new(0),
+        }
+    }
+
     /// The solver-context kind this context was built from.
     pub fn kind(&self) -> &str {
         &self.kind
@@ -62,6 +93,59 @@ impl ResidentContext {
         let columnar = self.columnar.as_ref()?;
         Some(self.graph.get_or_init(|| columnar.to_graph()))
     }
+
+    /// The context's current revision (0 until the first mutation).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Jobs prepared against this context so far.
+    pub fn jobs_answered(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// The shared amortization state at the current revision, building
+    /// it on first use. A state cached at an earlier revision is
+    /// replaced, so mutations can never leak stale reuse.
+    fn shared_state(&self, budget: &Budget) -> Arc<SharedContext> {
+        let mut guard = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((revision, shared)) = guard.as_ref() {
+            if *revision == self.revision {
+                return Arc::clone(shared);
+            }
+        }
+        let shared = Arc::new(SharedContext::build(&self.base_sigma, budget));
+        *guard = Some((self.revision, Arc::clone(&shared)));
+        shared
+    }
+
+    /// Counter snapshot of the shared state, without building it:
+    /// `None` when the context has never been warmed (or a mutation
+    /// invalidated the state and no job has rebuilt it yet).
+    pub fn shared_stats(&self) -> Option<SharedStats> {
+        let guard = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        guard
+            .as_ref()
+            .filter(|(revision, _)| *revision == self.revision)
+            .map(|(_, shared)| shared.stats())
+    }
+}
+
+/// Per-context counters the serve `stats` op reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContextStats {
+    /// The context's name in the store.
+    pub name: String,
+    /// Its solver-context kind.
+    pub kind: String,
+    /// Current revision (0 until the first mutation).
+    pub revision: u64,
+    /// Jobs prepared against it.
+    pub jobs: u64,
+    /// Whether shared amortization state is live at this revision.
+    pub warm: bool,
+    /// Shared-state counters (all zero when not warm).
+    pub shared: SharedStats,
 }
 
 /// The resident store: one shared label table plus named contexts.
@@ -70,6 +154,11 @@ pub struct ConstraintStore {
     labels: LabelInterner,
     contexts: BTreeMap<String, ResidentContext>,
     content_id: u64,
+    /// Budget caps the shared amortization state is built under. Must
+    /// match the engine budget jobs are solved with, or the guarded
+    /// reuse checks refuse the state and every job solves cold. `None`
+    /// disables amortization entirely (the bench's cold mode).
+    shared_budget: Option<Budget>,
 }
 
 impl ConstraintStore {
@@ -108,14 +197,13 @@ impl ConstraintStore {
             };
             contexts.insert(
                 record.name.clone(),
-                ResidentContext {
-                    kind: record.kind.clone(),
+                ResidentContext::new(
+                    record.kind.clone(),
                     context,
                     base_sigma,
-                    sigma_texts: record.sigma.clone(),
+                    record.sigma.clone(),
                     columnar,
-                    graph: OnceLock::new(),
-                },
+                ),
             );
         }
         let content_id = snapshot::content_id(&snapshot::encode(doc))?;
@@ -123,6 +211,7 @@ impl ConstraintStore {
             labels,
             contexts,
             content_id,
+            shared_budget: Some(Budget::default()),
         })
     }
 
@@ -247,6 +336,129 @@ impl ConstraintStore {
         format!("{:016x}", self.content_id)
     }
 
+    /// Sets the budget caps shared amortization state is built under,
+    /// or disables amortization with `None`. Call before serving, with
+    /// the engine's own budget: the guarded reuse checks require the
+    /// caps to match exactly, so a mismatched budget silently degrades
+    /// every job to cold solving.
+    pub fn set_shared_budget(&mut self, budget: Option<Budget>) {
+        self.shared_budget = budget;
+        for resident in self.contexts.values_mut() {
+            *resident.shared.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+
+    /// The budget shared state is built under (`None`: amortization
+    /// disabled).
+    pub fn shared_budget(&self) -> Option<&Budget> {
+        self.shared_budget.as_ref()
+    }
+
+    /// Eagerly builds the shared amortization state of every resident
+    /// context (`pathcons serve --warm`): the Σ-only chase prefixes and
+    /// word-engine saturation are paid at startup instead of on each
+    /// context's first job. Returns how many contexts were warmed; 0
+    /// when amortization is disabled.
+    pub fn warm_all(&self) -> usize {
+        let Some(budget) = &self.shared_budget else {
+            return 0;
+        };
+        for resident in self.contexts.values() {
+            let _ = resident.shared_state(budget);
+        }
+        self.contexts.len()
+    }
+
+    /// Appends a constraint to a resident context's base Σ, bumping its
+    /// revision. Returns the new revision. The engine cache keys and
+    /// shared state of *other* contexts are untouched — invalidation is
+    /// per context, never the world.
+    pub fn add_constraint(&mut self, context_name: &str, text: &str) -> Result<u64, String> {
+        let constraint = PathConstraint::parse(text, &mut self.labels)
+            .map_err(|e| format!("bad constraint `{text}`: {e}"))?;
+        let resident = self
+            .contexts
+            .get_mut(context_name)
+            .ok_or_else(|| format!("unknown context `{context_name}`"))?;
+        resident.base_sigma.push(constraint);
+        resident.sigma_texts.push(text.to_owned());
+        resident.revision += 1;
+        let revision = resident.revision;
+        self.refresh_content_id();
+        Ok(revision)
+    }
+
+    /// Adds an edge to a resident context's data graph (creating a
+    /// graph when the context has none), bumping its revision. Node ids
+    /// beyond the current node count grow the graph. Returns the new
+    /// revision.
+    pub fn add_edge(
+        &mut self,
+        context_name: &str,
+        src: u32,
+        label: &str,
+        dst: u32,
+    ) -> Result<u64, String> {
+        let label_id = self.labels.intern(label).index() as u32;
+        let resident = self
+            .contexts
+            .get_mut(context_name)
+            .ok_or_else(|| format!("unknown context `{context_name}`"))?;
+        let (node_count, root, mut src_col, mut label_col, mut dst_col) = match &resident.columnar {
+            Some(col) => {
+                let (s, l, d) = col.columns();
+                (
+                    col.node_count() as u32,
+                    col.root(),
+                    s.to_vec(),
+                    l.to_vec(),
+                    d.to_vec(),
+                )
+            }
+            None => (1, 0, Vec::new(), Vec::new(), Vec::new()),
+        };
+        src_col.push(src);
+        label_col.push(label_id);
+        dst_col.push(dst);
+        let node_count = node_count.max(src + 1).max(dst + 1);
+        resident.columnar = Some(
+            ColumnarGraph::from_columns(node_count, root, src_col, label_col, dst_col)
+                .map_err(|e| format!("context `{context_name}`: {e}"))?,
+        );
+        // The arena rehydration belongs to the old graph; rebuild lazily.
+        resident.graph = OnceLock::new();
+        resident.revision += 1;
+        let revision = resident.revision;
+        self.refresh_content_id();
+        Ok(revision)
+    }
+
+    /// Re-derives the content id after a mutation, so `ping`/`stats`
+    /// advertise the id of the snapshot the mutated store would write.
+    fn refresh_content_id(&mut self) {
+        if let Ok(id) = snapshot::content_id(&self.to_bytes()) {
+            self.content_id = id;
+        }
+    }
+
+    /// Per-context counters for the serve `stats` op, in name order.
+    pub fn context_stats(&self) -> Vec<ContextStats> {
+        self.contexts
+            .iter()
+            .map(|(name, resident)| {
+                let shared = resident.shared_stats();
+                ContextStats {
+                    name: name.clone(),
+                    kind: resident.kind.clone(),
+                    revision: resident.revision,
+                    jobs: resident.jobs_answered(),
+                    warm: shared.is_some(),
+                    shared: shared.unwrap_or_default(),
+                }
+            })
+            .collect()
+    }
+
     /// Number of resident contexts.
     pub fn context_count(&self) -> usize {
         self.contexts.len()
@@ -272,6 +484,16 @@ impl ConstraintStore {
     /// to the job's own sigma; unknown names fall back to the engine's
     /// builtin contexts (fresh interner), exactly as `pathcons batch`
     /// builds them.
+    ///
+    /// Jobs that carry no sigma of their own (the shared-context hot
+    /// path: every query runs against exactly the resident base Σ) are
+    /// handed the context's amortization state, so the solver resumes
+    /// the shared chase prefix and the cached `post*` automata instead
+    /// of solving cold. Jobs with extra constraints get `shared: None`
+    /// — their Σ differs from what the state was built from, and the
+    /// solver-side guards would refuse it anyway. Either way the
+    /// prepared job carries the context's revision, scoping the
+    /// engine's cache key.
     pub fn prepare(&self, job: &Job) -> Result<PreparedJob, String> {
         let Some(resident) = self.contexts.get(&job.context) else {
             return prepare_job(
@@ -281,6 +503,7 @@ impl ConstraintStore {
                 &mut LabelInterner::new(),
             );
         };
+        resident.jobs.fetch_add(1, Ordering::Relaxed);
         let mut labels = self.labels.clone();
         let mut sigma = resident.base_sigma.clone();
         sigma.reserve(job.sigma.len());
@@ -292,10 +515,16 @@ impl ConstraintStore {
         }
         let phi = PathConstraint::parse(&job.phi, &mut labels)
             .map_err(|e| format!("bad query `{}`: {e}", job.phi))?;
+        let shared = match (&self.shared_budget, job.sigma.is_empty()) {
+            (Some(budget), true) => Some(resident.shared_state(budget)),
+            _ => None,
+        };
         Ok(PreparedJob {
             context: resident.context.clone(),
             sigma,
             phi,
+            shared,
+            revision: resident.revision,
         })
     }
 
