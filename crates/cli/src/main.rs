@@ -31,6 +31,9 @@
 //! pathcons serve    --listen unix:PATH|tcp:ADDR       resident store + JSONL protocol:
 //!                   [--snapshot S.pcs | --contexts F] jobs in, batch-identical results
 //!                   [engine flags as for batch]       out; `{"op": "shutdown"}` stops it
+//!                   [--metrics-addr HOST:PORT]        Prometheus text on /metrics
+//!                   [--slow-ms N [--slow-log F]]      JSONL slow-query log
+//!                   [--trace F.jsonl]                 engine + serve.job event trace
 //! ```
 //!
 //! Graphs are read from the line format of `pathcons-graph` or, when the
@@ -51,6 +54,7 @@ use pathcons_engine::{
     FaultPlan, Job, JobResult, Json, RetryPolicy, ShedPolicy, Verdict, VerifyMode,
 };
 use pathcons_graph::{parse_graph, to_dot, DotOptions, Graph, LabelInterner};
+use pathcons_metrics::MetricsRegistry;
 use pathcons_store::{ConstraintStore, Endpoint, Server};
 use pathcons_types::{infer_typing, parse_schema, Model, Schema, TypeGraph};
 use std::fmt::Write as _;
@@ -131,13 +135,19 @@ usage:
                     [--chase-rounds N] [--chase-max-nodes N]
                     [--search-samples N] [--retries N] [--shed-depth N]
                     [--verify[=check|resolve]] [--warm] [--no-shared] [--quiet]
+                    [--metrics-addr HOST:PORT] [--slow-ms N [--slow-log FILE]]
+                    [--trace FILE.jsonl]
                     (long-lived JSONL service: job lines get the same
                      verdicts `pathcons batch` gives; control ops are
-                     {\"op\": \"ping\"|\"stats\"|\"check\"|\"shutdown\"};
+                     {\"op\": \"ping\"|\"stats\"|\"metrics\"|\"check\"|\"shutdown\"};
                      resident contexts amortize work across jobs —
                      shared chase prefixes and cached post* automata —
                      built lazily, or at startup with --warm; --no-shared
-                     solves every job cold)
+                     solves every job cold; --metrics-addr exposes
+                     Prometheus text at /metrics; jobs slower than
+                     --slow-ms are logged as JSONL to --slow-log (or
+                     stderr) with their request_id; --trace writes the
+                     engine + serve.job event log)
 
 `--jobs`/`--results` accept `-` for stdin/stdout in batch and check.";
 
@@ -836,6 +846,7 @@ fn engine_config_from_args(args: &Args) -> Result<EngineConfig, CliError> {
         retry,
         shed: ShedPolicy::queue_depth(parse_numeric(args, "shed-depth")?.unwrap_or(0)),
         chaos: None,
+        metrics: None,
     })
 }
 
@@ -896,6 +907,7 @@ fn cmd_batch(args: &Args) -> Result<String, CliError> {
             unknown_phase: None,
             cache: None,
             certificate: None,
+            request_id: None,
             micros: 0,
         };
         let _ = writeln!(out, "{}", record.to_json());
@@ -987,6 +999,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let quiet = args.flag("quiet");
     let warm = args.flag("warm");
     let no_shared = args.flag("no-shared");
+    let metrics_addr = args.optional("metrics-addr");
+    let slow_ms = parse_numeric(args, "slow-ms")?;
+    let slow_log = args.optional("slow-log");
+    let trace_path = args.optional("trace");
     let mut known = vec![
         "listen",
         "snapshot",
@@ -995,6 +1011,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "quiet",
         "warm",
         "no-shared",
+        "metrics-addr",
+        "slow-ms",
+        "slow-log",
+        "trace",
     ];
     known.extend_from_slice(ENGINE_ARGS);
     args.finish(&known)?;
@@ -1027,7 +1047,21 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let load_elapsed = load_start.elapsed();
 
     let endpoint = Endpoint::parse(&listen).map_err(CliError::Usage)?;
-    let config = engine_config_from_args(args)?;
+    let mut config = engine_config_from_args(args)?;
+    // One registry shared by the engine (verdict counts, cache
+    // outcomes, solve latency) and the serve front-end (per-op latency,
+    // throughput, serve counters): a single `{"op": "metrics"}`
+    // snapshot or Prometheus scrape carries both sides.
+    let registry = Arc::new(MetricsRegistry::new());
+    config.metrics = Some(registry.clone());
+    // `serve --trace` mirrors `batch --trace`: every engine event (and
+    // the per-job `serve.job` correlation events) lands in a JSONL
+    // trace checkable with `pathcons trace-check`.
+    if let Some(path) = trace_path.as_deref() {
+        let file = FileRecorder::create(path)
+            .map_err(|e| CliError::Failed(format!("cannot create trace `{path}`: {e}")))?;
+        config.budget.telemetry = Telemetry::new(Arc::new(file));
+    }
     // Shared amortization state must be built under the very budget the
     // engine solves with: the solver-side reuse guards compare budget
     // caps exactly and quietly fall back to cold solving on mismatch.
@@ -1040,13 +1074,26 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let warmed = if warm { store.warm_all() } else { 0 };
     let warm_elapsed = warm_start.elapsed();
     let engine = Arc::new(BatchEngine::new(config));
-    let server = Server::bind(
+    let mut server = Server::bind(
         &endpoint,
         Arc::new(store),
         engine,
         deadline_ms.map(|ms| ms as u64),
     )
-    .map_err(|e| CliError::Failed(format!("cannot bind `{endpoint}`: {e}")))?;
+    .map_err(|e| CliError::Failed(format!("cannot bind `{endpoint}`: {e}")))?
+    .with_metrics(registry);
+    if let Some(ms) = slow_ms {
+        server = server
+            .with_slow_log(ms as u64, slow_log.as_deref())
+            .map_err(|e| CliError::Failed(format!("cannot open slow log: {e}")))?;
+    } else if slow_log.is_some() {
+        return Err(CliError::Usage("--slow-log needs --slow-ms".into()));
+    }
+    if let Some(addr) = metrics_addr.as_deref() {
+        server = server
+            .with_metrics_addr(addr)
+            .map_err(|e| CliError::Failed(format!("cannot bind metrics `{addr}`: {e}")))?;
+    }
     if !quiet {
         let warm_note = if warm {
             format!(
@@ -1056,8 +1103,12 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         } else {
             String::new()
         };
+        let metrics_note = match server.metrics_addr() {
+            Some(addr) => format!(", metrics on http://{addr}/metrics"),
+            None => String::new(),
+        };
         write_stderr(&format!(
-            "serving on {} (store loaded in {:.1} ms{warm_note})\n",
+            "serving on {} (store loaded in {:.1} ms{warm_note}{metrics_note})\n",
             server.endpoint(),
             load_elapsed.as_secs_f64() * 1e3,
         ));
@@ -1066,12 +1117,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     server
         .run()
         .map_err(|e| CliError::Failed(format!("serve failed: {e}")))?;
+    let snap = stats.snapshot();
     Ok(format!(
-        "served {} job(s) over {} connection(s) ({} malformed line(s), {} shed)\n",
-        stats.jobs.load(std::sync::atomic::Ordering::Relaxed),
-        stats.connections.load(std::sync::atomic::Ordering::Relaxed),
-        stats.malformed.load(std::sync::atomic::Ordering::Relaxed),
-        stats.shed.load(std::sync::atomic::Ordering::Relaxed),
+        "served {} job(s) over {} connection(s) ({} malformed line(s), {} shed, {} slow)\n",
+        snap.jobs, snap.connections, snap.malformed, snap.shed, snap.slow,
     ))
 }
 

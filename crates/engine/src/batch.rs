@@ -14,6 +14,7 @@ use pathcons_core::{
     Solver, SolverError, UnknownReason,
 };
 use pathcons_graph::LabelInterner;
+use pathcons_metrics::{names, Counter, Histogram, MetricsRegistry};
 use pathcons_telemetry::{schema, SpanGuard};
 use pathcons_types::{example_bibliography_schema, example_bibliography_schema_m, TypeGraph};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,6 +59,11 @@ pub struct EngineConfig {
     /// the production setting) injects nothing; the CLI installs a plan
     /// only under `--chaos seed=N`.
     pub chaos: Option<FaultPlan>,
+    /// Live metrics registry. `None` (the default) records nothing; the
+    /// resident service installs a shared registry so engine-side
+    /// verdict counts, cache outcomes, and solve latency land in the
+    /// same exposition as the serve-side counters.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +76,93 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             shed: ShedPolicy::unlimited(),
             chaos: None,
+            metrics: None,
+        }
+    }
+}
+
+/// Pre-resolved metric handles for the engine's hot paths: recording a
+/// verdict or a cache outcome is a relaxed atomic increment, never a
+/// registry lookup. Rare events (unknown kinds, certificate checks,
+/// resilience tallies) go through the registry's get-or-insert path.
+struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    solve_micros: Arc<Histogram>,
+    verdict_implied: Arc<Counter>,
+    verdict_not_implied: Arc<Counter>,
+    verdict_unknown: Arc<Counter>,
+    verdict_error: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> EngineMetrics {
+        let verdict = |name: &str| {
+            registry.counter(
+                names::VERDICTS_TOTAL,
+                names::VERDICTS_TOTAL_HELP,
+                &[("verdict", name)],
+            )
+        };
+        EngineMetrics {
+            registry: Arc::clone(&registry),
+            cache_hits: registry.counter(
+                names::CACHE_LOOKUPS_TOTAL,
+                names::CACHE_LOOKUPS_TOTAL_HELP,
+                &[("outcome", "hit")],
+            ),
+            cache_misses: registry.counter(
+                names::CACHE_LOOKUPS_TOTAL,
+                names::CACHE_LOOKUPS_TOTAL_HELP,
+                &[("outcome", "miss")],
+            ),
+            solve_micros: registry.histogram(names::SOLVE_MICROS, names::SOLVE_MICROS_HELP, &[]),
+            verdict_implied: verdict(Verdict::Implied.as_str()),
+            verdict_not_implied: verdict(Verdict::NotImplied.as_str()),
+            verdict_unknown: verdict(Verdict::Unknown.as_str()),
+            verdict_error: verdict(Verdict::Error.as_str()),
+        }
+    }
+
+    fn verdict(&self, verdict: Verdict) -> &Counter {
+        match verdict {
+            Verdict::Implied => &self.verdict_implied,
+            Verdict::NotImplied => &self.verdict_not_implied,
+            Verdict::Unknown => &self.verdict_unknown,
+            Verdict::Error => &self.verdict_error,
+        }
+    }
+
+    fn unknown_kind(&self, kind: &str) {
+        self.registry
+            .counter(
+                names::UNKNOWN_TOTAL,
+                names::UNKNOWN_TOTAL_HELP,
+                &[("kind", kind)],
+            )
+            .add(1);
+    }
+
+    fn certcheck(&self, result: &str) {
+        self.registry
+            .counter(
+                names::CERTCHECK_TOTAL,
+                names::CERTCHECK_TOTAL_HELP,
+                &[("result", result)],
+            )
+            .add(1);
+    }
+
+    fn resilience(&self, event: &str, n: u64) {
+        if n > 0 {
+            self.registry
+                .counter(
+                    names::RESILIENCE_TOTAL,
+                    names::RESILIENCE_TOTAL_HELP,
+                    &[("event", event)],
+                )
+                .add(n);
         }
     }
 }
@@ -99,17 +192,24 @@ pub struct BatchEngine {
     degraded: AtomicBool,
     /// Inserts skipped because the engine was degraded.
     degraded_skips: AtomicU64,
+    /// Pre-resolved metric handles, present iff `config.metrics` is.
+    metrics: Option<EngineMetrics>,
 }
 
 impl BatchEngine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> BatchEngine {
         let cache = Mutex::new(AnswerCache::new(config.cache_capacity));
+        let metrics = config
+            .metrics
+            .as_ref()
+            .map(|r| EngineMetrics::new(Arc::clone(r)));
         BatchEngine {
             config,
             cache,
             degraded: AtomicBool::new(false),
             degraded_skips: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -267,6 +367,9 @@ impl BatchEngine {
                     if let Some(rec) = rec {
                         rec.counter("cache.validation_evict", 1);
                     }
+                    if let Some(m) = &self.metrics {
+                        m.resilience("validation_evict", 1);
+                    }
                     None
                 }
             },
@@ -285,6 +388,9 @@ impl BatchEngine {
                         if let Some(rec) = rec {
                             rec.counter("cache.cert_valid", 1);
                         }
+                        if let Some(m) = &self.metrics {
+                            m.certcheck("valid");
+                        }
                     }
                     CertStatus::Invalid => {
                         // A corrupted certificate impeaches the whole
@@ -295,6 +401,9 @@ impl BatchEngine {
                         if let Some(rec) = rec {
                             rec.counter("cache.cert_invalid", 1);
                         }
+                        if let Some(m) = &self.metrics {
+                            m.certcheck("invalid");
+                        }
                         cached = None;
                     }
                 }
@@ -303,6 +412,9 @@ impl BatchEngine {
         if let Some(entry) = cached {
             if let Some(rec) = rec {
                 rec.counter("cache.hit", 1);
+            }
+            if let Some(m) = &self.metrics {
+                m.cache_hits.add(1);
             }
             let certificate = entry.certificate.clone();
             let answer = adapt_answer(entry, &canon);
@@ -334,6 +446,9 @@ impl BatchEngine {
         if let Some(rec) = rec {
             rec.counter("cache.miss", 1);
         }
+        if let Some(m) = &self.metrics {
+            m.cache_misses.add(1);
+        }
         let mut solver = Solver::new(context.clone()).with_budget(budget);
         if let Some(shared) = shared {
             solver = solver.with_shared(Arc::clone(shared));
@@ -350,6 +465,9 @@ impl BatchEngine {
                 self.degraded_skips.fetch_add(1, Ordering::Relaxed);
                 if let Some(rec) = rec {
                     rec.counter("cache.degraded_skip", 1);
+                }
+                if let Some(m) = &self.metrics {
+                    m.resilience("degraded_skip", 1);
                 }
             } else {
                 if let Some(rec) = rec {
@@ -407,6 +525,8 @@ impl BatchEngine {
         };
 
         let ids: Vec<String> = jobs.iter().map(|job| job.id.clone()).collect();
+        let request_ids: Vec<Option<String>> =
+            jobs.iter().map(|job| job.request_id.clone()).collect();
         let deadlines: Vec<Option<Instant>> = jobs
             .iter()
             .map(|job| {
@@ -427,7 +547,8 @@ impl BatchEngine {
             &self.config.retry,
             &deadlines,
             &|idx, attempt, job: Job| {
-                let result = self.run_one(idx, attempt, job, deadlines[idx], &queued_expired);
+                let request_id = job.request_id.clone();
+                let mut result = self.run_one(idx, attempt, job, deadlines[idx], &queued_expired);
                 // A result that does not echo its own job id is corrupt
                 // (the malformed-result fault, or a genuine bug). Treat
                 // it exactly like a job panic: the supervisor respawns
@@ -437,6 +558,7 @@ impl BatchEngine {
                     result.id, ids[idx],
                     "malformed result for job {idx}: wrong id"
                 );
+                result.request_id = request_id;
                 result
             },
         );
@@ -444,7 +566,8 @@ impl BatchEngine {
         let mut results: Vec<JobResult> = outcomes
             .into_iter()
             .zip(ids)
-            .map(|(outcome, id)| {
+            .zip(request_ids)
+            .map(|((outcome, id), request_id)| {
                 outcome.unwrap_or(JobResult {
                     id,
                     verdict: Verdict::Error,
@@ -456,6 +579,7 @@ impl BatchEngine {
                     unknown_phase: None,
                     cache: None,
                     certificate: None,
+                    request_id,
                     micros: 0,
                 })
             })
@@ -471,6 +595,7 @@ impl BatchEngine {
                 unknown_phase: None,
                 cache: None,
                 certificate: None,
+                request_id: job.request_id,
                 micros: 0,
             });
         }
@@ -490,6 +615,13 @@ impl BatchEngine {
                 degraded: self.is_degraded(),
             },
         );
+        if let Some(m) = &self.metrics {
+            m.resilience("respawn", exec.respawns);
+            m.resilience("retry", exec.retries);
+            m.resilience("abandoned", exec.abandoned);
+            m.resilience("shed", shed as u64);
+            m.resilience("queued_expired", queued_expired.load(Ordering::Relaxed));
+        }
         if let Some(rec) = rec {
             rec.event(
                 schema::EVENT_BATCH_DONE,
@@ -655,6 +787,7 @@ impl BatchEngine {
                     unknown_phase: None,
                     cache: None,
                     certificate: None,
+                    request_id: None,
                     micros: start.elapsed().as_micros() as u64,
                 }
             }
@@ -698,7 +831,7 @@ impl BatchEngine {
         if let Some(deadline) = deadline_at {
             budget = budget.with_deadline_at(Deadline::at(deadline));
         }
-        match self.solve_full_shared(
+        let result = match self.solve_full_shared(
             &prepared.context,
             &prepared.sigma,
             &prepared.phi,
@@ -715,6 +848,7 @@ impl BatchEngine {
                 unknown_phase: None,
                 cache: None,
                 certificate: None,
+                request_id: None,
                 micros: start.elapsed().as_micros() as u64,
             },
             Ok((answer, cache, certificate)) => {
@@ -740,10 +874,23 @@ impl BatchEngine {
                     unknown_phase,
                     cache: Some(cache),
                     certificate,
+                    request_id: None,
                     micros: start.elapsed().as_micros() as u64,
                 }
             }
+        };
+        // Per-verdict-class counts, unknown-by-kind breakdown, and the
+        // solve-latency histogram all land here, the single choke point
+        // every answered job (batch worker or resident serve loop)
+        // passes through.
+        if let Some(m) = &self.metrics {
+            m.verdict(result.verdict).add(1);
+            if let Some(kind) = &result.unknown_kind {
+                m.unknown_kind(kind);
+            }
+            m.solve_micros.record(result.micros);
         }
+        result
     }
 
     /// The poisoned-lock fault: panic inside the cache lock with the
@@ -811,6 +958,7 @@ fn deadline_result(id: String, start: Instant) -> JobResult {
         unknown_phase: None,
         cache: None,
         certificate: None,
+        request_id: None,
         micros: start.elapsed().as_micros() as u64,
     }
 }
@@ -1028,6 +1176,11 @@ pub struct Job {
     pub phi: String,
     /// Optional per-job wall-clock deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Optional caller-supplied correlation id, echoed verbatim in the
+    /// result record and propagated into telemetry spans and the
+    /// slow-query log. The resident service assigns one
+    /// (`r-<connection>-<line>`) when the caller sends none.
+    pub request_id: Option<String>,
 }
 
 impl Job {
@@ -1071,12 +1224,21 @@ impl Job {
                     .ok_or("field `deadline_ms` must be a non-negative integer")?,
             ),
         };
+        let request_id = match v.get("request_id") {
+            None | Some(Json::Null) => None,
+            Some(r) => Some(
+                r.as_str()
+                    .ok_or("field `request_id` must be a string")?
+                    .to_owned(),
+            ),
+        };
         Ok(Job {
             id,
             context,
             sigma,
             phi,
             deadline_ms,
+            request_id,
         })
     }
 
@@ -1129,6 +1291,9 @@ impl Job {
         }
         if let Some(ms) = self.deadline_ms {
             members.push(("deadline_ms".to_owned(), Json::Num(ms as f64)));
+        }
+        if let Some(rid) = &self.request_id {
+            members.push(("request_id".to_owned(), Json::Str(rid.clone())));
         }
         Json::Obj(members)
     }
@@ -1184,6 +1349,11 @@ pub struct JobResult {
     /// results file carrying them can be audited offline with
     /// `pathcons check --results`.
     pub certificate: Option<Certificate>,
+    /// The correlation id this result answers: the job's own
+    /// `request_id` if it sent one, else the id the resident service
+    /// assigned at admission. Absent only for offline paths that never
+    /// assigned one.
+    pub request_id: Option<String>,
     /// Wall-clock latency of the job, in microseconds.
     pub micros: u64,
 }
@@ -1222,6 +1392,9 @@ impl JobResult {
                 "certificate".to_owned(),
                 certwire::certificate_to_json(certificate),
             ));
+        }
+        if let Some(rid) = &self.request_id {
+            members.push(("request_id".to_owned(), Json::Str(rid.clone())));
         }
         members.push(("micros".to_owned(), Json::Num(self.micros as f64)));
         Json::Obj(members)
@@ -1631,6 +1804,7 @@ mod tests {
                 sigma: vec!["a -> b".into(), "b -> c".into()],
                 phi: "a -> c".into(),
                 deadline_ms: None,
+                request_id: None,
             },
             Job {
                 id: "bad-syntax".into(),
@@ -1638,6 +1812,7 @@ mod tests {
                 sigma: vec!["a -> ".into()],
                 phi: "a -> a".into(),
                 deadline_ms: None,
+                request_id: None,
             },
             Job {
                 id: "bad-context".into(),
@@ -1645,6 +1820,7 @@ mod tests {
                 sigma: vec![],
                 phi: "a -> a".into(),
                 deadline_ms: None,
+                request_id: None,
             },
         ];
         let report = engine.run_batch(jobs);
@@ -1673,6 +1849,7 @@ mod tests {
                 sigma: vec!["p: a -> a.b".into(), "p: b <- c".into()],
                 phi: "p: a -> c".into(),
                 deadline_ms: Some(0),
+                request_id: None,
             },
             Job {
                 id: "easy".into(),
@@ -1680,6 +1857,7 @@ mod tests {
                 sigma: vec!["a -> b".into()],
                 phi: "a -> b".into(),
                 deadline_ms: None,
+                request_id: None,
             },
         ];
         let report = engine.run_batch(jobs);
@@ -1751,6 +1929,7 @@ mod tests {
             sigma: vec![sigma.into()],
             phi: phi.into(),
             deadline_ms: None,
+            request_id: None,
         };
         let jobs = vec![
             job("i1", "a -> b", "a -> b"),
@@ -1782,6 +1961,7 @@ mod tests {
             sigma: vec!["book.author.wrote -> book".into()],
             phi: "book -> book.author.wrote".into(),
             deadline_ms: None,
+            request_id: None,
         };
         let report = engine.run_batch(vec![job.clone(), job]);
         assert_eq!(report.stats.hits, 1);
@@ -1863,6 +2043,7 @@ mod tests {
             sigma: vec!["a -> b".into()],
             phi: "a -> b".into(),
             deadline_ms: None,
+            request_id: None,
         };
         let report = engine.run_batch(vec![job]);
         let result = &report.results[0];
@@ -1887,6 +2068,7 @@ mod tests {
             sigma: vec!["p: a -> a.b".into(), "p: b <- c".into()],
             phi: "p: a -> c".into(),
             deadline_ms: Some(0),
+            request_id: None,
         };
         let report = engine.run_batch(vec![job]);
         assert_eq!(report.stats.queued_expired, 1);

@@ -43,6 +43,7 @@ fn workload(n: usize) -> Vec<Job> {
                 sigma: sigma.iter().map(|s| instantiate(s)).collect(),
                 phi: instantiate(phi),
                 deadline_ms: None,
+                request_id: None,
             }
         })
         .collect()
@@ -116,6 +117,7 @@ fn hard_job_deadline_does_not_delay_neighbours() {
         sigma: vec!["p: a -> a.b.c.d".into(), "p: d <- e".into()],
         phi: "p: a -> e".into(),
         deadline_ms: Some(50),
+        request_id: None,
     };
     let mut jobs = vec![hard];
     jobs.extend(workload(60));

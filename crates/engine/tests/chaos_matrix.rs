@@ -74,6 +74,7 @@ fn workload() -> Vec<Job> {
                     sigma: sigma.iter().map(|s| instantiate(s)).collect(),
                     phi: instantiate(phi),
                     deadline_ms: None,
+                    request_id: None,
                 }
             } else {
                 // Schema jobs use fixed label names (the schema's own).
@@ -83,6 +84,7 @@ fn workload() -> Vec<Job> {
                     sigma: sigma.iter().map(|s| (*s).to_owned()).collect(),
                     phi: phi.to_owned(),
                     deadline_ms: None,
+                    request_id: None,
                 }
             }
         })

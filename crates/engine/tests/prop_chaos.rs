@@ -58,6 +58,7 @@ fn workload(n: usize) -> Vec<Job> {
                 sigma: sigma.iter().map(|s| instantiate(s)).collect(),
                 phi: instantiate(phi),
                 deadline_ms: None,
+                request_id: None,
             }
         })
         .collect()

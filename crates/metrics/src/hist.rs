@@ -1,0 +1,245 @@
+//! Lock-free fixed-bucket log2 histograms.
+//!
+//! A [`Histogram`] is an array of [`BUCKETS`] atomic `u64` counters plus
+//! an atomic sum and max. Bucket `0` holds the value `0`; bucket `i ≥ 1`
+//! holds the values in `[2^(i-1), 2^i - 1]` — i.e. values with exactly
+//! `i` significant bits. Recording is three relaxed atomic RMW
+//! operations and never takes a lock, so any number of connection
+//! threads can record into one histogram concurrently without losing
+//! counts.
+//!
+//! # Quantile error bound
+//!
+//! [`HistogramSnapshot::quantile`] walks the cumulative bucket counts to
+//! the bucket containing the requested rank and reports that bucket's
+//! **inclusive upper bound** (`2^i - 1`). The true sample at that rank
+//! lies somewhere in `[2^(i-1), 2^i - 1]`, so the estimate `e` and the
+//! true value `t` satisfy
+//!
+//! ```text
+//! t ≤ e ≤ 2·t - 1   (for t ≥ 1; exact for t ∈ {0, 1})
+//! ```
+//!
+//! — the estimate never understates the true quantile and overstates it
+//! by strictly less than 2×. `max` is exact (tracked separately, not
+//! bucketed).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: one zero bucket plus one per possible bit-length of a
+/// `u64` value.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: `0` for `0`, otherwise the value's
+/// bit-length (`64 - leading_zeros`).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `index` holds (its inclusive upper bound):
+/// `0` for bucket 0, `2^i - 1` for bucket `i`.
+#[inline]
+pub fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free log2 latency histogram. See the module docs for the
+/// bucket scheme and error bounds.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Three relaxed atomic operations; safe
+    /// and lossless under arbitrary concurrency.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Buckets are read
+    /// individually (relaxed), so a snapshot taken while writers are
+    /// active may straddle a recording — but every `record` is
+    /// eventually visible exactly once, and a snapshot taken after
+    /// writers quiesce is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot's counts into this one (per-shard
+    /// histograms merge into a fleet view by bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`: the inclusive upper
+    /// bound of the bucket holding the sample of rank
+    /// `round(q · (count − 1))`. `0` on an empty snapshot; within the
+    /// 2× error bound documented on the module otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (count - 1) as f64).round() as u64;
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative > rank {
+                // The top bucket's nominal upper bound is u64::MAX; the
+                // exact max is tighter and equally safe.
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i));
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_estimate() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 9, 200] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.sum, 220);
+        assert_eq!(snap.max, 200);
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 200);
+        // Rank 2/3 of 5 land in the [4,7] bucket → estimate 7.
+        assert_eq!(snap.p50(), 7);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pathcons-metrics
+//!
+//! The live metrics plane for the resident `pathcons` service: the
+//! primitives `pathcons serve` (and anything else) records into, and
+//! the exposition machinery that turns them into Prometheus text or a
+//! structured snapshot.
+//!
+//! - [`Histogram`] — lock-free fixed-bucket **log2 latency histograms**
+//!   (65 atomic `u64` buckets: one per bit-length plus a zero bucket).
+//!   Recording is three relaxed atomics; snapshots are mergeable and
+//!   estimate p50/p90/p99 with a documented `< 2×` error bound (see
+//!   [`hist`]).
+//! - [`WindowedRate`] — trailing-window events/second gauges whose
+//!   window slides on *record*, not on read, so idle scrapes are
+//!   byte-stable (see [`rate`]).
+//! - [`MetricsRegistry`] — named, labelled families of the above.
+//!   Hot paths resolve `Arc` handles once and record lock-free;
+//!   [`MetricsRegistry::snapshot`] yields an ordered
+//!   [`MetricsSnapshot`] that renders deterministic Prometheus text
+//!   (0.0.4) and backs JSON exposition (see [`registry`]).
+//!
+//! The crate is dependency-free and knows nothing about the solver —
+//! `pathcons-store` and `pathcons-engine` decide *what* to record; this
+//! crate only makes recording cheap and exposition deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod names;
+pub mod rate;
+pub mod registry;
+
+pub use hist::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use rate::{WindowedRate, WINDOW_SECS};
+pub use registry::{
+    Counter, FamilySnapshot, Labels, MetricKind, MetricsRegistry, MetricsSnapshot, SampleValue,
+};

@@ -1,0 +1,113 @@
+//! Windowed rate gauges.
+//!
+//! A [`WindowedRate`] counts events into one-second slots of a small
+//! ring and reports the mean events/second over the trailing window.
+//! The ring position advances only when an event is **recorded** — the
+//! reported rate is "the rate over the window ending at the most recent
+//! event", never a function of the scrape clock. That makes two idle
+//! scrapes byte-identical by construction (nothing decays between
+//! them), which the serve metrics plane relies on; the price is that a
+//! rate stays at its last value once traffic stops, which the
+//! monotonic totals alongside it disambiguate.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Seconds of history a [`WindowedRate`] averages over.
+pub const WINDOW_SECS: usize = 16;
+
+#[derive(Debug)]
+struct Ring {
+    slots: [u64; WINDOW_SECS],
+    /// The second (since `start`) the ring is positioned at.
+    head: u64,
+    /// Whether anything was ever recorded (an untouched ring reports 0).
+    touched: bool,
+}
+
+/// A sliding-window events-per-second gauge. Recording takes a mutex,
+/// but the critical section is a few arithmetic operations — this is
+/// for per-request bookkeeping, not per-solver-step hot loops.
+#[derive(Debug)]
+pub struct WindowedRate {
+    start: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl Default for WindowedRate {
+    fn default() -> WindowedRate {
+        WindowedRate::new()
+    }
+}
+
+impl WindowedRate {
+    /// An empty gauge whose clock starts now.
+    pub fn new() -> WindowedRate {
+        WindowedRate {
+            start: Instant::now(),
+            ring: Mutex::new(Ring {
+                slots: [0; WINDOW_SECS],
+                head: 0,
+                touched: false,
+            }),
+        }
+    }
+
+    /// Counts `n` events at the current instant, sliding the window
+    /// forward to now.
+    pub fn record(&self, n: u64) {
+        let tick = self.start.elapsed().as_secs();
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if tick > ring.head {
+            // Zero the slots the window slid past; a gap longer than
+            // the whole window clears it.
+            let gap = (tick - ring.head).min(WINDOW_SECS as u64);
+            for i in 1..=gap {
+                let idx = ((ring.head + i) % WINDOW_SECS as u64) as usize;
+                ring.slots[idx] = 0;
+            }
+            ring.head = tick;
+        }
+        let idx = (ring.head % WINDOW_SECS as u64) as usize;
+        ring.slots[idx] += n;
+        ring.touched = true;
+    }
+
+    /// Mean events/second over the trailing [`WINDOW_SECS`] window
+    /// ending at the most recent recorded event (0.0 before the first
+    /// event). Deterministic while nothing records.
+    pub fn per_sec(&self) -> f64 {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if !ring.touched {
+            return 0.0;
+        }
+        let total: u64 = ring.slots.iter().sum();
+        // Before a full window has elapsed, average over the seconds
+        // that actually exist, so early readings are not diluted.
+        let span = (ring.head + 1).min(WINDOW_SECS as u64);
+        total as f64 / span as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_gauge_reads_zero_and_stays_stable() {
+        let rate = WindowedRate::new();
+        assert_eq!(rate.per_sec(), 0.0);
+        assert_eq!(rate.per_sec(), 0.0);
+    }
+
+    #[test]
+    fn repeated_reads_without_records_are_identical() {
+        let rate = WindowedRate::new();
+        rate.record(8);
+        rate.record(8);
+        let a = rate.per_sec();
+        let b = rate.per_sec();
+        assert!(a > 0.0);
+        assert_eq!(a.to_bits(), b.to_bits(), "idle reads must be byte-stable");
+    }
+}

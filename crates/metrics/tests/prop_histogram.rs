@@ -1,0 +1,100 @@
+//! Histogram correctness satellite: quantile estimates stay inside the
+//! documented log2 bucket error bound, concurrent recording from 16
+//! threads loses no counts, and merged snapshots equal the sum of their
+//! parts.
+
+use pathcons_metrics::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The reference quantile: the sample of rank `round(q · (n−1))` in
+/// sorted order — the definition `HistogramSnapshot::quantile`
+/// estimates.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every recorded distribution and quantile, the estimate `e`
+    /// and true value `t` satisfy `t ≤ e < 2·t` (exactly `e = t` for
+    /// `t ∈ {0, 1}`) — the bucket-upper-bound guarantee from the crate
+    /// docs.
+    #[test]
+    fn quantile_estimates_respect_the_log2_error_bound(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q_millis in 0u64..1001,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = q_millis as f64 / 1000.0;
+        let t = true_quantile(&sorted, q);
+        let e = snap.quantile(q);
+        prop_assert!(e >= t, "estimate {e} understates true quantile {t} at q={q}");
+        if t <= 1 {
+            prop_assert_eq!(e, t, "buckets 0 and 1 are exact");
+        } else {
+            prop_assert!(e < 2 * t, "estimate {e} breaks the 2x bound on true {t} at q={q}");
+        }
+        prop_assert_eq!(snap.max, *sorted.last().unwrap(), "max is exact");
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+
+    /// Merging snapshots is exactly bucket-wise addition: recording two
+    /// streams into one histogram equals recording them separately and
+    /// merging.
+    #[test]
+    fn merged_snapshots_equal_the_sum_of_their_parts(
+        left in proptest::collection::vec(0u64..1_000_000, 0..100),
+        right in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut combined: Vec<u64> = left.clone();
+        combined.extend_from_slice(&right);
+        let whole = snapshot_of(&combined);
+        let mut merged = snapshot_of(&left);
+        merged.merge(&snapshot_of(&right));
+        prop_assert_eq!(whole, merged);
+    }
+}
+
+/// 16 threads hammering one histogram concurrently: every record lands
+/// exactly once — total count, sum, and max all match the sequential
+/// reference.
+#[test]
+fn concurrent_recording_from_16_threads_loses_no_counts() {
+    const THREADS: u64 = 16;
+    const PER_THREAD: u64 = 10_000;
+    let hist = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of magnitudes so every thread touches
+                    // many distinct buckets (contended cache lines).
+                    hist.record((t * PER_THREAD + i) % 100_000);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("recorder thread");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|v| v % 100_000).sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.max, 99_999);
+}

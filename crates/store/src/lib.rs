@@ -26,12 +26,16 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod metrics;
 pub mod serve;
 pub mod snapshot;
 pub mod store;
 
 pub use columnar::{ColumnarGraph, MAX_ISOLATED_NODES};
-pub use serve::{Client, Endpoint, ServeStats, Server, ServerHandle, MAX_LINE_BYTES};
+pub use metrics::MetricsPlane;
+pub use serve::{
+    Client, Endpoint, ServeStats, ServeStatsSnapshot, Server, ServerHandle, MAX_LINE_BYTES,
+};
 pub use snapshot::{
     ContextRecord, GraphColumns, SnapshotDoc, SnapshotError, FORMAT_VERSION, MAGIC,
 };

@@ -20,16 +20,28 @@
 //! an immediate `unknown`/`overloaded` answer instead of queueing
 //! without bound (the same honest-shedding contract as the batch path;
 //! shed answers are never cached).
+//!
+//! The serve loop is also the observability plane's front door: every
+//! job gets a correlation id (the caller's `request_id`, or an assigned
+//! `r-<connection>-<line>`) echoed in its result record; per-op latency
+//! lands in the shared [`MetricsPlane`]; `{"op": "metrics"}` returns a
+//! structured snapshot; an optional `--metrics-addr` HTTP listener
+//! serves the same snapshot as Prometheus text; and jobs slower than a
+//! configured threshold are written to a JSONL slow-query log keyed by
+//! that correlation id.
 
+use crate::metrics::MetricsPlane;
 use crate::store::ConstraintStore;
-use pathcons_engine::{BatchEngine, Job, JobResult, Json, Verdict};
+use pathcons_engine::{canonicalize, snapshot_id, BatchEngine, Job, JobResult, Json, Verdict};
+use pathcons_metrics::MetricsRegistry;
+use pathcons_telemetry::schema;
 use std::fmt;
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Longest request line a connection may buffer. A peer that streams
@@ -89,10 +101,100 @@ pub struct ServeStats {
     pub malformed: AtomicU64,
     /// Jobs shed by admission control.
     pub shed: AtomicU64,
-    /// Control operations handled (ping/stats/check/shutdown).
+    /// Control operations handled (ping/stats/check/shutdown/metrics).
     pub ops: AtomicU64,
     /// Jobs currently being solved, across all connections.
     pub inflight: AtomicU64,
+    /// Jobs that crossed the slow-query threshold.
+    pub slow: AtomicU64,
+}
+
+impl ServeStats {
+    /// One coherent point-in-time copy of every counter — the single
+    /// shape behind the `stats` op, the metrics plane, and the tests
+    /// (each counter is loaded relaxed; the copy is exact once
+    /// recording quiesces).
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            slow: self.slow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`ServeStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Job lines answered (any verdict).
+    pub jobs: u64,
+    /// Malformed lines answered with error records.
+    pub malformed: u64,
+    /// Jobs shed by admission control.
+    pub shed: u64,
+    /// Control operations handled.
+    pub ops: u64,
+    /// Jobs currently admitted and being solved.
+    pub inflight: u64,
+    /// Jobs that crossed the slow-query threshold.
+    pub slow: u64,
+}
+
+/// RAII admission token: increments the inflight gauge on admission and
+/// decrements it on drop, so **every** exit from the job path — shed,
+/// store-lookup error, solved, or a panic unwinding through the solver —
+/// restores the gauge. Before this guard, a panicking job leaked the
+/// increment and the gauge drifted up until admission control starved
+/// the server.
+struct InflightGuard<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl<'a> InflightGuard<'a> {
+    /// Admits one job: bumps the gauge and reports how many jobs were
+    /// already in flight (the admission-control test value).
+    fn admit(gauge: &'a AtomicU64) -> (u64, InflightGuard<'a>) {
+        let prior = gauge.fetch_add(1, Ordering::Relaxed);
+        (prior, InflightGuard { gauge })
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The slow-query log: jobs slower than `threshold_ms` append one JSONL
+/// record (correlation id, canonical key hash, verdict, phase
+/// attribution, queue vs. solve split) to the shared sink.
+pub(crate) struct SlowLog {
+    threshold_ms: u64,
+    sink: Mutex<Box<dyn io::Write + Send>>,
+}
+
+impl SlowLog {
+    fn new(threshold_ms: u64, sink: Box<dyn io::Write + Send>) -> SlowLog {
+        SlowLog {
+            threshold_ms,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    fn write_record(&self, record: &Json) {
+        let mut sink = match self.sink.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = writeln!(sink, "{record}");
+        let _ = sink.flush();
+    }
 }
 
 enum Listener {
@@ -139,6 +241,13 @@ pub struct Server {
     /// Applied to jobs that do not carry their own `deadline_ms`.
     default_deadline_ms: Option<u64>,
     started: Instant,
+    metrics: Arc<MetricsPlane>,
+    slow: Option<Arc<SlowLog>>,
+    /// The Prometheus HTTP listener, bound at configuration time so
+    /// port 0 resolves immediately; taken (and its accept loop spawned)
+    /// when the server runs.
+    http: Mutex<Option<TcpListener>>,
+    metrics_addr: Option<String>,
 }
 
 impl Server {
@@ -192,16 +301,87 @@ impl Server {
             Listener::Unix(l) => l.set_nonblocking(true)?,
             Listener::Tcp(l) => l.set_nonblocking(true)?,
         }
+        let stats = Arc::new(ServeStats::default());
+        // Every server has a metrics plane (the `metrics` op always
+        // answers); sharing the registry with the engine so engine-side
+        // families appear too is the CLI's job via `with_metrics`.
+        let metrics = Arc::new(MetricsPlane::new(
+            Arc::new(MetricsRegistry::new()),
+            store.clone(),
+            engine.clone(),
+            stats.clone(),
+        ));
         Ok(Server {
             listener,
             endpoint,
             store,
             engine,
-            stats: Arc::new(ServeStats::default()),
+            stats,
             stop: Arc::new(AtomicBool::new(false)),
             default_deadline_ms,
             started: Instant::now(),
+            metrics,
+            slow: None,
+            http: Mutex::new(None),
+            metrics_addr: None,
         })
+    }
+
+    /// Replaces the server's private metrics registry with a shared one
+    /// — typically the registry also installed in the engine's
+    /// [`pathcons_engine::EngineConfig`], so the exposition carries
+    /// engine-side families (verdicts, cache lookups, solve latency)
+    /// alongside the serve-side counters.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Server {
+        self.metrics = Arc::new(MetricsPlane::new(
+            registry,
+            self.store.clone(),
+            self.engine.clone(),
+            self.stats.clone(),
+        ));
+        self
+    }
+
+    /// Enables the slow-query log: jobs slower than `threshold_ms`
+    /// append one JSONL record to `path` (or stderr when `None`).
+    pub fn with_slow_log(mut self, threshold_ms: u64, path: Option<&str>) -> io::Result<Server> {
+        let sink: Box<dyn io::Write + Send> = match path {
+            Some(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => Box::new(io::stderr()),
+        };
+        self.slow = Some(Arc::new(SlowLog::new(threshold_ms, sink)));
+        Ok(self)
+    }
+
+    /// Binds the Prometheus exposition listener on `addr` (a TCP
+    /// address; port 0 picks a free port, resolved in
+    /// [`Server::metrics_addr`]). The listener serves
+    /// `GET /metrics` (and `/`) in text exposition format 0.0.4 once
+    /// the server runs.
+    pub fn with_metrics_addr(self, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let resolved = listener.local_addr()?.to_string();
+        *self.http.lock().unwrap_or_else(|e| e.into_inner()) = Some(listener);
+        Ok(Server {
+            metrics_addr: Some(resolved),
+            ..self
+        })
+    }
+
+    /// The resolved Prometheus listener address, when one is bound.
+    pub fn metrics_addr(&self) -> Option<&str> {
+        self.metrics_addr.as_deref()
+    }
+
+    /// The server's metrics plane.
+    pub fn metrics_plane(&self) -> Arc<MetricsPlane> {
+        self.metrics.clone()
     }
 
     /// The resolved endpoint (with TCP port 0 replaced by the real
@@ -228,6 +408,14 @@ impl Server {
     /// thread; connection threads are detached and observe the stop
     /// flag via read timeouts.
     pub fn run(&self) -> io::Result<()> {
+        // The Prometheus listener (when bound) gets its own detached
+        // accept thread; it observes the same stop flag as connection
+        // threads.
+        if let Some(http) = self.http.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let plane = self.metrics.clone();
+            let stop = self.stop.clone();
+            std::thread::spawn(move || serve_prometheus(http, plane, stop));
+        }
         while !self.stop.load(Ordering::Relaxed) {
             let accepted = match &self.listener {
                 Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
@@ -235,7 +423,7 @@ impl Server {
             };
             match accepted {
                 Ok(stream) => {
-                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_id = self.stats.connections.fetch_add(1, Ordering::Relaxed);
                     let worker = ConnectionWorker {
                         store: self.store.clone(),
                         engine: self.engine.clone(),
@@ -243,6 +431,9 @@ impl Server {
                         stop: self.stop.clone(),
                         default_deadline_ms: self.default_deadline_ms,
                         started: self.started,
+                        conn_id,
+                        metrics: self.metrics.clone(),
+                        slow: self.slow.clone(),
                     };
                     std::thread::spawn(move || worker.serve(stream));
                 }
@@ -266,11 +457,15 @@ impl Server {
         let endpoint = self.endpoint.clone();
         let stop = self.stop_flag();
         let stats = self.stats();
+        let metrics = self.metrics.clone();
+        let metrics_addr = self.metrics_addr.clone();
         let join = std::thread::spawn(move || self.run());
         ServerHandle {
             endpoint,
             stop,
             stats,
+            metrics,
+            metrics_addr,
             join,
         }
     }
@@ -281,6 +476,8 @@ pub struct ServerHandle {
     endpoint: Endpoint,
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
+    metrics: Arc<MetricsPlane>,
+    metrics_addr: Option<String>,
     join: std::thread::JoinHandle<io::Result<()>>,
 }
 
@@ -293,6 +490,16 @@ impl ServerHandle {
     /// The server's counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The server's metrics plane.
+    pub fn metrics_plane(&self) -> &Arc<MetricsPlane> {
+        &self.metrics
+    }
+
+    /// The resolved Prometheus listener address, when one is bound.
+    pub fn metrics_addr(&self) -> Option<&str> {
+        self.metrics_addr.as_deref()
     }
 
     /// Signals the accept loop to stop and joins it.
@@ -314,6 +521,11 @@ struct ConnectionWorker {
     stop: Arc<AtomicBool>,
     default_deadline_ms: Option<u64>,
     started: Instant,
+    /// This connection's accept ordinal; the `r-<conn>-<line>` half of
+    /// assigned request ids.
+    conn_id: u64,
+    metrics: Arc<MetricsPlane>,
+    slow: Option<Arc<SlowLog>>,
 }
 
 impl ConnectionWorker {
@@ -407,11 +619,15 @@ impl ConnectionWorker {
         if let Ok(value) = Json::parse(line) {
             if let Some(op) = value.get("op").and_then(Json::as_str) {
                 self.stats.ops.fetch_add(1, Ordering::Relaxed);
-                return Some(self.handle_op(lineno, op, &value));
+                let start = Instant::now();
+                let response = self.handle_op(lineno, op, &value);
+                self.metrics
+                    .record_op(op, start.elapsed().as_micros() as u64);
+                return Some(response);
             }
         }
         match Job::from_json_line(line) {
-            Ok(job) => Some(self.handle_job(job)),
+            Ok(job) => Some(self.handle_job(lineno, job)),
             Err(e) => {
                 self.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 Some(
@@ -432,6 +648,7 @@ impl ConnectionWorker {
             ]),
             "stats" => {
                 let cache = self.engine.cache_stats();
+                let serve = self.stats.snapshot();
                 // Per-context amortization counters: how many jobs each
                 // resident context answered, its revision, and what its
                 // shared state has saved so far (chase-prefix resumes,
@@ -466,17 +683,19 @@ impl ConnectionWorker {
                         "uptime_ms",
                         Json::Num(self.started.elapsed().as_millis() as f64),
                     ),
-                    ("connections", counter(&self.stats.connections)),
-                    ("jobs", counter(&self.stats.jobs)),
-                    ("malformed", counter(&self.stats.malformed)),
-                    ("shed", counter(&self.stats.shed)),
-                    ("inflight", counter(&self.stats.inflight)),
+                    ("connections", Json::Num(serve.connections as f64)),
+                    ("jobs", Json::Num(serve.jobs as f64)),
+                    ("malformed", Json::Num(serve.malformed as f64)),
+                    ("shed", Json::Num(serve.shed as f64)),
+                    ("inflight", Json::Num(serve.inflight as f64)),
+                    ("slow", Json::Num(serve.slow as f64)),
                     ("cache_hits", Json::Num(cache.hits as f64)),
                     ("cache_misses", Json::Num(cache.misses as f64)),
                     ("degraded", Json::Bool(self.engine.is_degraded())),
                     ("contexts_detail", Json::Arr(contexts_detail)),
                 ])
             }
+            "metrics" => self.metrics.json().to_string(),
             "shutdown" => {
                 self.stop.store(true, Ordering::Relaxed);
                 obj(vec![
@@ -541,36 +760,112 @@ impl ConnectionWorker {
         }
     }
 
-    fn handle_job(&self, mut job: Job) -> String {
+    fn handle_job(&self, lineno: usize, mut job: Job) -> String {
         let start = Instant::now();
         if job.deadline_ms.is_none() {
             job.deadline_ms = self.default_deadline_ms;
         }
+        // Correlation: the caller's own `request_id` wins; otherwise the
+        // service assigns `r-<connection>-<line>`. Every result record,
+        // telemetry span, and slow-log record for this job carries the
+        // same id, so one `grep` joins all three.
+        let request_id = job
+            .request_id
+            .clone()
+            .unwrap_or_else(|| format!("r-{}-{lineno}", self.conn_id));
         // Global admission control: the engine's shed depth bounds the
-        // number of jobs solving at once across every connection.
+        // number of jobs solving at once across every connection. The
+        // RAII guard restores the gauge on every exit — shed, error,
+        // solved, or a panic unwinding through the solver.
         let depth = self.engine.config().shed.max_queue_depth;
-        let inflight = self.stats.inflight.fetch_add(1, Ordering::Relaxed);
-        let result = if depth > 0 && inflight as usize >= depth {
+        let (inflight, _guard) = InflightGuard::admit(&self.stats.inflight);
+        let mut queue_micros = 0u64;
+        let mut result = if depth > 0 && inflight as usize >= depth {
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .count_wire_verdict("unknown", Some("overloaded"));
             overloaded_record(job.id.clone())
         } else {
             let deadline_at = job.deadline_ms.map(|ms| start + Duration::from_millis(ms));
             match self.store.prepare(&job) {
-                Err(detail) => error_result(job.id.clone(), detail),
+                Err(detail) => {
+                    self.metrics.count_wire_verdict("error", None);
+                    error_result(job.id.clone(), detail)
+                }
                 Ok(prepared) => {
-                    self.engine
-                        .solve_prepared(job.id.clone(), &prepared, deadline_at, start)
+                    // Queue time (admission + store resolution) vs. solve
+                    // time: the slow-log split that tells an operator
+                    // whether a slow job waited or worked.
+                    queue_micros = start.elapsed().as_micros() as u64;
+                    let result =
+                        self.engine
+                            .solve_prepared(job.id.clone(), &prepared, deadline_at, start);
+                    if let Some(slow) = &self.slow {
+                        if result.micros >= slow.threshold_ms.saturating_mul(1000) {
+                            self.stats.slow.fetch_add(1, Ordering::Relaxed);
+                            // The canonical cache-key hash is computed
+                            // only here, on the already-slow path — it
+                            // names the query family (alpha-renaming
+                            // collapsed) so recurring offenders dedupe.
+                            let key = format!(
+                                "{:016x}",
+                                snapshot_id(
+                                    &canonicalize(
+                                        &prepared.context,
+                                        &prepared.sigma,
+                                        &prepared.phi
+                                    )
+                                    .key
+                                )
+                            );
+                            let mut members = vec![
+                                ("slow_query", Json::Bool(true)),
+                                ("request_id", Json::Str(request_id.clone())),
+                                ("id", Json::Str(result.id.clone())),
+                                ("context", Json::Str(job.context.clone())),
+                                ("key", Json::Str(key)),
+                                ("verdict", Json::Str(result.verdict.as_str().to_owned())),
+                            ];
+                            if let Some(kind) = &result.unknown_kind {
+                                members.push(("unknown_kind", Json::Str(kind.clone())));
+                            }
+                            if let Some(phase) = &result.unknown_phase {
+                                members.push(("unknown_phase", Json::Str(phase.clone())));
+                            }
+                            members.extend([
+                                ("queue_micros", Json::Num(queue_micros as f64)),
+                                (
+                                    "solve_micros",
+                                    Json::Num(result.micros.saturating_sub(queue_micros) as f64),
+                                ),
+                                ("micros", Json::Num(result.micros as f64)),
+                                ("threshold_ms", Json::Num(slow.threshold_ms as f64)),
+                            ]);
+                            slow.write_record(&obj_json(members));
+                        }
+                    }
+                    result
                 }
             }
         };
-        self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+        result.request_id = Some(request_id.clone());
+        self.metrics.record_job(start.elapsed().as_micros() as u64);
         self.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        // The per-job telemetry event: when the engine runs traced
+        // (`serve --trace`), the correlation id lands in the trace so a
+        // slow-log record can be joined against its spans.
+        if let Some(rec) = self.engine.config().budget.telemetry.active() {
+            rec.event(
+                schema::EVENT_SERVE_JOB,
+                &[("micros", result.micros), ("queue_micros", queue_micros)],
+                &[
+                    (schema::LABEL_REQUEST_ID, request_id.as_str()),
+                    ("verdict", result.verdict.as_str()),
+                ],
+            );
+        }
         result.to_json().to_string()
     }
-}
-
-fn counter(counter: &AtomicU64) -> Json {
-    Json::Num(counter.load(Ordering::Relaxed) as f64)
 }
 
 fn obj_json(members: Vec<(&str, Json)>) -> Json {
@@ -602,6 +897,7 @@ fn error_result(id: String, detail: String) -> JobResult {
         unknown_phase: None,
         cache: None,
         certificate: None,
+        request_id: None,
         micros: 0,
     }
 }
@@ -618,8 +914,76 @@ fn overloaded_record(id: String) -> JobResult {
         unknown_phase: None,
         cache: None,
         certificate: None,
+        request_id: None,
         micros: 0,
     }
+}
+
+/// The Prometheus exposition accept loop: one short-lived HTTP/1.1
+/// exchange per connection, `GET /metrics` (or `/`) answered with text
+/// exposition format 0.0.4, anything else with 404. Hand-rolled over
+/// the nonblocking listener with the same stop-flag polling discipline
+/// as the JSONL accept loop.
+fn serve_prometheus(listener: TcpListener, plane: Arc<MetricsPlane>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let plane = plane.clone();
+                std::thread::spawn(move || answer_scrape(stream, &plane));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Longest HTTP request head a scrape connection may send; beyond this
+/// the connection is dropped (same bounded-buffer discipline as
+/// [`MAX_LINE_BYTES`] on the JSONL side, scaled to scrape requests).
+const MAX_SCRAPE_REQUEST_BYTES: usize = 8 * 1024;
+
+fn answer_scrape(mut stream: TcpStream, plane: &MetricsPlane) {
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .is_err()
+    {
+        return;
+    }
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") {
+        if request.len() > MAX_SCRAPE_REQUEST_BYTES {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => request.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&request);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = plane.prometheus_text();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
 }
 
 /// A minimal blocking JSONL client for tests, the bench runner, and the

@@ -21,6 +21,7 @@ fn job(context: &str, sigma: &[&str], phi: &str) -> Job {
         sigma: sigma.iter().map(|s| s.to_string()).collect(),
         phi: phi.into(),
         deadline_ms: None,
+        request_id: None,
     }
 }
 

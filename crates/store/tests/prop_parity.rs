@@ -108,6 +108,7 @@ proptest! {
                 sigma: Vec::new(),
                 phi: constraint_text(seed, false),
                 deadline_ms: None,
+                request_id: None,
             };
             let warm = warm_store.prepare(&job).expect("prepare");
             let cold = cold_store.prepare(&job).expect("prepare");

@@ -52,6 +52,10 @@ pub mod schema {
     pub const EVENT_CHASE_ROUND: &str = "chase.round";
     /// Batch summary event emitted by the batch engine.
     pub const EVENT_BATCH_DONE: &str = "batch.done";
+    /// Per-job summary event emitted by the resident service; carries
+    /// the job's correlation id in [`LABEL_REQUEST_ID`], so a slow-log
+    /// record can be joined against the trace with `grep`.
+    pub const EVENT_SERVE_JOB: &str = "serve.job";
     /// Field-name prefix for per-phase step counts inside
     /// [`EVENT_ATTRIBUTION`].
     pub const PHASE_PREFIX: &str = "phase.";
@@ -75,6 +79,8 @@ pub mod schema {
     pub const LABEL_OUTCOME: &str = "outcome";
     /// Label carrying the `UnknownReason` rendering for unknown runs.
     pub const LABEL_REASON: &str = "reason";
+    /// Label carrying a job's correlation id on [`EVENT_SERVE_JOB`].
+    pub const LABEL_REQUEST_ID: &str = "request_id";
 
     /// `LABEL_ENGINE` value of the per-batch resilience attribution
     /// record: an [`EVENT_ATTRIBUTION`] whose `phase.*` fields count
